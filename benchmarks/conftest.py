@@ -1,0 +1,31 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper, asserts the
+qualitative claims the paper makes about it, and writes the rendered
+rows/series to ``benchmarks/output/`` so the artefacts can be inspected
+after ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(artifact_dir):
+    def _write(name: str, text: str) -> pathlib.Path:
+        path = artifact_dir / name
+        path.write_text(text)
+        return path
+
+    return _write

@@ -1,0 +1,83 @@
+"""Real wall-clock throughput of the functional LBM stack.
+
+Not a paper table — this bench grounds the reproduction: it measures the
+NumPy solver's actual MFLUPS on this host for the collide and stream
+kernels, a full solver step, a distributed step, and the host STREAM
+bandwidth the kernels are bound by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import D3Q19
+from repro.core.kernels import bgk_collide_kernel
+from repro.decomp import axis_decompose
+from repro.geometry import CylinderSpec, make_cylinder
+from repro.lbm import Connectivity, DistributedSolver, Solver, SolverConfig
+from repro.microbench import run_host_stream
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return make_cylinder(CylinderSpec(scale=1.5))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SolverConfig(
+        tau=0.8, force=(1e-6, 0.0, 0.0), periodic=(True, False, False)
+    )
+
+
+def test_collide_kernel_throughput(benchmark, grid):
+    lat = D3Q19
+    n = grid.num_fluid
+    f = lat.equilibrium(np.ones(n), np.zeros((n, 3)))
+    idx = np.arange(n, dtype=np.int64)
+    benchmark(bgk_collide_kernel, lat, f, idx, 1.25)
+    if benchmark.stats:  # absent under --benchmark-disable
+        benchmark.extra_info["mflups"] = (
+            n / benchmark.stats["mean"] / 1e6
+        )
+
+
+def test_stream_throughput(benchmark, grid, config):
+    lat = D3Q19
+    conn = Connectivity(grid, lat, periodic=(True, False, False))
+    n = conn.num_nodes
+    f = lat.equilibrium(np.ones(n), np.zeros((n, 3)))
+    out = np.empty_like(f)
+    benchmark(conn.stream, f, out)
+    if benchmark.stats:
+        benchmark.extra_info["mflups"] = n / benchmark.stats["mean"] / 1e6
+
+
+def test_full_step_throughput(benchmark, grid, config):
+    solver = Solver(grid, config)
+    benchmark(solver.step, 1)
+    if benchmark.stats:
+        benchmark.extra_info["mflups"] = (
+            solver.num_nodes / benchmark.stats["mean"] / 1e6
+        )
+
+
+def test_distributed_step_throughput(benchmark, grid, config):
+    partition = axis_decompose(grid, 4)
+    solver = DistributedSolver(partition, config)
+    benchmark(solver.step, 1)
+    if benchmark.stats:
+        benchmark.extra_info["mflups"] = (
+            solver.num_nodes / benchmark.stats["mean"] / 1e6
+        )
+
+
+def test_host_stream_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        run_host_stream, kwargs={"elements": 1 << 21, "ntimes": 3},
+        rounds=1, iterations=1,
+    )
+    if benchmark.stats:
+        benchmark.extra_info["triad_gbs"] = result.triad_gbs
+    assert result.triad_gbs > 0.5  # any real machine exceeds this

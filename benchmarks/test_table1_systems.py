@@ -1,0 +1,77 @@
+"""Table 1 — system node characteristics.
+
+Regenerates the hardware table, with GPU memory bandwidth measured by
+the (simulated) BabelStream exactly as the paper's footnote describes,
+and asserts the published per-system values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.hardware import LinkTier, all_machines, get_machine
+from repro.microbench import run_babelstream
+
+#: Paper Table 1 rows: (cores/CPU, logical GPUs/node, memory GB, BW TB/s).
+PAPER_TABLE1 = {
+    "Sunspot": (52, 12, 64, 0.997),
+    "Crusher": (64, 8, 64, 1.28),
+    "Polaris": (32, 4, 40, 1.30),
+    "Summit": (21, 6, 16, 0.770),
+}
+
+
+def _build_table():
+    rows = []
+    for machine in all_machines():
+        bw = run_babelstream(machine.node.gpu).measured_bandwidth_tbs
+        inter = machine.node.link(LinkTier.INTER_NODE)
+        cpu_gpu = machine.node.link(LinkTier.CPU_GPU)
+        rows.append(
+            [
+                machine.name,
+                f"{machine.node.cpus}x {machine.node.cpu_name}",
+                str(machine.node.cores_per_cpu),
+                f"{machine.node.packages}x {machine.node.gpu.name}",
+                str(machine.logical_gpus_per_node),
+                f"{machine.node.gpu.memory_gb:g} GB",
+                f"{bw:.3f} TB/s",
+                f"{cpu_gpu.name} ({cpu_gpu.bandwidth_gbs:g} GB/s)",
+                f"{inter.name} ({inter.bandwidth_gbs:g} GB/s)",
+            ]
+        )
+    return rows
+
+
+def test_table1_regenerates(benchmark, write_artifact):
+    rows = benchmark(_build_table)
+    text = render_table(
+        [
+            "System", "CPU", "Cores/CPU", "GPU", "GPUs/node", "GPU Mem",
+            "GPU Mem BW*", "GPU-CPU", "Interconnect",
+        ],
+        rows,
+        "Table 1: system node characteristics (*BabelStream-measured)",
+    )
+    write_artifact("table1_systems.txt", text)
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize("system", sorted(PAPER_TABLE1))
+def test_table1_values_match_paper(system):
+    cores, gpus, mem, bw = PAPER_TABLE1[system]
+    machine = get_machine(system)
+    assert machine.node.cores_per_cpu == cores
+    assert machine.logical_gpus_per_node == gpus
+    assert machine.node.gpu.memory_gb == mem
+    measured = run_babelstream(machine.node.gpu).measured_bandwidth_tbs
+    # the measurement includes launch overhead, so allow 2%
+    assert measured == pytest.approx(bw, rel=0.02)
+
+
+def test_node_counts_match_section4():
+    assert get_machine("Sunspot").num_nodes == 128
+    assert get_machine("Crusher").num_nodes == 128
+    assert get_machine("Polaris").num_nodes == 560
+    assert get_machine("Summit").num_nodes == 4600

@@ -1,0 +1,72 @@
+"""Crossover detection between scaling series.
+
+The paper's headline observations are crossovers — "Crusher begins to
+outperform Polaris starting at 512 GPUs", "the HIP proxy app edges out
+the CUDA proxy app near 1024".  This utility finds them mechanically
+from two aligned series, with log-space interpolation between sampled
+GPU counts (the figures' axes are log-log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import PerfModelError
+from .sweep import ScalingSeries
+
+__all__ = ["Crossover", "find_crossovers", "first_crossover"]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """One sign change of (a - b)."""
+
+    gpu_count: float  # log-interpolated location
+    after_index: int  # index of the last sampled point before the change
+    now_leading: str  # label of the series leading after the crossover
+
+
+def _aligned(a: ScalingSeries, b: ScalingSeries):
+    counts = [n for n in a.gpu_counts if n in set(b.gpu_counts)]
+    if len(counts) < 2:
+        raise PerfModelError(
+            "series share fewer than two GPU counts; cannot compare"
+        )
+    va = np.array([a.at(n) for n in counts], dtype=np.float64)
+    vb = np.array([b.at(n) for n in counts], dtype=np.float64)
+    return np.array(counts, dtype=np.float64), va, vb
+
+
+def find_crossovers(a: ScalingSeries, b: ScalingSeries) -> List[Crossover]:
+    """All points where the lead between two series flips."""
+    counts, va, vb = _aligned(a, b)
+    diff = va - vb
+    out: List[Crossover] = []
+    for i in range(len(counts) - 1):
+        d0, d1 = diff[i], diff[i + 1]
+        if d0 == 0.0:
+            continue
+        if (d0 > 0) != (d1 > 0) or d1 == 0.0:
+            # interpolate the flip location in log2(count) space
+            x0, x1 = np.log2(counts[i]), np.log2(counts[i + 1])
+            t = d0 / (d0 - d1) if d0 != d1 else 1.0
+            x = x0 + t * (x1 - x0)
+            out.append(
+                Crossover(
+                    gpu_count=float(2**x),
+                    after_index=i,
+                    now_leading=b.label if d0 > 0 else a.label,
+                )
+            )
+    return out
+
+
+def first_crossover(
+    a: ScalingSeries, b: ScalingSeries
+) -> Optional[Crossover]:
+    """The first lead change, or None when one series leads throughout."""
+    crossings = find_crossovers(a, b)
+    return crossings[0] if crossings else None

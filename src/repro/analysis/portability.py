@@ -1,0 +1,150 @@
+"""The Pennycook performance-portability metric.
+
+The paper's related work (refs. [5], [11], [14], [15]) evaluates codes
+with the P3HPC community's standard metric (Pennycook, Sewall & Lee):
+for an application *a* solving problem *p* on a platform set *H*,
+
+    PP(a, p, H) = |H| / sum_{i in H} 1 / e_i(a, p)     if a runs on all
+                  0                                     otherwise
+
+— the harmonic mean of the efficiencies ``e_i`` over the platforms, zero
+when any platform is unsupported.  With architectural efficiency it
+measures how much of each machine a code exploits; with application
+efficiency, how close it comes to the best-known implementation.
+
+Applied to this study it quantifies Section 10's trade-off: Kokkos is
+the only implementation with nonzero PP over all four systems, while the
+per-platform ports score higher on the machines they support but zero
+over the full set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.errors import PerfModelError
+from ..hardware.systems import all_machines
+from ..models.registry import MODEL_NAMES, is_available
+from .sweep import backend_comparison
+
+__all__ = [
+    "performance_portability",
+    "PortabilityReport",
+    "study_portability",
+]
+
+
+def performance_portability(efficiencies: Sequence[float]) -> float:
+    """Harmonic-mean PP over one efficiency per platform.
+
+    An efficiency of 0 (or a missing platform, encoded as 0) makes the
+    metric 0, per the definition.
+    """
+    effs = list(efficiencies)
+    if not effs:
+        raise PerfModelError("need at least one platform")
+    for e in effs:
+        if e < 0 or e > 1.0 + 1e-9:
+            raise PerfModelError(f"efficiency {e} outside [0, 1]")
+    if any(e == 0.0 for e in effs):
+        return 0.0
+    return len(effs) / sum(1.0 / e for e in effs)
+
+
+@dataclass(frozen=True)
+class PortabilityReport:
+    """PP of every implementation over the four-system set."""
+
+    workload: str
+    n_gpus: int
+    efficiency_kind: str  # "application" | "architectural"
+    per_model: Dict[str, float]
+    per_model_supported: Dict[str, List[str]]
+
+    def best_universal(self) -> str:
+        """The implementation with the highest nonzero PP."""
+        nonzero = {m: v for m, v in self.per_model.items() if v > 0}
+        if not nonzero:
+            raise PerfModelError("no implementation covers all platforms")
+        return max(nonzero, key=nonzero.get)
+
+
+def study_portability(
+    workload: str = "cylinder",
+    n_gpus: int = 64,
+    efficiency_kind: str = "architectural",
+    app: str = "harvey",
+) -> PortabilityReport:
+    """PP of every programming model over the paper's four systems.
+
+    Platforms where a model was not ported contribute efficiency 0
+    (PP = 0), exactly as the metric prescribes.  GPU counts above a
+    machine's budget (Sunspot past 256) reuse its largest available
+    point — the metric needs one efficiency per platform.
+    """
+    if efficiency_kind not in ("application", "architectural"):
+        raise PerfModelError(
+            "efficiency_kind must be 'application' or 'architectural'"
+        )
+    machines = all_machines()
+    comps = {m.name: backend_comparison(m, workload) for m in machines}
+    per_model: Dict[str, float] = {}
+    supported: Dict[str, List[str]] = {}
+    for model in MODEL_NAMES:
+        effs: List[float] = []
+        platforms: List[str] = []
+        for machine in machines:
+            comp = comps[machine.name]
+            if not is_available(model, machine):
+                effs.append(0.0)
+                continue
+            table = (
+                comp.app_efficiency
+                if efficiency_kind == "application"
+                else comp.arch_efficiency
+            )
+            series = table[app][model]
+            counts = comp.gpu_counts
+            idx = (
+                counts.index(n_gpus)
+                if n_gpus in counts
+                else len(counts) - 1
+            )
+            effs.append(min(series[idx], 1.0))
+            platforms.append(machine.name)
+        per_model[model] = performance_portability(effs)
+        supported[model] = platforms
+    # The Kokkos *code base* is one implementation that reaches every
+    # platform through its per-platform backend (Section 10); its PP uses
+    # the backend actually deployed on each system.
+    kokkos_effs: List[float] = []
+    kokkos_platforms: List[str] = []
+    for machine in machines:
+        comp = comps[machine.name]
+        table = (
+            comp.app_efficiency
+            if efficiency_kind == "application"
+            else comp.arch_efficiency
+        )
+        backends = [
+            m for m in table[app] if m.startswith("kokkos-")
+        ]
+        if not backends:
+            kokkos_effs.append(0.0)
+            continue
+        counts = comp.gpu_counts
+        idx = counts.index(n_gpus) if n_gpus in counts else len(counts) - 1
+        kokkos_effs.append(
+            min(max(table[app][m][idx] for m in backends), 1.0)
+        )
+        kokkos_platforms.append(machine.name)
+    per_model["kokkos (any backend)"] = performance_portability(kokkos_effs)
+    supported["kokkos (any backend)"] = kokkos_platforms
+    return PortabilityReport(
+        workload=workload,
+        n_gpus=n_gpus,
+        efficiency_kind=efficiency_kind,
+        per_model=per_model,
+        per_model_supported=supported,
+    )

@@ -1,0 +1,208 @@
+"""One-command reproduction report.
+
+``repro report`` (or :func:`full_report`) regenerates every table and
+figure of the paper plus the extension studies into a single text
+document — the non-pytest path to the complete reproduction.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from ..hardware.interconnect import LinkTier
+from ..hardware.systems import all_machines, get_machine
+from ..microbench.babelstream import run_babelstream
+from ..porting import (
+    apply_manual_fixes,
+    corpus_line_count,
+    dpct_translate,
+    harvey_corpus,
+    hipify,
+    port_to_kokkos,
+)
+from .ablation import run_ablation
+from .composition import composition_series
+from .portability import study_portability
+from .sweep import backend_comparison, native_hardware_comparison
+from .tables import render_series, render_table
+
+__all__ = ["full_report"]
+
+
+def _section(out: io.StringIO, title: str) -> None:
+    out.write("\n" + "=" * 72 + "\n")
+    out.write(title + "\n")
+    out.write("=" * 72 + "\n\n")
+
+
+def _table1(out: io.StringIO) -> None:
+    rows = []
+    for m in all_machines():
+        bw = run_babelstream(m.node.gpu).measured_bandwidth_tbs
+        inter = m.node.link(LinkTier.INTER_NODE)
+        rows.append(
+            [
+                m.name,
+                f"{m.node.cpus}x {m.node.cpu_name}",
+                str(m.node.cores_per_cpu),
+                f"{m.node.packages}x {m.node.gpu.name}",
+                str(m.logical_gpus_per_node),
+                f"{m.node.gpu.memory_gb:g}",
+                f"{bw:.3f}",
+                f"{inter.name}",
+            ]
+        )
+    out.write(
+        render_table(
+            ["System", "CPU", "Cores", "GPU", "GPUs/node", "Mem GB",
+             "BW TB/s", "Interconnect"],
+            rows,
+        )
+        + "\n"
+    )
+
+
+def _porting(out: io.StringIO) -> None:
+    files = harvey_corpus()
+    dres = dpct_translate(files)
+    out.write(
+        render_table(
+            ["Category", "Frequency(%)"],
+            [
+                [cat, f"{pct:.2f}"]
+                for cat, pct in dres.warning_breakdown().items()
+            ],
+            f"Table 2 — {len(dres.warnings)} DPCT warnings over "
+            f"{len(files)} files ({corpus_line_count(files)} lines)",
+        )
+        + "\n\n"
+    )
+    _fixed, changed = apply_manual_fixes(dres)
+    hres = hipify(files)
+    kres = port_to_kokkos(files)
+    out.write(
+        render_table(
+            ["", "DPCT", "HIPify", "Kokkos"],
+            [
+                ["lines added", "0", "0", str(kres.stats.added)],
+                ["lines changed", str(changed),
+                 str(hres.manual_lines_needed.changed),
+                 str(kres.stats.changed)],
+                ["time scale", "weeks", "days", "months"],
+            ],
+            "Table 3 — manual porting effort (miniature corpus)",
+        )
+        + "\n"
+    )
+
+
+def _hardware(out: io.StringIO, workload: str) -> None:
+    data = native_hardware_comparison(workload)
+    for system, series in data.items():
+        counts = series["harvey"].gpu_counts
+        table = {"HARVEY": series["harvey"].mflups}
+        if "proxy" in series:
+            table["LBM-Proxy-App"] = series["proxy"].mflups
+        table["Ideal Prediction"] = [
+            series["predicted"].at(n) for n in counts
+        ]
+        out.write(
+            render_series(
+                counts, table, value_format="{:.0f}",
+                title=f"{system} — {workload} (MFLUPS)",
+            )
+            + "\n\n"
+        )
+
+
+def _backends(out: io.StringIO, workload: str) -> None:
+    for m in all_machines():
+        comp = backend_comparison(m, workload)
+        for app in comp.app_efficiency:
+            out.write(
+                render_series(
+                    comp.gpu_counts, comp.app_efficiency[app],
+                    title=f"{m.name} {workload} {app}: application eff.",
+                )
+                + "\n\n"
+            )
+
+
+def _composition(out: io.StringIO) -> None:
+    for name in ("Polaris", "Crusher", "Sunspot"):
+        points = composition_series(get_machine(name))
+        rows = [
+            [str(p.n_gpus),
+             f"{100 * p.fractions['streamcollide']:.1f}%",
+             f"{100 * p.comm_fraction:.1f}%",
+             f"{100 * p.memcpy_fraction:.1f}%"]
+            for p in points
+        ]
+        out.write(
+            render_table(
+                ["GPUs", "streamcollide", "communication", "memcpy"],
+                rows, f"{name} — HARVEY aorta runtime composition",
+            )
+            + "\n\n"
+        )
+
+
+def _extensions(out: io.StringIO) -> None:
+    report = study_portability("cylinder", 64, "architectural")
+    rows = [
+        [m, f"{v:.3f}",
+         f"{len(report.per_model_supported[m])}/4"]
+        for m, v in sorted(
+            report.per_model.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    out.write(
+        render_table(
+            ["implementation", "PP (arch eff)", "platforms"],
+            rows, "Pennycook performance portability @ 64 GPUs",
+        )
+        + "\n\n"
+    )
+    from ..perf.trace import aorta_trace
+
+    trace = aorta_trace(0.055, 128)
+    machine = get_machine("Polaris")
+    rows = [
+        [r.name, f"{100 * r.impact:+.1f}%"]
+        for r in run_ablation(trace, machine, "cuda", "harvey")
+    ]
+    out.write(
+        render_table(
+            ["ablation", "impact"],
+            rows, "Polaris ablations — aorta @ 55 um, 128 GPUs",
+        )
+        + "\n"
+    )
+
+
+def full_report(include_backends: bool = True) -> str:
+    """Build the complete reproduction report as a string."""
+    out = io.StringIO()
+    out.write(
+        "Reproduction report — Martin et al., SC-W 2023\n"
+        "Performance Evaluation of Heterogeneous GPU Programming "
+        "Frameworks\nfor Hemodynamic Simulations\n"
+    )
+    _section(out, "Table 1 — system node characteristics")
+    _table1(out)
+    _section(out, "Tables 2 & 3 — porting tools")
+    _porting(out)
+    _section(out, "Fig. 3 — cylinder hardware comparison (native models)")
+    _hardware(out, "cylinder")
+    _section(out, "Fig. 4 — aorta hardware comparison")
+    _hardware(out, "aorta")
+    if include_backends:
+        _section(out, "Figs. 5/6 — software-backend application efficiencies")
+        _backends(out, "cylinder")
+        _backends(out, "aorta")
+    _section(out, "Fig. 7 — runtime compositions")
+    _composition(out)
+    _section(out, "Extensions — portability metric and ablations")
+    _extensions(out)
+    return out.getvalue()

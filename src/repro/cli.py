@@ -1,0 +1,433 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Commands
+--------
+``systems``
+    Print Table 1 (node characteristics with simulated BabelStream).
+``proxy``
+    Run the LBM proxy app functionally and report MFLUPS + physics checks.
+``harvey``
+    Run the HARVEY app functionally on a coarse workload.
+``scaling``
+    Piecewise scaling sweep for a workload on one or all systems (Figs. 3/4).
+``backends``
+    Software-backend efficiency comparison for one system (Figs. 5/6).
+``composition``
+    Runtime-composition breakdown (Fig. 7).
+``porting``
+    Run the porting tools on the CUDA corpus (Tables 2/3).
+``portability``
+    Pennycook performance-portability metric over the four systems.
+``ablation``
+    What-if repricing of the simulator's design choices.
+``sensitivity``
+    Hardware-knob elasticities of the performance model.
+``roofline``
+    Roofline placement of the stream-collide kernel per device.
+``report``
+    Regenerate the full reproduction report (all tables and figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.composition import composition_series
+from .analysis.sweep import backend_comparison, native_hardware_comparison
+from .analysis.tables import format_mflups, render_series, render_table
+from .hardware.systems import all_machines, get_machine
+from .microbench.babelstream import run_babelstream
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_systems(args: argparse.Namespace) -> int:
+    headers = [
+        "System", "CPU", "Cores/CPU", "GPU", "Logical GPUs/node",
+        "GPU Mem (GB)", "GPU Mem BW (TB/s)*", "Interconnect",
+    ]
+    rows = []
+    for m in all_machines():
+        bw = run_babelstream(m.node.gpu).measured_bandwidth_tbs
+        from .hardware.interconnect import LinkTier
+
+        inter = m.node.link(LinkTier.INTER_NODE)
+        rows.append(
+            [
+                m.name,
+                f"{m.node.cpus}x {m.node.cpu_name}",
+                str(m.node.cores_per_cpu),
+                f"{m.node.packages}x {m.node.gpu.name}",
+                str(m.logical_gpus_per_node),
+                f"{m.node.gpu.memory_gb:g}",
+                f"{bw:.3f}",
+                f"{inter.name} ({inter.bandwidth_gbs:g} GB/s)",
+            ]
+        )
+    print(render_table(headers, rows, "Table 1: system node characteristics"))
+    print("* simulated BabelStream measurement")
+    return 0
+
+
+def _cmd_proxy(args: argparse.Namespace) -> int:
+    from .proxy import ProxyApp, ProxyConfig
+
+    app = ProxyApp(ProxyConfig(scale=args.scale, num_ranks=args.ranks))
+    report = app.run(args.steps)
+    print(
+        f"proxy: scale={report.scale:g} ranks={report.num_ranks} "
+        f"steps={report.steps} fluid={report.fluid_nodes}"
+    )
+    print(
+        f"  wall MFLUPS={report.mflups:.3f}  mass drift={report.mass_drift:.2e}  "
+        f"Poiseuille agreement={report.poiseuille_agreement:.3f}"
+    )
+    return 0
+
+
+def _cmd_harvey(args: argparse.Namespace) -> int:
+    from .harvey import HarveyApp, HarveyConfig
+
+    app = HarveyApp(
+        HarveyConfig(
+            workload=args.workload,
+            resolution=args.resolution,
+            num_ranks=args.ranks,
+        )
+    )
+    report = app.run(args.steps)
+    lb = app.load_balance()
+    print(
+        f"harvey: workload={report.workload} ranks={report.num_ranks} "
+        f"steps={report.steps} fluid={report.fluid_nodes}"
+    )
+    print(
+        f"  wall MFLUPS={report.mflups:.3f}  mass drift={report.mass_drift:.2e}  "
+        f"max |u|={report.max_velocity:.4f}  imbalance={lb['imbalance']:.3f}"
+    )
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    data = native_hardware_comparison(args.workload)
+    systems = (
+        [args.system] if args.system else [m.name for m in all_machines()]
+    )
+    for name in systems:
+        series = data[name]
+        counts = series["harvey"].gpu_counts
+        table = {
+            "HARVEY": series["harvey"].mflups,
+            "Prediction": [
+                series["predicted"].at(n) for n in counts
+            ],
+        }
+        if "proxy" in series:
+            table["Proxy"] = series["proxy"].mflups
+        print(
+            render_series(
+                counts,
+                {k: v for k, v in table.items()},
+                value_format="{:.0f}",
+                title=f"\n{name} — {args.workload} piecewise scaling (MFLUPS)",
+            )
+        )
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    machine = get_machine(args.system)
+    bc = backend_comparison(machine, args.workload)
+    for app in bc.app_efficiency:
+        print(
+            render_series(
+                bc.gpu_counts,
+                bc.app_efficiency[app],
+                title=f"\n{machine.name} {args.workload} {app}: application efficiency",
+            )
+        )
+        print(
+            render_series(
+                bc.gpu_counts,
+                bc.arch_efficiency[app],
+                title=f"{machine.name} {args.workload} {app}: architectural efficiency",
+            )
+        )
+    return 0
+
+
+def _cmd_composition(args: argparse.Namespace) -> int:
+    for name in ("Polaris", "Crusher", "Sunspot"):
+        machine = get_machine(name)
+        points = composition_series(machine)
+        headers = ["GPUs", "streamcollide", "communication", "H2D", "D2H"]
+        rows = [
+            [
+                str(p.n_gpus),
+                f"{100 * p.fractions['streamcollide']:.1f}%",
+                f"{100 * p.fractions['communication']:.1f}%",
+                f"{100 * p.fractions['h2d']:.1f}%",
+                f"{100 * p.fractions['d2h']:.1f}%",
+            ]
+            for p in points
+        ]
+        print(
+            render_table(
+                headers, rows, f"\n{name}: HARVEY aorta runtime composition"
+            )
+        )
+    return 0
+
+
+def _cmd_porting(args: argparse.Namespace) -> int:
+    from .porting import (
+        apply_manual_fixes,
+        dpct_translate,
+        harvey_corpus,
+        hipify,
+        port_to_kokkos,
+    )
+
+    files = harvey_corpus()
+    dres = dpct_translate(files)
+    print(
+        render_table(
+            ["Category", "Frequency(%)"],
+            [
+                [cat, f"{pct:.2f}"]
+                for cat, pct in dres.warning_breakdown().items()
+            ],
+            "Table 2: DPCT warning breakdown "
+            f"({len(dres.warnings)} warnings)",
+        )
+    )
+    hres = hipify(files)
+    _fixed, dpct_changed = apply_manual_fixes(dres)
+    kres = port_to_kokkos(files)
+    print()
+    print(
+        render_table(
+            ["", "DPCT", "HIPify", "Kokkos"],
+            [
+                ["lines added", "0", "0", str(kres.stats.added)],
+                [
+                    "lines changed",
+                    str(dpct_changed),
+                    str(hres.manual_lines_needed.changed),
+                    str(kres.stats.changed),
+                ],
+                ["time scale", "weeks", "days", "months"],
+            ],
+            "Table 3: manual lines needed for ports (miniature corpus)",
+        )
+    )
+    return 0
+
+
+def _cmd_portability(args: argparse.Namespace) -> int:
+    from .analysis import study_portability
+
+    arch = study_portability(args.workload, args.gpus, "architectural")
+    app = study_portability(args.workload, args.gpus, "application")
+    rows = [
+        [
+            model,
+            f"{arch.per_model[model]:.3f}",
+            f"{app.per_model[model]:.3f}",
+            f"{len(arch.per_model_supported[model])}/4",
+        ]
+        for model in arch.per_model
+    ]
+    print(
+        render_table(
+            ["implementation", "PP (arch)", "PP (app)", "platforms"],
+            rows,
+            f"Performance portability @ {args.gpus} GPUs ({args.workload})",
+        )
+    )
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from .analysis import decomposition_ablation, run_ablation
+    from .perf import aorta_trace
+
+    machine = get_machine(args.system)
+    trace = aorta_trace(args.spacing, args.gpus)
+    rows = []
+    for r in run_ablation(trace, machine, machine.native_model, "harvey"):
+        rows.append(
+            [r.name, f"{r.baseline_mflups:.0f}", f"{r.ablated_mflups:.0f}",
+             f"{100 * r.impact:+.1f}%"]
+        )
+    d = decomposition_ablation(machine, args.spacing, min(args.gpus, 64))
+    rows.append(
+        [d.name, f"{d.baseline_mflups:.0f}", f"{d.ablated_mflups:.0f}",
+         f"{100 * d.impact:+.1f}%"]
+    )
+    print(
+        render_table(
+            ["ablation", "baseline", "ablated", "impact"],
+            rows,
+            f"{machine.name}: aorta @ {args.spacing} mm, {args.gpus} GPUs",
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .perfmodel import dominant_resource, sensitivity_analysis
+
+    rows = []
+    for machine in all_machines():
+        for n in (2, 16, 128, 1024):
+            if n > machine.max_ranks or (
+                machine.name == "Sunspot" and n > 256
+            ):
+                continue
+            s = sensitivity_analysis(machine, args.sites_per_gpu * n, n)
+            rows.append(
+                [machine.name, str(n), f"{s.memory_bandwidth:.2f}",
+                 f"{s.interconnect_bandwidth:.2f}",
+                 f"{s.interconnect_latency:.3f}", dominant_resource(s)]
+            )
+    print(
+        render_table(
+            ["system", "GPUs", "dMemBW", "dNetBW", "dNetLat", "bound by"],
+            rows,
+            "Performance-model elasticities "
+            f"({args.sites_per_gpu:.0e} sites/GPU, weak scaling)",
+        )
+    )
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from .perf import roofline_analysis
+
+    rows = []
+    for machine in all_machines():
+        p = roofline_analysis(machine.node.gpu)
+        rows.append(
+            [p.device, f"{p.arithmetic_intensity:.2f}",
+             f"{p.ridge_intensity:.1f}", p.bound,
+             f"{100 * p.peak_fraction:.1f}%"]
+        )
+    print(
+        render_table(
+            ["device", "AI (F/B)", "ridge", "bound", "of FP64 peak"],
+            rows,
+            "Roofline placement of the D3Q19 stream-collide kernel",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import full_report
+
+    text = full_report(include_backends=not args.brief)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="print Table 1").set_defaults(
+        func=_cmd_systems
+    )
+
+    p = sub.add_parser("proxy", help="run the proxy app functionally")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--steps", type=int, default=200)
+    p.set_defaults(func=_cmd_proxy)
+
+    p = sub.add_parser("harvey", help="run HARVEY functionally")
+    p.add_argument(
+        "--workload", choices=["aorta", "cylinder"], default="aorta"
+    )
+    p.add_argument("--resolution", type=float, default=1.5)
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--steps", type=int, default=100)
+    p.set_defaults(func=_cmd_harvey)
+
+    p = sub.add_parser("scaling", help="piecewise scaling (Figs. 3/4)")
+    p.add_argument(
+        "--workload", choices=["cylinder", "aorta"], default="cylinder"
+    )
+    p.add_argument("--system", default=None)
+    p.set_defaults(func=_cmd_scaling)
+
+    p = sub.add_parser("backends", help="backend comparison (Figs. 5/6)")
+    p.add_argument("--system", default="Summit")
+    p.add_argument(
+        "--workload", choices=["cylinder", "aorta"], default="cylinder"
+    )
+    p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser("composition", help="runtime composition (Fig. 7)")
+    p.set_defaults(func=_cmd_composition)
+
+    p = sub.add_parser("porting", help="porting tools (Tables 2/3)")
+    p.set_defaults(func=_cmd_porting)
+
+    p = sub.add_parser(
+        "portability", help="Pennycook PP metric over the systems"
+    )
+    p.add_argument(
+        "--workload", choices=["cylinder", "aorta"], default="cylinder"
+    )
+    p.add_argument("--gpus", type=int, default=64)
+    p.set_defaults(func=_cmd_portability)
+
+    p = sub.add_parser("ablation", help="design-choice what-ifs")
+    p.add_argument("--system", default="Polaris")
+    p.add_argument("--spacing", type=float, default=0.055)
+    p.add_argument("--gpus", type=int, default=128)
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser(
+        "sensitivity", help="hardware-knob elasticities of the model"
+    )
+    p.add_argument("--sites-per-gpu", type=float, default=4e6)
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("roofline", help="kernel roofline per device")
+    p.set_defaults(func=_cmd_roofline)
+
+    p = sub.add_parser(
+        "report", help="regenerate the full reproduction report"
+    )
+    p.add_argument("--output", default=None, help="write to a file")
+    p.add_argument(
+        "--brief", action="store_true",
+        help="skip the per-backend efficiency sections",
+    )
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

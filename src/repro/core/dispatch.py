@@ -1,0 +1,156 @@
+"""Execution-space dispatch shared by the programming-model backends.
+
+Every GPU programming model in the paper launches data-parallel kernels
+over an index range partitioned into blocks (CUDA/HIP thread blocks, SYCL
+workgroups, Kokkos range policies).  :class:`ExecutionSpace` captures that
+structure: a kernel is a callable receiving a contiguous index array (one
+"block"), and the space decides the partitioning and accounts for launches.
+
+The accounting (launch count, elements processed) feeds the performance
+layer's per-launch overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .errors import ModelError
+from .kernels import partition_range
+
+__all__ = [
+    "LaunchStats",
+    "ExecutionSpace",
+    "LaunchConfig",
+    "NDRange",
+    "RangePolicy",
+]
+
+KernelBody = Callable[[np.ndarray], None]
+
+
+@dataclass
+class LaunchStats:
+    """Counters describing kernel launch activity on a space."""
+
+    launches: int = 0
+    blocks: int = 0
+    elements: int = 0
+
+    def reset(self) -> None:
+        self.launches = 0
+        self.blocks = 0
+        self.elements = 0
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """CUDA/HIP-style launch shape: ``<<<grid, block>>>`` in one dimension."""
+
+    grid: int
+    block: int
+
+    def __post_init__(self) -> None:
+        if self.grid <= 0 or self.block <= 0:
+            raise ModelError(
+                f"launch config requires positive grid/block, got "
+                f"({self.grid}, {self.block})"
+            )
+
+    @property
+    def threads(self) -> int:
+        return self.grid * self.block
+
+    @classmethod
+    def for_elements(cls, n: int, block: int = 128) -> "LaunchConfig":
+        """The standard ``(n + block - 1) // block`` grid computation."""
+        if n <= 0:
+            raise ModelError("cannot build a launch config for 0 elements")
+        return cls((n + block - 1) // block, block)
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """SYCL-style nd_range: global size plus workgroup (local) size."""
+
+    global_size: int
+    local_size: int
+
+    def __post_init__(self) -> None:
+        if self.global_size <= 0 or self.local_size <= 0:
+            raise ModelError("nd_range sizes must be positive")
+        if self.global_size % self.local_size != 0:
+            raise ModelError(
+                f"global size {self.global_size} not divisible by local "
+                f"size {self.local_size} (SYCL requires divisibility)"
+            )
+
+    @classmethod
+    def for_elements(cls, n: int, local: int = 128) -> "NDRange":
+        if n <= 0:
+            raise ModelError("cannot build an nd_range for 0 elements")
+        global_size = ((n + local - 1) // local) * local
+        return cls(global_size, local)
+
+
+@dataclass(frozen=True)
+class RangePolicy:
+    """Kokkos-style 1-D range policy ``RangePolicy(begin, end)``."""
+
+    begin: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.begin:
+            raise ModelError(f"range policy end {self.end} < begin {self.begin}")
+
+    @property
+    def extent(self) -> int:
+        return self.end - self.begin
+
+
+@dataclass
+class ExecutionSpace:
+    """Executes kernels over blocked index ranges with launch accounting."""
+
+    name: str
+    default_block: int = 128
+    stats: LaunchStats = field(default_factory=LaunchStats)
+
+    def launch(self, body: KernelBody, n: int, block: int = 0) -> None:
+        """Run ``body`` over ``range(n)`` in blocks of ``block`` indices.
+
+        ``body`` must accept a contiguous ``int64`` index array.  A zero
+        ``block`` uses the space default.  Out-of-range work items beyond
+        ``n`` are never generated (the guard every CUDA kernel writes as
+        ``if (i >= n) return;``).
+        """
+        if n < 0:
+            raise ModelError("cannot launch over a negative range")
+        if n == 0:
+            return
+        chunk = block if block > 0 else self.default_block
+        starts, stops = partition_range(n, chunk)
+        for a, b in zip(starts, stops):
+            body(np.arange(a, b, dtype=np.int64))
+        self.stats.launches += 1
+        self.stats.blocks += len(starts)
+        self.stats.elements += n
+
+    def launch_range(self, body: KernelBody, policy: RangePolicy) -> None:
+        """Kokkos-style launch over ``[begin, end)``."""
+        if policy.extent == 0:
+            return
+        chunk = self.default_block
+        starts, stops = partition_range(policy.extent, chunk)
+        for a, b in zip(starts, stops):
+            body(np.arange(policy.begin + a, policy.begin + b, dtype=np.int64))
+        self.stats.launches += 1
+        self.stats.blocks += len(starts)
+        self.stats.elements += policy.extent
+
+    def fence(self) -> None:
+        """Synchronise (a no-op for the in-process simulation, kept for
+        API fidelity — ports call it after every launch phase)."""

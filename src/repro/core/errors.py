@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LatticeError(ReproError):
+    """Raised for invalid lattice descriptors or lattice lookups."""
+
+
+class ViewError(ReproError):
+    """Raised for invalid View construction, access, or deep_copy usage."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometry parameters or empty fluid domains."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a domain decomposition request cannot be satisfied."""
+
+
+class RuntimeSimError(ReproError):
+    """Raised by the simulated MPI runtime (bad ranks, mismatched buffers)."""
+
+
+class ModelError(ReproError):
+    """Raised by programming-model backends (bad launch configs, spaces)."""
+
+
+class HardwareError(ReproError):
+    """Raised for unknown systems or invalid hardware specifications."""
+
+
+class PerfModelError(ReproError):
+    """Raised for invalid performance-model inputs."""
+
+
+class PortingError(ReproError):
+    """Raised by the porting tools for malformed source corpora."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid application configuration."""

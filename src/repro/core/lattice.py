@@ -1,0 +1,204 @@
+"""Lattice descriptors for the lattice Boltzmann method.
+
+HARVEY and the LBM proxy app of the paper use the D3Q19 velocity set
+(Herschlag et al., IPDPS 2018, ref. [12] of the paper).  We provide D3Q15,
+D3Q19 and D3Q27 descriptors; D3Q19 is the default throughout the package.
+
+A :class:`Lattice` bundles the discrete velocity set ``c``, the quadrature
+weights ``w``, the index permutation ``opposite`` (used for bounce-back),
+and the lattice speed of sound.  All arrays are immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .errors import LatticeError
+
+__all__ = ["Lattice", "D3Q15", "D3Q19", "D3Q27", "get_lattice"]
+
+
+def _freeze(a: np.ndarray) -> np.ndarray:
+    a = np.ascontiguousarray(a)
+    a.setflags(write=False)
+    return a
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """An immutable discrete-velocity descriptor.
+
+    Attributes
+    ----------
+    name:
+        Conventional name, e.g. ``"D3Q19"``.
+    c:
+        Integer velocity set, shape ``(q, 3)``.
+    w:
+        Quadrature weights, shape ``(q,)``; sums to 1.
+    opposite:
+        ``opposite[i]`` is the index ``j`` with ``c[j] == -c[i]``.
+    cs2:
+        Squared lattice speed of sound (1/3 for all standard sets).
+    """
+
+    name: str
+    c: np.ndarray
+    w: np.ndarray
+    opposite: np.ndarray
+    cs2: float = 1.0 / 3.0
+    _velocity_index: Dict[Tuple[int, int, int], int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        c = _freeze(np.asarray(self.c, dtype=np.int64))
+        w = _freeze(np.asarray(self.w, dtype=np.float64))
+        opp = _freeze(np.asarray(self.opposite, dtype=np.int64))
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "w", w)
+        object.__setattr__(self, "opposite", opp)
+        if c.ndim != 2 or c.shape[1] != 3:
+            raise LatticeError(f"velocity set must have shape (q, 3), got {c.shape}")
+        q = c.shape[0]
+        if w.shape != (q,) or opp.shape != (q,):
+            raise LatticeError("weights/opposite must match velocity count")
+        if not np.isclose(w.sum(), 1.0):
+            raise LatticeError(f"weights of {self.name} sum to {w.sum()}, not 1")
+        if np.any(w <= 0):
+            raise LatticeError("all weights must be positive")
+        for i in range(q):
+            j = int(opp[i])
+            if not np.array_equal(c[j], -c[i]):
+                raise LatticeError(f"opposite[{i}]={j} but c[{j}] != -c[{i}]")
+        index = {tuple(int(x) for x in c[i]): i for i in range(q)}
+        if len(index) != q:
+            raise LatticeError("velocity set contains duplicates")
+        object.__setattr__(self, "_velocity_index", index)
+
+    @property
+    def q(self) -> int:
+        """Number of discrete velocities."""
+        return int(self.c.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimension (always 3 for the provided sets)."""
+        return int(self.c.shape[1])
+
+    def velocity_index(self, cx: int, cy: int, cz: int) -> int:
+        """Return the population index for velocity ``(cx, cy, cz)``.
+
+        Raises :class:`LatticeError` if the velocity is not in the set.
+        """
+        try:
+            return self._velocity_index[(int(cx), int(cy), int(cz))]
+        except KeyError as exc:
+            raise LatticeError(
+                f"velocity ({cx},{cy},{cz}) not in {self.name}"
+            ) from exc
+
+    def bytes_per_update(self, real_bytes: int = 8) -> int:
+        """Bytes moved per fluid-point update under the paper's model.
+
+        The stream-collide kernel reads and writes one distribution value per
+        population (the paper's Eq. 1 premise that LBM is bandwidth-bound).
+        """
+        return 2 * self.q * real_bytes
+
+    def equilibrium(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Second-order Maxwell equilibrium distributions.
+
+        Parameters
+        ----------
+        rho:
+            Densities, shape ``(n,)``.
+        u:
+            Velocities, shape ``(n, 3)``.
+
+        Returns
+        -------
+        ndarray of shape ``(q, n)``.
+        """
+        rho = np.asarray(rho, dtype=np.float64)
+        u = np.asarray(u, dtype=np.float64)
+        if u.ndim != 2 or u.shape[1] != 3:
+            raise LatticeError(f"u must have shape (n, 3), got {u.shape}")
+        if rho.shape != (u.shape[0],):
+            raise LatticeError("rho and u length mismatch")
+        cu = self.c.astype(np.float64) @ u.T  # (q, n)
+        usq = np.einsum("nd,nd->n", u, u)  # (n,)
+        inv_cs2 = 1.0 / self.cs2
+        feq = self.w[:, None] * rho[None, :] * (
+            1.0
+            + inv_cs2 * cu
+            + 0.5 * inv_cs2 * inv_cs2 * cu * cu
+            - 0.5 * inv_cs2 * usq[None, :]
+        )
+        return feq
+
+
+def _build_opposite(c: np.ndarray) -> np.ndarray:
+    index = {tuple(v): i for i, v in enumerate(c.tolist())}
+    return np.array([index[tuple((-v).tolist())] for v in c], dtype=np.int64)
+
+
+def _d3q19() -> Lattice:
+    c = [(0, 0, 0)]
+    c += [
+        (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1),
+    ]
+    c += [
+        (1, 1, 0), (-1, -1, 0), (1, -1, 0), (-1, 1, 0),
+        (1, 0, 1), (-1, 0, -1), (1, 0, -1), (-1, 0, 1),
+        (0, 1, 1), (0, -1, -1), (0, 1, -1), (0, -1, 1),
+    ]
+    c = np.array(c, dtype=np.int64)
+    w = np.array([1 / 3] + [1 / 18] * 6 + [1 / 36] * 12, dtype=np.float64)
+    return Lattice("D3Q19", c, w, _build_opposite(c))
+
+
+def _d3q15() -> Lattice:
+    c = [(0, 0, 0)]
+    c += [
+        (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1),
+    ]
+    c += [
+        (1, 1, 1), (-1, -1, -1), (1, 1, -1), (-1, -1, 1),
+        (1, -1, 1), (-1, 1, -1), (1, -1, -1), (-1, 1, 1),
+    ]
+    c = np.array(c, dtype=np.int64)
+    w = np.array([2 / 9] + [1 / 9] * 6 + [1 / 72] * 8, dtype=np.float64)
+    return Lattice("D3Q15", c, w, _build_opposite(c))
+
+
+def _d3q27() -> Lattice:
+    vals = (-1, 0, 1)
+    c = np.array(
+        [(x, y, z) for x in vals for y in vals for z in vals], dtype=np.int64
+    )
+    order = np.argsort(np.abs(c).sum(axis=1), kind="stable")
+    c = c[order]
+    weights = {0: 8 / 27, 1: 2 / 27, 2: 1 / 54, 3: 1 / 216}
+    w = np.array([weights[int(np.abs(v).sum())] for v in c], dtype=np.float64)
+    return Lattice("D3Q27", c, w, _build_opposite(c))
+
+
+D3Q19 = _d3q19()
+D3Q15 = _d3q15()
+D3Q27 = _d3q27()
+
+_REGISTRY = {lat.name: lat for lat in (D3Q15, D3Q19, D3Q27)}
+
+
+def get_lattice(name: str) -> Lattice:
+    """Look up a lattice descriptor by name (case-insensitive)."""
+    key = name.upper()
+    if key not in _REGISTRY:
+        raise LatticeError(
+            f"unknown lattice {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]

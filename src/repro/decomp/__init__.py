@@ -1,0 +1,21 @@
+"""Domain decomposition: the proxy's uniform block schemes and HARVEY's
+load-balanced recursive bisection."""
+
+from .bisection import bisection_decompose
+from .block import (
+    axis_decompose,
+    balanced_factors,
+    grid_decompose,
+    quadrant_decompose,
+)
+from .partition import Partition, Subdomain
+
+__all__ = [
+    "Partition",
+    "Subdomain",
+    "axis_decompose",
+    "quadrant_decompose",
+    "grid_decompose",
+    "balanced_factors",
+    "bisection_decompose",
+]

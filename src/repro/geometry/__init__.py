@@ -1,0 +1,40 @@
+"""Flow geometries: voxel grids, the paper's cylinder benchmark, and a
+synthetic patient-like aorta built from swept centerlines."""
+
+from .aorta import PAPER_GRID_SPACINGS_MM, AortaSpec, make_aorta
+from .centerline import EndCap, Tube, voxelize_tubes
+from .cylinder import (
+    AXIAL_FACTOR,
+    RADIUS_FACTOR,
+    CylinderSpec,
+    cylinder_fluid_estimate,
+    make_cylinder,
+)
+from .flags import FLAG_NAMES, FLUID, INLET, OUTLET, SOLID, is_fluid_flag
+from .stenosis import StenosisSpec, make_stenosis, throat_radius
+from .voxel import Box, VoxelGrid
+
+__all__ = [
+    "SOLID",
+    "FLUID",
+    "INLET",
+    "OUTLET",
+    "FLAG_NAMES",
+    "is_fluid_flag",
+    "Box",
+    "VoxelGrid",
+    "CylinderSpec",
+    "make_cylinder",
+    "cylinder_fluid_estimate",
+    "AXIAL_FACTOR",
+    "RADIUS_FACTOR",
+    "Tube",
+    "EndCap",
+    "voxelize_tubes",
+    "AortaSpec",
+    "make_aorta",
+    "PAPER_GRID_SPACINGS_MM",
+    "StenosisSpec",
+    "make_stenosis",
+    "throat_radius",
+]

@@ -1,0 +1,98 @@
+"""The paper's idealized cylinder benchmark geometry.
+
+The proxy application solves cylindrical channel flow in a domain with an
+axial length of ``84*x`` and a radius of ``8*x`` where ``x`` is a
+user-specified scale factor (Section 3.2, Fig. 2b).  The paper's piecewise
+scaling runs use simulation sizes ``x = 12, 24, 48``.
+
+The cylinder axis is along x.  End caps can be flagged as inlet/outlet
+(pressure/velocity-driven flow) or left as plain fluid for periodic,
+body-force-driven flow (the proxy's configuration, and the configuration
+that admits the analytic Poiseuille solution used in validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import GeometryError
+from .flags import FLAG_DTYPE, FLUID, INLET, OUTLET, SOLID
+from .voxel import VoxelGrid
+
+__all__ = ["CylinderSpec", "make_cylinder", "cylinder_fluid_estimate"]
+
+#: Aspect-ratio constants from the paper (Section 3.2).
+AXIAL_FACTOR = 84
+RADIUS_FACTOR = 8
+
+
+@dataclass(frozen=True)
+class CylinderSpec:
+    """Parameters of the cylinder channel.
+
+    ``scale`` is the paper's ``x``: length ``84*scale``, radius ``8*scale``
+    lattice units.  ``margin`` adds solid voxels around the cross-section
+    so bounce-back walls are fully contained.
+    """
+
+    scale: float
+    margin: int = 1
+    periodic: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise GeometryError("cylinder scale must be positive")
+        if self.margin < 1:
+            raise GeometryError("margin must be >= 1 to contain the wall")
+
+    @property
+    def length(self) -> int:
+        return max(1, int(round(AXIAL_FACTOR * self.scale)))
+
+    @property
+    def radius(self) -> float:
+        return RADIUS_FACTOR * self.scale
+
+    @property
+    def cross_extent(self) -> int:
+        return int(np.ceil(2 * self.radius)) + 2 * self.margin + 1
+
+
+def cylinder_fluid_estimate(scale: float) -> float:
+    """Analytic fluid-point count ``pi r^2 L`` for a given scale."""
+    if scale <= 0:
+        raise GeometryError("cylinder scale must be positive")
+    r = RADIUS_FACTOR * scale
+    length = AXIAL_FACTOR * scale
+    return float(np.pi * r * r * length)
+
+
+def make_cylinder(spec: CylinderSpec) -> VoxelGrid:
+    """Voxelise the cylinder channel.
+
+    A voxel is fluid when its centre lies strictly inside the radius.  With
+    ``periodic=False`` the first and last fluid slabs become inlet and
+    outlet planes respectively.
+    """
+    nx = spec.length
+    nyz = spec.cross_extent
+    cy = cz = (nyz - 1) / 2.0
+    y = np.arange(nyz, dtype=np.float64) - cy
+    z = np.arange(nyz, dtype=np.float64) - cz
+    r2 = y[:, None] ** 2 + z[None, :] ** 2
+    disk = r2 < spec.radius**2
+    if not disk.any():
+        raise GeometryError(
+            f"cylinder scale {spec.scale} too small to contain fluid"
+        )
+    flags = np.zeros((nx, nyz, nyz), dtype=FLAG_DTYPE)
+    flags[:, disk] = FLUID
+    if not spec.periodic:
+        inlet = flags[0] == FLUID
+        outlet = flags[nx - 1] == FLUID
+        flags[0][inlet] = INLET
+        flags[nx - 1][outlet] = OUTLET
+    grid = VoxelGrid(flags, spacing=1.0, name=f"cylinder(x={spec.scale:g})")
+    return grid

@@ -1,0 +1,40 @@
+"""Voxel flag constants shared by geometry, decomposition, and the solver.
+
+A voxel is either solid (outside the vessel or wall material) or one of
+three fluid kinds: interior fluid, inlet fluid (velocity boundary), or
+outlet fluid (pressure boundary).  Flags are ``int8`` for compactness —
+the flag array is the dominant geometry memory cost at scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SOLID",
+    "FLUID",
+    "INLET",
+    "OUTLET",
+    "FLAG_DTYPE",
+    "FLAG_NAMES",
+    "is_fluid_flag",
+]
+
+SOLID = np.int8(0)
+FLUID = np.int8(1)
+INLET = np.int8(2)
+OUTLET = np.int8(3)
+
+FLAG_DTYPE = np.int8
+
+FLAG_NAMES = {
+    int(SOLID): "solid",
+    int(FLUID): "fluid",
+    int(INLET): "inlet",
+    int(OUTLET): "outlet",
+}
+
+
+def is_fluid_flag(flags: np.ndarray) -> np.ndarray:
+    """Boolean mask of voxels the solver updates (fluid, inlet, outlet)."""
+    return flags != SOLID

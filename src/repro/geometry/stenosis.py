@@ -1,0 +1,112 @@
+"""Stenosed-vessel geometry.
+
+A stenosis — a localised narrowing of a vessel — is the canonical
+pathological case hemodynamics solvers are used to study (HARVEY's
+publication record is full of them).  We model an axisymmetric Gaussian
+constriction of a straight vessel:
+
+    r(x) = R * (1 - severity * exp(-(x - x0)^2 / (2 w^2)))
+
+where ``severity`` is the fractional radius reduction at the throat
+(0.5 = "50% diameter stenosis" in clinical language).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import GeometryError
+from .flags import FLAG_DTYPE, FLUID, INLET, OUTLET
+from .voxel import VoxelGrid
+
+__all__ = ["StenosisSpec", "make_stenosis", "throat_radius"]
+
+
+@dataclass(frozen=True)
+class StenosisSpec:
+    """Parameters of the stenosed vessel (lattice units).
+
+    Attributes
+    ----------
+    radius:
+        Unobstructed vessel radius.
+    length:
+        Axial extent.
+    severity:
+        Fractional radius reduction at the throat, in (0, 1).
+    throat_width:
+        Gaussian width of the constriction.
+    throat_position:
+        Axial centre of the constriction as a fraction of the length.
+    periodic:
+        Periodic (body-force-driven) or capped (inlet/outlet) ends.
+    margin:
+        Solid voxels around the cross-section.
+    """
+
+    radius: float = 8.0
+    length: int = 84
+    severity: float = 0.5
+    throat_width: float = 6.0
+    throat_position: float = 0.5
+    periodic: bool = False
+    margin: int = 1
+
+    def __post_init__(self) -> None:
+        if self.radius <= 1:
+            raise GeometryError("radius must exceed 1 lattice unit")
+        if self.length < 8:
+            raise GeometryError("length must be at least 8")
+        if not 0.0 < self.severity < 1.0:
+            raise GeometryError("severity must be in (0, 1)")
+        if self.throat_width <= 0:
+            raise GeometryError("throat width must be positive")
+        if not 0.0 < self.throat_position < 1.0:
+            raise GeometryError("throat position must be in (0, 1)")
+        if self.margin < 1:
+            raise GeometryError("margin must be >= 1")
+
+
+def throat_radius(spec: StenosisSpec) -> float:
+    """Minimum (throat) radius of the stenosed vessel."""
+    return spec.radius * (1.0 - spec.severity)
+
+
+def _radius_profile(spec: StenosisSpec) -> np.ndarray:
+    x = np.arange(spec.length, dtype=np.float64)
+    x0 = spec.throat_position * spec.length
+    dip = spec.severity * np.exp(
+        -((x - x0) ** 2) / (2.0 * spec.throat_width**2)
+    )
+    return spec.radius * (1.0 - dip)
+
+
+def make_stenosis(spec: StenosisSpec) -> VoxelGrid:
+    """Voxelise the stenosed vessel (axis along x)."""
+    if throat_radius(spec) < 1.5:
+        raise GeometryError(
+            f"throat radius {throat_radius(spec):.2f} too small to carry "
+            "fluid; reduce severity or enlarge the vessel"
+        )
+    profile = _radius_profile(spec)
+    nyz = int(np.ceil(2 * spec.radius)) + 2 * spec.margin + 1
+    cy = cz = (nyz - 1) / 2.0
+    y = np.arange(nyz, dtype=np.float64) - cy
+    z = np.arange(nyz, dtype=np.float64) - cz
+    r2 = y[:, None] ** 2 + z[None, :] ** 2
+    flags = np.zeros((spec.length, nyz, nyz), dtype=FLAG_DTYPE)
+    for x in range(spec.length):
+        flags[x][r2 < profile[x] ** 2] = FLUID
+    if not spec.periodic:
+        flags[0][flags[0] == FLUID] = INLET
+        flags[-1][flags[-1] == FLUID] = OUTLET
+    grid = VoxelGrid(
+        flags,
+        spacing=1.0,
+        name=f"stenosis(sev={spec.severity:g})",
+    )
+    if grid.num_fluid == 0:
+        raise GeometryError("stenosis voxelisation produced no fluid")
+    return grid

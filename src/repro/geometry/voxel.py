@@ -1,0 +1,235 @@
+"""Voxel grids with fluid/solid/boundary flags.
+
+The simulation domain is a regular Cartesian voxelisation of the vessel
+geometry.  :class:`VoxelGrid` owns the flag array plus the physical grid
+spacing and provides the queries every other layer needs: fluid counts,
+compact fluid indexing (indirect addressing), box slicing for domain
+decomposition, and fluid-count scaling between resolutions (used by the
+trace layer to extrapolate coarse voxelisations to the paper's problem
+sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import GeometryError
+from .flags import FLAG_DTYPE, FLUID, INLET, OUTLET, SOLID, is_fluid_flag
+
+__all__ = ["Box", "VoxelGrid"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A half-open axis-aligned voxel-index box ``[lo, hi)``."""
+
+    lo: Tuple[int, int, int]
+    hi: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        for a, b in zip(self.lo, self.hi):
+            if b < a:
+                raise GeometryError(f"box has hi < lo: {self.lo} .. {self.hi}")
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        s = self.shape
+        return s[0] * s[1] * s[2]
+
+    def slices(self) -> Tuple[slice, slice, slice]:
+        return tuple(slice(l, h) for l, h in zip(self.lo, self.hi))
+
+    def contains(self, i: int, j: int, k: int) -> bool:
+        return all(l <= x < h for x, l, h in zip((i, j, k), self.lo, self.hi))
+
+    def split(self, axis: int, cut: int) -> Tuple["Box", "Box"]:
+        """Split at absolute index ``cut`` along ``axis``."""
+        if not self.lo[axis] <= cut <= self.hi[axis]:
+            raise GeometryError(
+                f"cut {cut} outside box extent {self.lo[axis]}..{self.hi[axis]}"
+            )
+        lo2 = list(self.lo)
+        hi1 = list(self.hi)
+        lo2[axis] = cut
+        hi1[axis] = cut
+        return Box(self.lo, tuple(hi1)), Box(tuple(lo2), self.hi)
+
+    def intersection(self, other: "Box") -> Optional["Box"]:
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(h <= l for l, h in zip(lo, hi)):
+            return None
+        return Box(lo, hi)
+
+    def longest_axis(self) -> int:
+        return int(np.argmax(self.shape))
+
+
+@dataclass
+class VoxelGrid:
+    """A flagged voxelisation of a flow geometry.
+
+    Attributes
+    ----------
+    flags:
+        ``int8`` array of shape ``(nx, ny, nz)`` holding flag constants.
+    spacing:
+        Physical size of one voxel edge (arbitrary length unit; the aorta
+        generator uses millimetres).
+    name:
+        Human-readable label for reports.
+    """
+
+    flags: np.ndarray
+    spacing: float = 1.0
+    name: str = "grid"
+    _fluid_count: Optional[int] = field(default=None, repr=False)
+    _fluid_mask: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.flags = np.asarray(self.flags, dtype=FLAG_DTYPE)
+        if self.flags.ndim != 3:
+            raise GeometryError(
+                f"flags must be 3-D, got shape {self.flags.shape}"
+            )
+        if self.spacing <= 0:
+            raise GeometryError("spacing must be positive")
+
+    # -- basic queries ----------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        return tuple(self.flags.shape)
+
+    @property
+    def num_voxels(self) -> int:
+        return int(self.flags.size)
+
+    def fluid_mask(self) -> np.ndarray:
+        """Boolean mask of solver-updated voxels (cached; treat the flag
+        array as immutable after the first query, or call
+        :meth:`invalidate_caches` after mutating it)."""
+        if self._fluid_mask is None:
+            self._fluid_mask = is_fluid_flag(self.flags)
+        return self._fluid_mask
+
+    def invalidate_caches(self) -> None:
+        """Drop cached derived data after an in-place flag mutation."""
+        self._fluid_mask = None
+        self._fluid_count = None
+
+    @property
+    def num_fluid(self) -> int:
+        if self._fluid_count is None:
+            self._fluid_count = int(self.fluid_mask().sum())
+        return self._fluid_count
+
+    @property
+    def fluid_fraction(self) -> float:
+        return self.num_fluid / self.num_voxels
+
+    def count_flag(self, flag: np.int8) -> int:
+        return int((self.flags == flag).sum())
+
+    @property
+    def num_inlet(self) -> int:
+        return self.count_flag(INLET)
+
+    @property
+    def num_outlet(self) -> int:
+        return self.count_flag(OUTLET)
+
+    def bounding_box(self) -> Box:
+        """Tight box around all fluid voxels."""
+        mask = self.fluid_mask()
+        if not mask.any():
+            raise GeometryError("grid has no fluid voxels")
+        idx = np.nonzero(mask)
+        lo = tuple(int(a.min()) for a in idx)
+        hi = tuple(int(a.max()) + 1 for a in idx)
+        return Box(lo, hi)
+
+    def full_box(self) -> Box:
+        return Box((0, 0, 0), self.shape)
+
+    # -- compact (indirect) indexing ---------------------------------------
+    def compact_ids(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Compact fluid numbering for indirect addressing.
+
+        Returns ``(coords, index_map)`` where ``coords`` is ``(n, 3)``
+        voxel coordinates of the fluid nodes in C scan order, and
+        ``index_map`` is a full-grid ``int64`` array with the compact id at
+        fluid voxels and ``-1`` at solid voxels.
+        """
+        mask = self.fluid_mask()
+        coords = np.argwhere(mask)
+        index_map = np.full(self.shape, -1, dtype=np.int64)
+        index_map[mask] = np.arange(coords.shape[0], dtype=np.int64)
+        return coords, index_map
+
+    # -- decomposition support ----------------------------------------------
+    def fluid_in_box(self, box: Box) -> int:
+        """Number of fluid voxels inside a box (cheap: sums a sub-view)."""
+        return int(self.fluid_mask()[box.slices()].sum())
+
+    def fluid_profile(self, box: Box, axis: int) -> np.ndarray:
+        """Per-slab fluid counts along ``axis`` within ``box``.
+
+        Used by the bisection balancer to find the median-fluid cut.
+        """
+        sub = self.fluid_mask()[box.slices()]
+        axes = tuple(a for a in range(3) if a != axis)
+        return sub.sum(axis=axes).astype(np.int64)
+
+    def subgrid(self, box: Box, halo: int = 0) -> "VoxelGrid":
+        """Extract a copy of the flags inside ``box``, optionally padded
+        with a halo clipped at the global domain edge (solid outside)."""
+        lo = tuple(max(0, l - halo) for l in box.lo)
+        hi = tuple(min(s, h + halo) for h, s in zip(box.hi, self.shape))
+        core = self.flags[tuple(slice(l, h) for l, h in zip(lo, hi))].copy()
+        # Exact pre/post padding restores the requested (box + halo) extent
+        # when the halo was clipped at the global domain edge.
+        pre = [halo - (box.lo[a] - lo[a]) for a in range(3)]
+        post = [halo - (hi[a] - box.hi[a]) for a in range(3)]
+        core = np.pad(
+            core,
+            [(pre[a], post[a]) for a in range(3)],
+            constant_values=int(SOLID),
+        )
+        return VoxelGrid(core, self.spacing, f"{self.name}[{box.lo}:{box.hi}]")
+
+    # -- resolution scaling --------------------------------------------------
+    def scaled_fluid_count(self, scale: float) -> float:
+        """Fluid count at a resolution finer by ``scale`` per axis.
+
+        For a fixed shape, fluid volume scales as ``scale**3``.  The trace
+        layer uses this to extrapolate a coarse voxelisation to the paper's
+        problem sizes without allocating the fine grid.
+        """
+        if scale <= 0:
+            raise GeometryError("scale must be positive")
+        return float(self.num_fluid) * scale**3
+
+    def surface_voxels(self) -> int:
+        """Fluid voxels adjacent (6-connectivity) to a solid voxel or the
+        domain edge — a proxy for wall surface area."""
+        mask = self.fluid_mask()
+        padded = np.pad(mask, 1, constant_values=False)
+        interior = np.ones_like(mask)
+        for axis in range(3):
+            for shift in (-1, 1):
+                interior &= np.roll(padded, shift, axis=axis)[1:-1, 1:-1, 1:-1]
+        return int((mask & ~interior).sum())
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: shape={self.shape}, spacing={self.spacing:g}, "
+            f"fluid={self.num_fluid} ({100 * self.fluid_fraction:.1f}%), "
+            f"inlet={self.num_inlet}, outlet={self.num_outlet}"
+        )

@@ -1,0 +1,72 @@
+"""GPU device specifications.
+
+A :class:`GPUSpec` describes one *package* (the physical accelerator card)
+which may expose several logical sub-devices: the MI250X has two Graphics
+Compute Dies (GCDs) and the Intel PVC two tiles, each bound to its own MPI
+rank in the paper.  All performance-relevant quantities are per *logical*
+GPU (sub-device), matching Table 1 of the paper where bandwidth and memory
+are reported per GCD/tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import HardwareError
+
+__all__ = ["GPUSpec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One accelerator package.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"MI250X"``.
+    vendor:
+        ``"NVIDIA"``, ``"AMD"`` or ``"Intel"``.
+    memory_gb:
+        Device memory per logical GPU (GiB), Table 1 row "GPU Memory".
+    mem_bandwidth_tbs:
+        Achievable memory bandwidth per logical GPU in TB/s as measured by
+        BabelStream (Table 1 row "GPU Mem. Bandwidth").
+    subdevices:
+        Logical GPUs per package (2 for MI250X GCDs and PVC tiles, 1 else).
+    native_model:
+        The vendor-native programming model (``"cuda"``, ``"hip"``,
+        ``"sycl"``).
+    kernel_launch_overhead_s:
+        Fixed per-kernel-launch latency used by the performance simulator.
+    """
+
+    name: str
+    vendor: str
+    memory_gb: float
+    mem_bandwidth_tbs: float
+    subdevices: int = 1
+    native_model: str = "cuda"
+    kernel_launch_overhead_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0:
+            raise HardwareError(f"{self.name}: memory must be positive")
+        if self.mem_bandwidth_tbs <= 0:
+            raise HardwareError(f"{self.name}: bandwidth must be positive")
+        if self.subdevices < 1:
+            raise HardwareError(f"{self.name}: subdevices must be >= 1")
+        if self.native_model not in ("cuda", "hip", "sycl"):
+            raise HardwareError(
+                f"{self.name}: unknown native model {self.native_model!r}"
+            )
+
+    @property
+    def memory_bytes(self) -> int:
+        """Capacity per logical GPU in bytes."""
+        return int(self.memory_gb * 1024**3)
+
+    @property
+    def mem_bandwidth_bytes_s(self) -> float:
+        """Bandwidth per logical GPU in bytes/second (1 TB = 1e12 B)."""
+        return self.mem_bandwidth_tbs * 1e12

@@ -1,0 +1,60 @@
+"""Interconnect link specifications and the link-tier taxonomy.
+
+Communication between two MPI ranks traverses one of four link tiers,
+depending on where the ranks sit:
+
+* ``SAME_PACKAGE`` — between sub-devices of one package (MI250X GCD pair
+  over Infinity Fabric, PVC tile pair over Xe Link);
+* ``INTRA_NODE`` — between packages in one node (NVLink, Infinity Fabric,
+  Xe Link);
+* ``CPU_GPU`` — host/device transfers (PCIe Gen5, NVLink, Infinity Fabric);
+* ``INTER_NODE`` — across the network fabric (Slingshot, InfiniBand).
+
+Each :class:`LinkSpec` carries a bandwidth and a small-message latency; the
+simulated PingPong benchmark and the performance simulator price a message
+of ``n`` bytes as ``latency + n / bandwidth``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.errors import HardwareError
+
+__all__ = ["LinkTier", "LinkSpec"]
+
+
+class LinkTier(enum.Enum):
+    """Where two communicating endpoints sit relative to each other."""
+
+    SAME_PACKAGE = "same_package"
+    INTRA_NODE = "intra_node"
+    CPU_GPU = "cpu_gpu"
+    INTER_NODE = "inter_node"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link: name, bandwidth (GB/s), latency (seconds)."""
+
+    name: str
+    bandwidth_gbs: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise HardwareError(f"link {self.name}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise HardwareError(f"link {self.name}: latency must be >= 0")
+
+    @property
+    def bandwidth_bytes_s(self) -> float:
+        """Bandwidth in bytes/second (1 GB = 1e9 B)."""
+        return self.bandwidth_gbs * 1e9
+
+    def message_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` over this link: ``latency + size/BW``."""
+        if nbytes < 0:
+            raise HardwareError("message size must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth_bytes_s

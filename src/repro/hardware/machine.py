@@ -1,0 +1,94 @@
+"""Whole-machine model: nodes, rank placement, and link classification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..core.errors import HardwareError
+from .interconnect import LinkSpec, LinkTier
+from .node import NodeSpec
+
+__all__ = ["Machine", "RankPlacement"]
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Where a rank lives: (node, package-in-node, subdevice-in-package)."""
+
+    node: int
+    package: int
+    subdevice: int
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A named system: homogeneous nodes plus a native programming model.
+
+    Ranks are placed block-wise: rank 0..k fill the sub-devices of node 0's
+    package 0, then package 1, … then node 1, matching the one-rank-per-
+    GCD/tile binding used in the paper.
+    """
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+    native_model: str
+    gpu_aware_mpi: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise HardwareError(f"{self.name}: need at least one node")
+
+    @property
+    def logical_gpus_per_node(self) -> int:
+        return self.node.logical_gpus
+
+    @property
+    def max_ranks(self) -> int:
+        return self.num_nodes * self.logical_gpus_per_node
+
+    def placement(self, rank: int, num_ranks: int) -> RankPlacement:
+        """Block placement of ``rank`` among ``num_ranks`` total ranks."""
+        if not 0 <= rank < num_ranks:
+            raise HardwareError(f"rank {rank} out of range for {num_ranks}")
+        if num_ranks > self.max_ranks:
+            raise HardwareError(
+                f"{self.name}: {num_ranks} ranks exceed capacity "
+                f"{self.max_ranks} ({self.num_nodes} nodes x "
+                f"{self.logical_gpus_per_node} logical GPUs)"
+            )
+        per_node = self.logical_gpus_per_node
+        sub = self.node.gpu.subdevices
+        node_id, within = divmod(rank, per_node)
+        package, subdevice = divmod(within, sub)
+        return RankPlacement(node_id, package, subdevice)
+
+    def classify_pair(
+        self, rank_a: int, rank_b: int, num_ranks: int
+    ) -> LinkTier:
+        """The link tier a message between two ranks traverses."""
+        if rank_a == rank_b:
+            raise HardwareError("a rank does not message itself over a link")
+        pa = self.placement(rank_a, num_ranks)
+        pb = self.placement(rank_b, num_ranks)
+        if pa.node != pb.node:
+            return LinkTier.INTER_NODE
+        if pa.package != pb.package:
+            return LinkTier.INTRA_NODE
+        return LinkTier.SAME_PACKAGE
+
+    def link_between(
+        self, rank_a: int, rank_b: int, num_ranks: int
+    ) -> Tuple[LinkTier, LinkSpec]:
+        """The (tier, link spec) pair serving messages between two ranks."""
+        tier = self.classify_pair(rank_a, rank_b, num_ranks)
+        return tier, self.node.link(tier)
+
+    def nodes_used(self, num_ranks: int) -> int:
+        """Nodes occupied by a block placement of ``num_ranks`` ranks."""
+        if num_ranks < 1:
+            raise HardwareError("num_ranks must be >= 1")
+        per_node = self.logical_gpus_per_node
+        return (num_ranks + per_node - 1) // per_node

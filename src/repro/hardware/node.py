@@ -1,0 +1,70 @@
+"""Node specifications: CPUs, GPU packages, and the links between them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.errors import HardwareError
+from .gpu import GPUSpec
+from .interconnect import LinkSpec, LinkTier
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node.
+
+    Attributes
+    ----------
+    cpus / cores_per_cpu:
+        Host CPU configuration (Table 1 rows "CPU" and "Cores/CPU").
+    cpu_name:
+        CPU marketing name.
+    gpu:
+        The GPU package installed in the node.
+    packages:
+        Number of GPU packages per node (6 PVC, 4 MI250X, 4 A100, 6 V100).
+    links:
+        Mapping of :class:`LinkTier` to the :class:`LinkSpec` serving it.
+        ``SAME_PACKAGE`` may be omitted for single-die GPUs.
+    """
+
+    cpu_name: str
+    cpus: int
+    cores_per_cpu: int
+    gpu: GPUSpec
+    packages: int
+    links: Dict[LinkTier, LinkSpec]
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1 or self.cores_per_cpu < 1:
+            raise HardwareError("node requires at least one CPU core")
+        if self.packages < 1:
+            raise HardwareError("node requires at least one GPU package")
+        required = {LinkTier.INTRA_NODE, LinkTier.CPU_GPU, LinkTier.INTER_NODE}
+        missing = required - set(self.links)
+        if missing:
+            raise HardwareError(f"node missing link tiers: {sorted(m.value for m in missing)}")
+        if self.gpu.subdevices > 1 and LinkTier.SAME_PACKAGE not in self.links:
+            raise HardwareError(
+                "multi-die GPU requires a SAME_PACKAGE link spec"
+            )
+
+    @property
+    def logical_gpus(self) -> int:
+        """MPI-rank endpoints per node (GCDs/tiles count individually)."""
+        return self.packages * self.gpu.subdevices
+
+    @property
+    def total_cores(self) -> int:
+        return self.cpus * self.cores_per_cpu
+
+    def link(self, tier: LinkTier) -> LinkSpec:
+        """The link serving a tier; multi-die tiers fall back sensibly."""
+        if tier in self.links:
+            return self.links[tier]
+        if tier is LinkTier.SAME_PACKAGE:
+            return self.links[LinkTier.INTRA_NODE]
+        raise HardwareError(f"node has no link for tier {tier}")

@@ -1,0 +1,188 @@
+"""The four systems of the paper (Table 1), as simulated machines.
+
+Numbers reproduce Table 1 exactly where the paper reports them (GPU memory,
+BabelStream bandwidth, link bandwidths, GPUs per node, node counts from
+Section 4).  Small-message latencies are not tabulated in the paper; we set
+them to vendor-typical values that respect the orderings the paper reports
+from its PingPong measurements (Summit and Crusher internodal latency below
+Sunspot's — Section 9.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.errors import HardwareError
+from .gpu import GPUSpec
+from .interconnect import LinkSpec, LinkTier
+from .machine import Machine
+from .node import NodeSpec
+
+__all__ = [
+    "SUMMIT",
+    "POLARIS",
+    "CRUSHER",
+    "SUNSPOT",
+    "get_machine",
+    "all_machines",
+    "machine_names",
+]
+
+
+def _summit() -> Machine:
+    gpu = GPUSpec(
+        name="V100",
+        vendor="NVIDIA",
+        memory_gb=16.0,
+        mem_bandwidth_tbs=0.770,
+        subdevices=1,
+        native_model="cuda",
+        kernel_launch_overhead_s=6e-6,
+    )
+    node = NodeSpec(
+        cpu_name="POWER9",
+        cpus=2,
+        cores_per_cpu=21,
+        gpu=gpu,
+        packages=6,
+        links={
+            LinkTier.CPU_GPU: LinkSpec("NVLink", 50.0, 2.0e-6),
+            LinkTier.INTRA_NODE: LinkSpec("NVLink", 50.0, 2.5e-6),
+            LinkTier.INTER_NODE: LinkSpec("InfiniBand", 25.0, 1.5e-6),
+        },
+    )
+    return Machine(
+        name="Summit",
+        node=node,
+        num_nodes=4600,
+        native_model="cuda",
+        gpu_aware_mpi=True,
+        description="ORNL IBM system; 6x NVIDIA V100 per node",
+    )
+
+
+def _polaris() -> Machine:
+    gpu = GPUSpec(
+        name="A100",
+        vendor="NVIDIA",
+        memory_gb=40.0,
+        mem_bandwidth_tbs=1.30,
+        subdevices=1,
+        native_model="cuda",
+        kernel_launch_overhead_s=4e-6,
+    )
+    node = NodeSpec(
+        cpu_name="EPYC 7543P",
+        cpus=1,
+        cores_per_cpu=32,
+        gpu=gpu,
+        packages=4,
+        links={
+            LinkTier.CPU_GPU: LinkSpec("NVLink", 64.0, 2.0e-6),
+            LinkTier.INTRA_NODE: LinkSpec("NVLink", 64.0, 2.5e-6),
+            LinkTier.INTER_NODE: LinkSpec("Slingshot", 25.0, 2.5e-6),
+        },
+    )
+    return Machine(
+        name="Polaris",
+        node=node,
+        num_nodes=560,
+        native_model="cuda",
+        gpu_aware_mpi=True,
+        description="ANL HPE Apollo 6500 Gen10+; 4x NVIDIA A100 per node",
+    )
+
+
+def _crusher() -> Machine:
+    gpu = GPUSpec(
+        name="MI250X",
+        vendor="AMD",
+        memory_gb=64.0,
+        mem_bandwidth_tbs=1.28,
+        subdevices=2,  # two GCDs per package, one MPI rank each
+        native_model="hip",
+        kernel_launch_overhead_s=5e-6,
+    )
+    node = NodeSpec(
+        cpu_name="EPYC 7A53",
+        cpus=1,
+        cores_per_cpu=64,
+        gpu=gpu,
+        packages=4,
+        links={
+            LinkTier.CPU_GPU: LinkSpec("Infinity Fabric CPU-GPU", 72.0, 2.0e-6),
+            LinkTier.SAME_PACKAGE: LinkSpec("Infinity Fabric GCD-GCD", 200.0, 1.0e-6),
+            LinkTier.INTRA_NODE: LinkSpec("Infinity Fabric", 50.0, 2.0e-6),
+            LinkTier.INTER_NODE: LinkSpec("4x HPE Slingshot", 100.0, 2.5e-6),
+        },
+    )
+    return Machine(
+        name="Crusher",
+        node=node,
+        num_nodes=128,
+        native_model="hip",
+        gpu_aware_mpi=True,
+        description="ORNL Frontier testbed; 4x AMD MI250X (8 GCDs) per node",
+    )
+
+
+def _sunspot() -> Machine:
+    gpu = GPUSpec(
+        name="PVC",
+        vendor="Intel",
+        memory_gb=64.0,
+        mem_bandwidth_tbs=0.997,
+        subdevices=2,  # two tiles per package, one MPI rank each
+        native_model="sycl",
+        kernel_launch_overhead_s=8e-6,
+    )
+    node = NodeSpec(
+        cpu_name="Xeon Max",
+        cpus=2,
+        cores_per_cpu=52,
+        gpu=gpu,
+        packages=6,
+        links={
+            LinkTier.CPU_GPU: LinkSpec("PCIe Gen5", 128.0, 3.0e-6),
+            LinkTier.SAME_PACKAGE: LinkSpec("Xe Link tile-tile", 230.0, 1.5e-6),
+            LinkTier.INTRA_NODE: LinkSpec("Xe Link", 30.0, 3.0e-6),
+            LinkTier.INTER_NODE: LinkSpec("Slingshot 11", 25.0, 5.0e-6),
+        },
+    )
+    return Machine(
+        name="Sunspot",
+        node=node,
+        num_nodes=128,
+        native_model="sycl",
+        gpu_aware_mpi=True,
+        description="ANL Aurora testbed; 6x Intel PVC (12 tiles) per node",
+    )
+
+
+SUMMIT = _summit()
+POLARIS = _polaris()
+CRUSHER = _crusher()
+SUNSPOT = _sunspot()
+
+_MACHINES: Dict[str, Machine] = {
+    m.name.lower(): m for m in (SUMMIT, POLARIS, CRUSHER, SUNSPOT)
+}
+
+
+def get_machine(name: str) -> Machine:
+    """Look up one of the paper's systems by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _MACHINES:
+        raise HardwareError(
+            f"unknown system {name!r}; available: {machine_names()}"
+        )
+    return _MACHINES[key]
+
+
+def all_machines() -> List[Machine]:
+    """The four systems in the paper's presentation order."""
+    return [SUNSPOT, CRUSHER, POLARIS, SUMMIT]
+
+
+def machine_names() -> List[str]:
+    return [m.name for m in all_machines()]

@@ -1,0 +1,8 @@
+"""HARVEY: the full hemodynamic application (bisection-balanced,
+pulsatile, distributed)."""
+
+from .app import HarveyApp, HarveyRunReport
+from .config import HarveyConfig
+from .pulsatile import PulsatileWaveform
+
+__all__ = ["HarveyApp", "HarveyRunReport", "HarveyConfig", "PulsatileWaveform"]

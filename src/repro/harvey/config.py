@@ -1,0 +1,56 @@
+"""HARVEY application configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.errors import ConfigError
+from .pulsatile import PulsatileWaveform
+
+__all__ = ["HarveyConfig"]
+
+
+@dataclass
+class HarveyConfig:
+    """Configuration of a HARVEY run.
+
+    Attributes
+    ----------
+    workload:
+        ``"aorta"`` (the real-world case) or ``"cylinder"`` (the
+        idealized benchmark).
+    resolution:
+        Aorta: grid spacing in mm.  Cylinder: the scale factor ``x``.
+    num_ranks:
+        MPI ranks (one per logical GPU).
+    tau:
+        BGK relaxation time.
+    waveform:
+        Pulsatile inlet waveform (aorta); a steady inlet is synthesised
+        for the cylinder when none is given.
+    steady_inlet_speed:
+        Cylinder inlet speed when no waveform is supplied.
+    """
+
+    workload: str = "aorta"
+    resolution: float = 1.0
+    num_ranks: int = 4
+    tau: float = 0.8
+    waveform: Optional[PulsatileWaveform] = None
+    steady_inlet_speed: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("aorta", "cylinder"):
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; "
+                "expected 'aorta' or 'cylinder'"
+            )
+        if self.resolution <= 0:
+            raise ConfigError("resolution must be positive")
+        if self.num_ranks < 1:
+            raise ConfigError("num_ranks must be >= 1")
+        if self.tau <= 0.5:
+            raise ConfigError("tau must exceed 0.5")
+        if not 0 < self.steady_inlet_speed <= 0.3:
+            raise ConfigError("steady inlet speed must be in (0, 0.3]")

@@ -1,0 +1,97 @@
+"""Pulsatile inflow waveforms for the aorta workload.
+
+The paper's aorta case is "a realistic, pulsatile hemodynamic workflow"
+(Fig. 2a).  We model the aortic-root velocity over the cardiac cycle with
+the standard two-phase shape: a systolic ejection pulse (raised half-sine
+over roughly the first third of the cycle) followed by a low diastolic
+baseline with a small dicrotic bump after valve closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+__all__ = ["PulsatileWaveform"]
+
+
+@dataclass
+class PulsatileWaveform:
+    """A time-dependent inlet-velocity provider.
+
+    Calling the waveform with a time (in simulation steps) returns the
+    instantaneous inlet velocity 3-vector, suitable for
+    :class:`repro.lbm.boundary.VelocityInlet`.
+
+    Attributes
+    ----------
+    peak_velocity:
+        Systolic peak speed (lattice units; keep below ~0.1 for LBM
+        accuracy).
+    period_steps:
+        Steps per cardiac cycle.
+    direction:
+        Unit flow direction at the inlet.
+    systole_fraction:
+        Fraction of the cycle spent in systole.
+    diastolic_fraction:
+        Baseline flow as a fraction of the peak.
+    dicrotic_fraction:
+        Height of the dicrotic bump as a fraction of the peak.
+    """
+
+    peak_velocity: float = 0.05
+    period_steps: int = 1000
+    direction: Tuple[float, float, float] = (0.0, 0.0, 1.0)
+    systole_fraction: float = 0.35
+    diastolic_fraction: float = 0.08
+    dicrotic_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.peak_velocity <= 0:
+            raise ConfigError("peak velocity must be positive")
+        if self.peak_velocity > 0.3:
+            raise ConfigError(
+                f"peak velocity {self.peak_velocity} is unstable for LBM "
+                "(compressibility errors); keep it below 0.3"
+            )
+        if self.period_steps < 4:
+            raise ConfigError("period must be at least 4 steps")
+        if not 0.0 < self.systole_fraction < 1.0:
+            raise ConfigError("systole fraction must be in (0, 1)")
+        if not 0.0 <= self.diastolic_fraction < 1.0:
+            raise ConfigError("diastolic fraction must be in [0, 1)")
+        d = np.asarray(self.direction, dtype=np.float64)
+        norm = np.linalg.norm(d)
+        if norm == 0:
+            raise ConfigError("direction must be nonzero")
+        self.direction = tuple(d / norm)
+
+    def speed(self, time: float) -> float:
+        """Scalar speed at a time (steps); periodic in ``period_steps``."""
+        phase = (time % self.period_steps) / self.period_steps
+        base = self.diastolic_fraction * self.peak_velocity
+        sys_frac = self.systole_fraction
+        if phase < sys_frac:
+            # systolic ejection: half-sine from baseline to peak
+            pulse = np.sin(np.pi * phase / sys_frac)
+            return base + (self.peak_velocity - base) * float(pulse)
+        # dicrotic bump shortly after valve closure
+        bump_center = sys_frac + 0.08
+        bump_width = 0.05
+        bump = self.dicrotic_fraction * self.peak_velocity * float(
+            np.exp(-((phase - bump_center) / bump_width) ** 2)
+        )
+        return base + bump
+
+    def __call__(self, time: float) -> np.ndarray:
+        return self.speed(time) * np.asarray(self.direction)
+
+    def mean_speed(self, samples: int = 512) -> float:
+        """Cycle-averaged speed (used to pick the Reynolds number)."""
+        ts = np.linspace(0.0, self.period_steps, samples, endpoint=False)
+        return float(np.mean([self.speed(t) for t in ts]))

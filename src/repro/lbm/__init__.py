@@ -1,0 +1,56 @@
+"""The lattice Boltzmann solver: collision, streaming, boundaries,
+moments, and the single-domain and distributed drivers."""
+
+from .bgk import BGKCollision, tau_from_viscosity, viscosity_from_tau
+from .boundary import PressureOutlet, VelocityInlet
+from .checkpoint import load_checkpoint, save_checkpoint
+from .fieldio import axial_profile, flow_rate, load_fields, save_fields
+from .mrt import MRTCollision, build_moment_basis
+from .trt import MAGIC_LAMBDA, TRTCollision
+from .nondimensional import BLOOD, FluidProperties, UnitSystem
+from .distributed import DistributedSolver, RankState
+from .moments import (
+    density,
+    poiseuille_pipe_max_velocity,
+    poiseuille_pipe_profile,
+    poiseuille_plane_profile,
+    total_mass,
+    total_momentum,
+    velocity,
+)
+from .solver import Solver, SolverConfig
+from .stream import Connectivity, QPlan
+
+__all__ = [
+    "BGKCollision",
+    "MRTCollision",
+    "TRTCollision",
+    "MAGIC_LAMBDA",
+    "build_moment_basis",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_fields",
+    "load_fields",
+    "flow_rate",
+    "axial_profile",
+    "UnitSystem",
+    "FluidProperties",
+    "BLOOD",
+    "viscosity_from_tau",
+    "tau_from_viscosity",
+    "VelocityInlet",
+    "PressureOutlet",
+    "Connectivity",
+    "QPlan",
+    "Solver",
+    "SolverConfig",
+    "DistributedSolver",
+    "RankState",
+    "density",
+    "velocity",
+    "total_mass",
+    "total_momentum",
+    "poiseuille_pipe_profile",
+    "poiseuille_pipe_max_velocity",
+    "poiseuille_plane_profile",
+]

@@ -1,0 +1,97 @@
+"""Boundary conditions.
+
+Walls use half-way bounce-back, folded into the streaming plan (the
+"nodal bounce" applied to the channel wall points — Section 3.2, ref. [2]
+of the paper).  Open boundaries use the robust equilibrium scheme: after
+streaming, inlet nodes are reset to equilibrium at a prescribed (possibly
+time-dependent, e.g. pulsatile) velocity, and outlet nodes to equilibrium
+at a reference density with the locally observed velocity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..core.lattice import Lattice
+
+__all__ = ["VelocityInlet", "PressureOutlet"]
+
+VelocityProvider = Union[
+    np.ndarray, Callable[[float], np.ndarray]
+]
+
+
+@dataclass
+class VelocityInlet:
+    """Equilibrium velocity inlet.
+
+    ``velocity`` is either a constant 3-vector or a callable of the
+    simulation time (in steps) returning one — the pulsatile waveform of
+    the aorta workload plugs in here.
+    """
+
+    nodes: np.ndarray
+    velocity: VelocityProvider
+    rho0: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.int64)
+        if self.rho0 <= 0:
+            raise ConfigError("inlet reference density must be positive")
+        if not callable(self.velocity):
+            vel = np.asarray(self.velocity, dtype=np.float64)
+            if vel.shape != (3,):
+                raise ConfigError("inlet velocity must be a 3-vector")
+            self.velocity = vel
+
+    def velocity_at(self, time: float) -> np.ndarray:
+        if callable(self.velocity):
+            vel = np.asarray(self.velocity(time), dtype=np.float64)
+            if vel.shape != (3,):
+                raise ConfigError(
+                    "inlet velocity provider must return a 3-vector"
+                )
+            return vel
+        return self.velocity
+
+    def apply(self, lattice: Lattice, f: np.ndarray, time: float) -> None:
+        if self.nodes.size == 0:
+            return
+        u = np.broadcast_to(
+            self.velocity_at(time), (self.nodes.size, 3)
+        )
+        rho = np.full(self.nodes.size, self.rho0)
+        f[:, self.nodes] = lattice.equilibrium(rho, u)
+
+
+@dataclass
+class PressureOutlet:
+    """Equilibrium pressure (density) outlet.
+
+    Resets outlet nodes to equilibrium at ``rho0`` using the local
+    velocity, which lets momentum leave the domain without reflecting.
+    """
+
+    nodes: np.ndarray
+    rho0: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.int64)
+        if self.rho0 <= 0:
+            raise ConfigError("outlet reference density must be positive")
+
+    def apply(self, lattice: Lattice, f: np.ndarray, time: float) -> None:
+        if self.nodes.size == 0:
+            return
+        fi = f[:, self.nodes]
+        rho = fi.sum(axis=0)
+        u = np.tensordot(
+            lattice.c.astype(np.float64), fi, axes=(0, 0)
+        ).T / rho[:, None]
+        f[:, self.nodes] = lattice.equilibrium(
+            np.full(self.nodes.size, self.rho0), u
+        )

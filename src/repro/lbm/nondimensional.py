@@ -1,0 +1,132 @@
+"""Unit conversion between physical (SI-ish) and lattice units.
+
+The paper's aorta runs quote physical grid spacings (110, 55, 27.5
+microns); connecting those to lattice parameters is the standard LBM
+non-dimensionalisation.  :class:`UnitSystem` fixes the three free scales
+— grid spacing ``dx`` [m], time step ``dt`` [s], and density scale — and
+converts velocities, viscosities and pressures both ways, plus the two
+dimensionless groups that characterise pulsatile hemodynamics:
+
+* Reynolds number ``Re = U D / nu``;
+* Womersley number ``alpha = (D/2) sqrt(omega / nu)``.
+
+Blood defaults: kinematic viscosity 3.3e-6 m^2/s, density 1060 kg/m^3,
+heart rate 1 Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+__all__ = ["BLOOD", "FluidProperties", "UnitSystem"]
+
+
+@dataclass(frozen=True)
+class FluidProperties:
+    """Physical fluid constants."""
+
+    kinematic_viscosity: float  # m^2/s
+    density: float  # kg/m^3
+
+    def __post_init__(self) -> None:
+        if self.kinematic_viscosity <= 0 or self.density <= 0:
+            raise ConfigError("fluid properties must be positive")
+
+
+#: Whole blood at 37C (the standard hemodynamics value).
+BLOOD = FluidProperties(kinematic_viscosity=3.3e-6, density=1060.0)
+
+
+@dataclass(frozen=True)
+class UnitSystem:
+    """A lattice/physical unit mapping.
+
+    Attributes
+    ----------
+    dx:
+        Physical size of one lattice spacing [m].
+    dt:
+        Physical duration of one time step [s].
+    fluid:
+        Physical fluid the lattice models.
+    """
+
+    dx: float
+    dt: float
+    fluid: FluidProperties = BLOOD
+
+    def __post_init__(self) -> None:
+        if self.dx <= 0 or self.dt <= 0:
+            raise ConfigError("dx and dt must be positive")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_tau(
+        cls, dx: float, tau: float, fluid: FluidProperties = BLOOD
+    ) -> "UnitSystem":
+        """Choose ``dt`` so a given ``tau`` reproduces the fluid's
+        viscosity at spacing ``dx`` (the usual LBM setup path)."""
+        if tau <= 0.5:
+            raise ConfigError("tau must exceed 0.5")
+        nu_lu = (tau - 0.5) / 3.0
+        dt = nu_lu * dx**2 / fluid.kinematic_viscosity
+        return cls(dx=dx, dt=dt, fluid=fluid)
+
+    # -- scalar conversions ---------------------------------------------------
+    @property
+    def velocity_scale(self) -> float:
+        """Physical velocity of one lattice unit [m/s]."""
+        return self.dx / self.dt
+
+    @property
+    def lattice_viscosity(self) -> float:
+        """The fluid's kinematic viscosity in lattice units."""
+        return self.fluid.kinematic_viscosity * self.dt / self.dx**2
+
+    @property
+    def tau(self) -> float:
+        """The BGK relaxation time implied by this unit choice."""
+        return 3.0 * self.lattice_viscosity + 0.5
+
+    def velocity_to_lattice(self, u_physical: float) -> float:
+        return u_physical / self.velocity_scale
+
+    def velocity_to_physical(self, u_lattice: float) -> float:
+        return u_lattice * self.velocity_scale
+
+    def time_to_steps(self, t_physical: float) -> int:
+        """Physical duration -> number of lattice steps (rounded)."""
+        if t_physical < 0:
+            raise ConfigError("time must be non-negative")
+        return int(round(t_physical / self.dt))
+
+    def pressure_to_physical(self, delta_rho_lattice: float) -> float:
+        """Lattice density fluctuation -> physical pressure [Pa]
+        (``p = cs^2 rho`` with cs^2 = 1/3 lattice units)."""
+        cs2_phys = (self.velocity_scale**2) / 3.0
+        return delta_rho_lattice * self.fluid.density * cs2_phys
+
+    # -- dimensionless groups -------------------------------------------------
+    def reynolds(self, u_physical: float, diameter_m: float) -> float:
+        """Re = U D / nu."""
+        if diameter_m <= 0:
+            raise ConfigError("diameter must be positive")
+        return u_physical * diameter_m / self.fluid.kinematic_viscosity
+
+    def womersley(self, diameter_m: float, frequency_hz: float = 1.0) -> float:
+        """alpha = (D/2) sqrt(2 pi f / nu)."""
+        if diameter_m <= 0 or frequency_hz <= 0:
+            raise ConfigError("diameter and frequency must be positive")
+        omega = 2.0 * np.pi * frequency_hz
+        return (diameter_m / 2.0) * np.sqrt(
+            omega / self.fluid.kinematic_viscosity
+        )
+
+    def stability_check(self, u_physical_max: float) -> bool:
+        """True when the peak lattice velocity stays in the low-Mach
+        regime (|u| < 0.1 lattice units)."""
+        return self.velocity_to_lattice(u_physical_max) < 0.1

@@ -1,0 +1,187 @@
+"""Single-domain LBM solver.
+
+Implements the two-step algorithm the paper describes (Section 3): a local
+BGK collision and a streaming step that moves populations between
+neighbouring lattice nodes, with half-way bounce-back at walls and
+equilibrium inlet/outlet conditions.  The distributed solver
+(:mod:`repro.lbm.distributed`) reproduces this solver's results exactly
+across ranks — that equivalence is a core validation test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..core.lattice import Lattice, get_lattice
+from ..geometry.flags import INLET, OUTLET
+from ..geometry.voxel import VoxelGrid
+from .bgk import BGKCollision
+from .boundary import PressureOutlet, VelocityInlet
+from .moments import density as _density
+from .moments import velocity as _velocity
+from .stream import Connectivity
+
+__all__ = ["SolverConfig", "Solver"]
+
+
+@dataclass
+class SolverConfig:
+    """Physical and numerical parameters of a run.
+
+    Attributes
+    ----------
+    tau:
+        BGK relaxation time (> 0.5).
+    force:
+        Optional uniform body force (drives periodic channel flow).
+    rho0:
+        Reference density for initialisation and open boundaries.
+    inlet_velocity:
+        Constant 3-vector or callable ``t -> 3-vector`` for inlet nodes.
+    periodic:
+        Per-axis periodicity of the lattice.
+    lattice:
+        Velocity-set name (default D3Q19, as in HARVEY).
+    """
+
+    tau: float = 0.8
+    force: Optional[Union[Tuple[float, float, float], np.ndarray]] = None
+    rho0: float = 1.0
+    inlet_velocity: Optional[
+        Union[Tuple[float, float, float], Callable[[float], np.ndarray]]
+    ] = None
+    periodic: Tuple[bool, bool, bool] = (False, False, False)
+    lattice: str = "D3Q19"
+    collision: str = "bgk"
+    mrt_ghost_rate: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.collision not in ("bgk", "trt", "mrt"):
+            raise ConfigError(
+                f"unknown collision {self.collision!r}; "
+                "expected 'bgk', 'trt' or 'mrt'"
+            )
+        if self.collision == "mrt" and self.lattice != "D3Q19":
+            raise ConfigError("MRT collision is implemented for D3Q19")
+        if self.tau <= 0.5:
+            raise ConfigError(
+                f"tau must exceed 0.5 for stability, got {self.tau}"
+            )
+        if self.rho0 <= 0:
+            raise ConfigError("rho0 must be positive")
+        if self.force is not None:
+            self.force = np.asarray(self.force, dtype=np.float64)
+            if self.force.shape != (3,):
+                raise ConfigError("force must be a 3-vector")
+
+    def make_lattice(self) -> Lattice:
+        return get_lattice(self.lattice)
+
+    def make_collision(self):
+        if self.collision == "mrt":
+            from .mrt import MRTCollision
+
+            return MRTCollision(
+                self.tau, ghost_rate=self.mrt_ghost_rate, force=self.force
+            )
+        if self.collision == "trt":
+            from .trt import TRTCollision
+
+            return TRTCollision(self.tau, force=self.force)
+        return BGKCollision(self.tau, self.force)
+
+
+class Solver:
+    """Single-domain solver over a flagged voxel grid."""
+
+    def __init__(self, grid: VoxelGrid, config: SolverConfig) -> None:
+        self.grid = grid
+        self.config = config
+        self.lattice = config.make_lattice()
+        self.collision = config.make_collision()
+        self.connectivity = Connectivity(
+            grid, self.lattice, periodic=config.periodic
+        )
+        self.coords = self.connectivity.coords
+        self.index_map = self.connectivity.index_map
+        n = self.connectivity.num_nodes
+        self.all_ids = np.arange(n, dtype=np.int64)
+        self._setup_boundaries()
+        u0 = np.zeros((n, 3))
+        rho = np.full(n, config.rho0)
+        self.f = self.lattice.equilibrium(rho, u0)
+        self._f_tmp = np.empty_like(self.f)
+        self.time = 0
+        self.fluid_updates = 0
+
+    def _setup_boundaries(self) -> None:
+        cfg = self.config
+        flags_at = self.grid.flags[
+            self.coords[:, 0], self.coords[:, 1], self.coords[:, 2]
+        ]
+        inlet_nodes = self.all_ids[flags_at == INLET]
+        outlet_nodes = self.all_ids[flags_at == OUTLET]
+        self.inlet: Optional[VelocityInlet] = None
+        self.outlet: Optional[PressureOutlet] = None
+        if inlet_nodes.size:
+            if cfg.inlet_velocity is None:
+                raise ConfigError(
+                    "grid has inlet nodes but no inlet_velocity configured"
+                )
+            self.inlet = VelocityInlet(
+                inlet_nodes, cfg.inlet_velocity, cfg.rho0
+            )
+        if outlet_nodes.size:
+            self.outlet = PressureOutlet(outlet_nodes, cfg.rho0)
+
+    # -- time stepping -----------------------------------------------------
+    def step(self, num_steps: int = 1) -> None:
+        """Advance ``num_steps`` iterations of collide-stream-boundary."""
+        if num_steps < 0:
+            raise ConfigError("num_steps must be non-negative")
+        for _ in range(num_steps):
+            self.collision.apply(self.lattice, self.f, self.all_ids)
+            self.connectivity.stream(self.f, self._f_tmp)
+            self.f, self._f_tmp = self._f_tmp, self.f
+            self.time += 1
+            if self.inlet is not None:
+                self.inlet.apply(self.lattice, self.f, self.time)
+            if self.outlet is not None:
+                self.outlet.apply(self.lattice, self.f, self.time)
+            self.fluid_updates += self.num_nodes
+
+    # -- observables ---------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.connectivity.num_nodes
+
+    def density(self) -> np.ndarray:
+        return _density(self.f)
+
+    def velocity(self) -> np.ndarray:
+        force = self.collision.force
+        return _velocity(self.lattice, self.f, force)
+
+    def mass(self) -> float:
+        return float(self.f.sum())
+
+    def velocity_grid(self) -> np.ndarray:
+        """Velocity on the full voxel grid, zeros at solid voxels."""
+        out = np.zeros(self.grid.shape + (3,), dtype=np.float64)
+        u = self.velocity()
+        out[self.coords[:, 0], self.coords[:, 1], self.coords[:, 2]] = u
+        return out
+
+    def density_grid(self) -> np.ndarray:
+        out = np.zeros(self.grid.shape, dtype=np.float64)
+        out[
+            self.coords[:, 0], self.coords[:, 1], self.coords[:, 2]
+        ] = self.density()
+        return out
+
+    def max_velocity(self) -> float:
+        return float(np.linalg.norm(self.velocity(), axis=1).max())

@@ -1,0 +1,150 @@
+"""Streaming connectivity for sparse (indirect-addressed) LBM grids.
+
+HARVEY stores only fluid points and streams through neighbor-index lists
+(Herschlag et al., ref. [12] of the paper — "GPU data access on complex
+geometries for D3Q19 lattice Boltzmann method").  :class:`Connectivity`
+precomputes, for every population, the pull-scheme gather lists:
+
+* interior pairs ``(dst, src)`` — fluid upstream neighbour exists;
+* bounce nodes — upstream voxel is solid, so the population reflects
+  (half-way bounce-back) from the opposite direction at the same node.
+
+Periodic axes wrap at the *global* domain boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import GeometryError
+from ..core.kernels import bounce_back_kernel, stream_pull_kernel
+from ..core.lattice import Lattice
+from ..geometry.voxel import VoxelGrid
+
+__all__ = ["QPlan", "Connectivity"]
+
+
+@dataclass(frozen=True)
+class QPlan:
+    """Gather plan for one population index."""
+
+    qi: int
+    qi_opp: int
+    dst: np.ndarray  # interior destinations (compact ids)
+    src: np.ndarray  # matching upstream sources (compact ids)
+    bounce: np.ndarray  # nodes whose upstream voxel is solid
+
+
+class Connectivity:
+    """Precomputed pull-streaming plans over a compact fluid numbering.
+
+    Parameters
+    ----------
+    grid:
+        The flagged voxel grid.
+    lattice:
+        Velocity set descriptor.
+    periodic:
+        Per-axis periodic wrap flags.
+    coords / index_map:
+        Optional externally supplied compact numbering (the distributed
+        solver passes a local numbering that includes ghost nodes).
+    """
+
+    def __init__(
+        self,
+        grid: VoxelGrid,
+        lattice: Lattice,
+        periodic: Tuple[bool, bool, bool] = (False, False, False),
+        coords: Optional[np.ndarray] = None,
+        index_map: Optional[np.ndarray] = None,
+        update_ids: Optional[np.ndarray] = None,
+    ) -> None:
+        self.grid = grid
+        self.lattice = lattice
+        self.periodic = tuple(bool(p) for p in periodic)
+        if (coords is None) != (index_map is None):
+            raise GeometryError("supply coords and index_map together")
+        if coords is None:
+            coords, index_map = grid.compact_ids()
+        self.coords = coords
+        self.index_map = index_map
+        self.num_nodes = int(coords.shape[0])
+        if self.num_nodes == 0:
+            raise GeometryError("no fluid nodes to build connectivity over")
+        # nodes whose plans we build (owned nodes in the distributed case)
+        if update_ids is None:
+            update_ids = np.arange(self.num_nodes, dtype=np.int64)
+        self.update_ids = np.asarray(update_ids, dtype=np.int64)
+        self.plans: List[QPlan] = self._build_plans()
+
+    def _upstream_sources(self, qi: int) -> np.ndarray:
+        """Compact id of each update-node's upstream neighbour (or -1)."""
+        shape = np.asarray(self.grid.shape, dtype=np.int64)
+        pos = self.coords[self.update_ids] - self.lattice.c[qi]
+        valid = np.ones(pos.shape[0], dtype=bool)
+        for axis in range(3):
+            col = pos[:, axis]
+            if self.periodic[axis]:
+                pos[:, axis] = np.mod(col, shape[axis])
+            else:
+                valid &= (col >= 0) & (col < shape[axis])
+        src = np.full(pos.shape[0], -1, dtype=np.int64)
+        if valid.any():
+            p = pos[valid]
+            src[valid] = self.index_map[p[:, 0], p[:, 1], p[:, 2]]
+        return src
+
+    def _build_plans(self) -> List[QPlan]:
+        plans: List[QPlan] = []
+        for qi in range(self.lattice.q):
+            qi_opp = int(self.lattice.opposite[qi])
+            if qi == 0:
+                # rest population: every node copies itself
+                plans.append(
+                    QPlan(0, 0, self.update_ids, self.update_ids,
+                          np.empty(0, dtype=np.int64))
+                )
+                continue
+            src = self._upstream_sources(qi)
+            has_src = src >= 0
+            plans.append(
+                QPlan(
+                    qi,
+                    qi_opp,
+                    dst=self.update_ids[has_src],
+                    src=src[has_src],
+                    bounce=self.update_ids[~has_src],
+                )
+            )
+        return plans
+
+    # -- execution -----------------------------------------------------------
+    def stream(self, f_src: np.ndarray, f_dst: np.ndarray) -> None:
+        """Pull-stream all populations from ``f_src`` into ``f_dst``.
+
+        Only update nodes are written; in the distributed case ghost slots
+        of ``f_dst`` are left untouched (they are refilled by exchange).
+        """
+        for plan in self.plans:
+            stream_pull_kernel(f_src, f_dst, plan.qi, plan.dst, plan.src)
+            if plan.bounce.size:
+                bounce_back_kernel(
+                    f_src, f_dst, plan.qi, plan.qi_opp, plan.bounce
+                )
+
+    # -- diagnostics -----------------------------------------------------------
+    @property
+    def num_bounce_links(self) -> int:
+        """Total wall links (bounce-back population slots)."""
+        return int(sum(p.bounce.size for p in self.plans))
+
+    def wall_node_ids(self) -> np.ndarray:
+        """Update nodes with at least one wall link."""
+        parts = [p.bounce for p in self.plans if p.bounce.size]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))

@@ -1,0 +1,127 @@
+"""Two-relaxation-time (TRT) collision.
+
+The TRT operator splits distributions into even and odd parts about the
+opposite-direction pairing and relaxes them at separate rates.  It costs
+barely more than BGK yet fixes BGK's viscosity-dependent wall slip: with
+the "magic" parameter ``Lambda = 3/16`` the bounce-back wall sits exactly
+half-way between nodes for Poiseuille flow at *any* tau — which is why
+production LBM codes (HARVEY included) prefer TRT/MRT near walls.
+
+``omega_plus = 1/tau`` sets the viscosity exactly as in BGK;
+``omega_minus`` follows from Lambda:
+
+    Lambda = (1/omega_plus - 1/2)(1/omega_minus - 1/2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..core.lattice import Lattice
+
+__all__ = ["TRTCollision", "MAGIC_LAMBDA"]
+
+#: The "magic" value placing bounce-back walls exactly half-way.
+MAGIC_LAMBDA = 3.0 / 16.0
+
+
+@dataclass
+class TRTCollision:
+    """TRT collision with the magic-parameter formulation.
+
+    Attributes
+    ----------
+    tau:
+        Relaxation time of the even (viscous) modes.
+    magic:
+        The Lambda parameter; 3/16 gives viscosity-independent wall
+        placement, 1/4 gives optimal stability.
+    force:
+        Optional uniform body force (Guo construction, split into even
+        and odd parts like the distributions).
+    """
+
+    tau: float
+    magic: float = MAGIC_LAMBDA
+    force: Optional[np.ndarray] = None
+    _omega_minus: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0.5:
+            raise ConfigError(
+                f"tau must exceed 0.5 for stability, got {self.tau}"
+            )
+        if self.magic <= 0:
+            raise ConfigError("magic parameter must be positive")
+        if self.force is not None:
+            self.force = np.asarray(self.force, dtype=np.float64)
+            if self.force.shape != (3,):
+                raise ConfigError("force must be a 3-vector")
+            if not np.any(self.force):
+                self.force = None
+        lam_plus = self.tau - 0.5  # 1/omega+ - 1/2
+        lam_minus = self.magic / lam_plus
+        self._omega_minus = 1.0 / (lam_minus + 0.5)
+        if not 0.0 < self._omega_minus < 2.0:
+            raise ConfigError(
+                f"derived odd rate {self._omega_minus:.3f} outside (0, 2); "
+                "adjust tau or magic"
+            )
+
+    @property
+    def omega(self) -> float:
+        """Even (viscosity-setting) rate, for accounting parity with BGK."""
+        return 1.0 / self.tau
+
+    @property
+    def omega_minus(self) -> float:
+        return self._omega_minus
+
+    @property
+    def viscosity(self) -> float:
+        return (self.tau - 0.5) / 3.0
+
+    def apply(
+        self, lat: Lattice, f: np.ndarray, idx: np.ndarray
+    ) -> None:
+        """Collide in place on nodes ``idx``."""
+        opp = lat.opposite
+        fi = f[:, idx]
+        rho = fi.sum(axis=0)
+        mom = np.tensordot(lat.c.astype(np.float64), fi, axes=(0, 0)).T
+        if self.force is not None:
+            mom = mom + 0.5 * self.force[None, :]
+        u = mom / rho[:, None]
+        feq = lat.equilibrium(rho, u)
+        f_opp = fi[opp]
+        feq_opp = feq[opp]
+        even = 0.5 * (fi + f_opp)
+        odd = 0.5 * (fi - f_opp)
+        even_eq = 0.5 * (feq + feq_opp)
+        odd_eq = 0.5 * (feq - feq_opp)
+        omega_p = 1.0 / self.tau
+        out = (
+            fi
+            - omega_p * (even - even_eq)
+            - self._omega_minus * (odd - odd_eq)
+        )
+        if self.force is not None:
+            inv_cs2 = 1.0 / lat.cs2
+            cf = lat.c.astype(np.float64) @ self.force
+            cu = lat.c.astype(np.float64) @ u.T
+            uf = u @ self.force
+            src = lat.w[:, None] * (
+                inv_cs2 * cf[:, None]
+                + inv_cs2 * inv_cs2 * cu * cf[:, None]
+                - inv_cs2 * uf[None, :]
+            )
+            src_opp = src[opp]
+            src_even = 0.5 * (src + src_opp)
+            src_odd = 0.5 * (src - src_opp)
+            out = out + (1.0 - 0.5 * omega_p) * src_even
+            out = out + (1.0 - 0.5 * self._omega_minus) * src_odd
+        f[:, idx] = out

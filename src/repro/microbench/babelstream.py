@@ -1,0 +1,108 @@
+"""A BabelStream-equivalent memory-bandwidth benchmark.
+
+The paper measures each device's attainable memory bandwidth with
+BabelStream (Deakin et al., ref. [4]) and feeds it into the performance
+model (Table 1 footnote).  We reproduce the benchmark's structure — the
+five kernels (copy, mul, add, triad, dot) with their per-element byte
+counts — against a simulated device: kernel time is priced as
+``launch_overhead + bytes / attainable_bandwidth`` and the benchmark
+recovers the bandwidth from timed runs exactly the way the real tool does.
+
+Run against the real host with :mod:`repro.microbench.hoststream` for a
+wall-clock-grounded counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.errors import HardwareError
+from ..hardware.gpu import GPUSpec
+
+__all__ = ["StreamKernelResult", "BabelStreamResult", "run_babelstream"]
+
+#: Bytes moved per array element for each BabelStream kernel
+#: (reads + writes, double precision).
+KERNEL_BYTES_PER_ELEMENT: Dict[str, int] = {
+    "copy": 2 * 8,   # c[i] = a[i]
+    "mul": 2 * 8,    # b[i] = scalar * c[i]
+    "add": 3 * 8,    # c[i] = a[i] + b[i]
+    "triad": 3 * 8,  # a[i] = b[i] + scalar * c[i]
+    "dot": 2 * 8,    # sum += a[i] * b[i]  (two streams read)
+}
+
+#: BabelStream's default array length (2^25 doubles).
+DEFAULT_ELEMENTS = 1 << 25
+
+
+@dataclass(frozen=True)
+class StreamKernelResult:
+    """Result of one kernel: timing and derived bandwidth."""
+
+    kernel: str
+    elements: int
+    nbytes: int
+    time_s: float
+
+    @property
+    def bandwidth_tbs(self) -> float:
+        return self.nbytes / self.time_s / 1e12
+
+
+@dataclass(frozen=True)
+class BabelStreamResult:
+    """Full benchmark result for one device."""
+
+    device: str
+    kernels: List[StreamKernelResult]
+
+    def best(self, kernel: str = "triad") -> StreamKernelResult:
+        for k in self.kernels:
+            if k.kernel == kernel:
+                return k
+        raise HardwareError(f"no kernel {kernel!r} in result")
+
+    @property
+    def measured_bandwidth_tbs(self) -> float:
+        """The headline number: triad bandwidth, as Table 1 reports."""
+        return self.best("triad").bandwidth_tbs
+
+
+def run_babelstream(
+    gpu: GPUSpec,
+    elements: int = DEFAULT_ELEMENTS,
+    ntimes: int = 100,
+    stream_efficiency: float = 1.0,
+) -> BabelStreamResult:
+    """Run the simulated BabelStream against one logical GPU.
+
+    ``stream_efficiency`` scales the attainable bandwidth below the spec
+    value (1.0 recovers Table 1 exactly, since the Table 1 numbers *are*
+    BabelStream measurements).
+
+    The timing follows the real benchmark: each kernel is launched
+    ``ntimes`` times and the minimum time is used, so launch overhead is
+    included per launch (it matters only at tiny sizes, as on hardware).
+    """
+    if elements <= 0:
+        raise HardwareError("elements must be positive")
+    if ntimes <= 0:
+        raise HardwareError("ntimes must be positive")
+    if not 0.0 < stream_efficiency <= 1.0:
+        raise HardwareError("stream_efficiency must be in (0, 1]")
+    # three arrays of `elements` doubles must fit on the device
+    footprint = 3 * elements * 8
+    if footprint > gpu.memory_bytes:
+        raise HardwareError(
+            f"array footprint {footprint} B exceeds {gpu.name} memory "
+            f"{gpu.memory_bytes} B; reduce elements"
+        )
+    attainable = gpu.mem_bandwidth_bytes_s * stream_efficiency
+    results = []
+    for kernel, bpe in KERNEL_BYTES_PER_ELEMENT.items():
+        nbytes = bpe * elements
+        # Every repetition takes the same simulated time; min == single run.
+        time_s = gpu.kernel_launch_overhead_s + nbytes / attainable
+        results.append(StreamKernelResult(kernel, elements, nbytes, time_s))
+    return BabelStreamResult(gpu.name, results)

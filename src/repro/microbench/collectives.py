@@ -1,0 +1,77 @@
+"""Collective-operation cost model (allreduce).
+
+HARVEY's per-step monitoring performs small allreduces (mass, residuals,
+stability flags).  Their cost follows the classic models:
+
+* small messages — recursive doubling: ``ceil(log2(p))`` rounds of
+  latency-bound exchanges;
+* large messages — Rabenseifner's reduce-scatter + allgather:
+  ``2 (p-1)/p`` of the buffer crosses the slowest link twice, plus the
+  logarithmic latency term.
+
+The estimator picks the cheaper algorithm, as MPI implementations do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import HardwareError
+from ..hardware.interconnect import LinkTier
+from ..hardware.machine import Machine
+
+__all__ = ["AllreduceEstimate", "allreduce_time"]
+
+
+@dataclass(frozen=True)
+class AllreduceEstimate:
+    """Predicted allreduce cost for one configuration."""
+
+    machine: str
+    num_ranks: int
+    nbytes: int
+    algorithm: str  # "recursive-doubling" | "rabenseifner"
+    time_s: float
+
+
+def _slowest_link(machine: Machine, num_ranks: int):
+    if machine.nodes_used(num_ranks) > 1:
+        return machine.node.link(LinkTier.INTER_NODE)
+    if num_ranks > machine.node.gpu.subdevices:
+        return machine.node.link(LinkTier.INTRA_NODE)
+    return machine.node.link(LinkTier.SAME_PACKAGE)
+
+
+def allreduce_time(
+    machine: Machine, num_ranks: int, nbytes: int
+) -> AllreduceEstimate:
+    """Estimated allreduce completion time on a machine."""
+    if num_ranks < 1:
+        raise HardwareError("num_ranks must be >= 1")
+    if nbytes < 0:
+        raise HardwareError("nbytes must be non-negative")
+    if num_ranks > machine.max_ranks:
+        raise HardwareError(
+            f"{num_ranks} ranks exceed {machine.name}'s capacity"
+        )
+    if num_ranks == 1:
+        return AllreduceEstimate(
+            machine.name, 1, nbytes, "local", 0.0
+        )
+    link = _slowest_link(machine, num_ranks)
+    rounds = math.ceil(math.log2(num_ranks))
+    # recursive doubling: whole buffer every round
+    t_rd = rounds * link.message_time(nbytes)
+    # Rabenseifner: 2*(p-1)/p of the buffer over the wire + 2*log2(p) lat
+    frac = 2.0 * (num_ranks - 1) / num_ranks
+    t_rab = 2 * rounds * link.latency_s + frac * nbytes / (
+        link.bandwidth_bytes_s
+    )
+    if t_rd <= t_rab:
+        return AllreduceEstimate(
+            machine.name, num_ranks, nbytes, "recursive-doubling", t_rd
+        )
+    return AllreduceEstimate(
+        machine.name, num_ranks, nbytes, "rabenseifner", t_rab
+    )

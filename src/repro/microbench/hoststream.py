@@ -1,0 +1,79 @@
+"""A real (wall-clock) STREAM benchmark on the host.
+
+Grounds the simulated BabelStream: this one actually moves memory with
+NumPy and reports achieved host bandwidth.  Used by the kernel-throughput
+benchmark and available from the CLI for sanity checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.errors import HardwareError
+
+__all__ = ["HostStreamResult", "run_host_stream"]
+
+
+@dataclass(frozen=True)
+class HostStreamResult:
+    """Measured host bandwidths per kernel, in GB/s."""
+
+    elements: int
+    bandwidth_gbs: Dict[str, float]
+
+    @property
+    def triad_gbs(self) -> float:
+        return self.bandwidth_gbs["triad"]
+
+
+def run_host_stream(
+    elements: int = 1 << 22, ntimes: int = 5
+) -> HostStreamResult:
+    """Run copy/mul/add/triad on the host and report best bandwidth.
+
+    Sized small by default (32 MiB arrays) so it is quick under pytest
+    while still exceeding typical L3 capacity.
+    """
+    if elements <= 0:
+        raise HardwareError("elements must be positive")
+    if ntimes <= 0:
+        raise HardwareError("ntimes must be positive")
+    rng = np.random.default_rng(12345)
+    a = rng.random(elements)
+    b = rng.random(elements)
+    c = np.empty_like(a)
+    scalar = 0.4
+
+    def _copy():
+        np.copyto(c, a)
+
+    def _mul():
+        np.multiply(c, scalar, out=b)
+
+    def _add():
+        np.add(a, b, out=c)
+
+    def _triad():
+        np.multiply(c, scalar, out=a)
+        np.add(a, b, out=a)
+
+    kernels = {
+        "copy": (_copy, 2),
+        "mul": (_mul, 2),
+        "add": (_add, 3),
+        "triad": (_triad, 3),
+    }
+    best: Dict[str, float] = {}
+    for name, (fn, streams) in kernels.items():
+        times: List[float] = []
+        for _ in range(ntimes):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        nbytes = streams * elements * 8
+        best[name] = nbytes / min(times) / 1e9
+    return HostStreamResult(elements, best)

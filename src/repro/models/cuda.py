@@ -1,0 +1,117 @@
+"""The CUDA programming model (Section 5.1).
+
+Explicit, pointer-style device management: ``cudaMalloc``-like allocation,
+``cudaMemcpy`` with a direction kind, and kernels launched over grids of
+thread blocks with user-defined dimensions.  The generic
+:class:`~repro.models.base.ProgrammingModel` surface is implemented *on
+top of* the CUDA-flavoured calls, so ports produced by the name-mapping
+tools (HIPify) inherit working semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.dispatch import ExecutionSpace, LaunchConfig
+from ..core.errors import ModelError
+from ..core.views import TransferRecord, View
+from .base import KernelBody, ProgrammingModel
+from .device import SimulatedDevice
+
+__all__ = ["CUDAModel", "MEMCPY_HOST_TO_DEVICE", "MEMCPY_DEVICE_TO_HOST"]
+
+MEMCPY_HOST_TO_DEVICE = "cudaMemcpyHostToDevice"
+MEMCPY_DEVICE_TO_HOST = "cudaMemcpyDeviceToHost"
+
+#: CUDA's conventional default block size for 1-D kernels.
+DEFAULT_BLOCK = 128
+
+
+class CUDAModel(ProgrammingModel):
+    """CUDA-style backend: explicit allocation, memcpy kinds, <<<grid, block>>>."""
+
+    name = "cuda"
+    display_name = "CUDA"
+    tool_assisted = False
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        block_size: int = DEFAULT_BLOCK,
+    ) -> None:
+        super().__init__(device)
+        if block_size <= 0:
+            raise ModelError("block size must be positive")
+        self.block_size = block_size
+        self.space = ExecutionSpace(f"{self.name}-exec", block_size)
+
+    # -- CUDA-flavoured API ---------------------------------------------------
+    def cudaMalloc(
+        self, label: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> View:
+        """Allocate device memory (raises on device OOM, like the real call
+        returns ``cudaErrorMemoryAllocation``)."""
+        return View(label, shape, np.dtype(dtype), self.device.space)
+
+    def cudaMemcpy(self, dst, src, kind: str) -> None:
+        """Directional copy; the kind must match the argument types."""
+        if kind == MEMCPY_HOST_TO_DEVICE:
+            if not isinstance(dst, View) or isinstance(src, View):
+                raise ModelError("HostToDevice requires (View, ndarray)")
+            if dst.shape != tuple(np.shape(src)):
+                raise ModelError(
+                    f"memcpy shape mismatch {dst.shape} vs {np.shape(src)}"
+                )
+            dst.data()[...] = np.asarray(src, dtype=dst.dtype)
+            self.device.ledger.record(
+                TransferRecord("Host", self.device.space.name, dst.nbytes, dst.label)
+            )
+        elif kind == MEMCPY_DEVICE_TO_HOST:
+            if not isinstance(src, View) or isinstance(dst, View):
+                raise ModelError("DeviceToHost requires (ndarray, View)")
+            if tuple(np.shape(dst)) != src.shape:
+                raise ModelError(
+                    f"memcpy shape mismatch {np.shape(dst)} vs {src.shape}"
+                )
+            np.copyto(dst, src.data())
+            self.device.ledger.record(
+                TransferRecord(self.device.space.name, "Host", src.nbytes, src.label)
+            )
+        else:
+            raise ModelError(f"unknown memcpy kind {kind!r}")
+
+    def launch_kernel(
+        self, body: KernelBody, n: int, config: Optional[LaunchConfig] = None
+    ) -> None:
+        """Launch ``body`` over ``n`` work items with a grid/block shape."""
+        if n == 0:
+            return
+        cfg = config or LaunchConfig.for_elements(n, self.block_size)
+        if cfg.threads < n:
+            raise ModelError(
+                f"launch config {cfg} covers {cfg.threads} threads but "
+                f"kernel needs {n}"
+            )
+        self.space.launch(body, n, cfg.block)
+        self._count_launch()
+
+    def cudaDeviceSynchronize(self) -> None:
+        self.space.fence()
+
+    # -- generic surface ----------------------------------------------------
+    def alloc(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> View:
+        return self.cudaMalloc(label, shape, dtype)
+
+    def to_device(self, dst: View, host: np.ndarray) -> None:
+        self.cudaMemcpy(dst, host, MEMCPY_HOST_TO_DEVICE)
+
+    def to_host(self, host: np.ndarray, src: View) -> None:
+        self.cudaMemcpy(host, src, MEMCPY_DEVICE_TO_HOST)
+
+    def launch(self, label: str, n: int, body: KernelBody) -> None:
+        self.launch_kernel(body, n)
+
+    def synchronize(self) -> None:
+        self.cudaDeviceSynchronize()

@@ -1,0 +1,74 @@
+"""The simulated GPU device every programming-model backend targets.
+
+A :class:`SimulatedDevice` owns a capacity-limited
+:class:`~repro.core.views.MemorySpace` (so over-allocating a 16 GB V100
+fails the way it does on hardware) and a :class:`TransferLedger` recording
+host/device traffic.  Kernels "execute" on the host, but all data they
+touch must have been placed in the device space through a backend's
+allocation and copy APIs — the discipline the portability tests enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import ModelError
+from ..core.views import MemorySpace, TransferLedger
+from ..hardware.gpu import GPUSpec
+
+__all__ = ["SimulatedDevice", "GENERIC_GPU"]
+
+#: A permissive default device for functional runs and tests.
+GENERIC_GPU = GPUSpec(
+    name="GenericGPU",
+    vendor="NVIDIA",
+    memory_gb=8.0,
+    mem_bandwidth_tbs=1.0,
+    subdevices=1,
+    native_model="cuda",
+)
+
+
+class SimulatedDevice:
+    """One logical GPU: a spec, a memory space, and a transfer ledger."""
+
+    def __init__(self, spec: GPUSpec = GENERIC_GPU, device_id: int = 0) -> None:
+        if device_id < 0:
+            raise ModelError("device_id must be non-negative")
+        self.spec = spec
+        self.device_id = device_id
+        self.ledger = TransferLedger()
+        self.space = MemorySpace(
+            f"{spec.name}:{device_id}",
+            capacity_bytes=spec.memory_bytes,
+            ledger=self.ledger,
+        )
+
+    @property
+    def name(self) -> str:
+        return self.space.name
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.space.allocated_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.memory_bytes - self.space.allocated_bytes
+
+    def h2d_bytes(self) -> int:
+        """Host-to-device bytes transferred so far."""
+        return self.ledger.bytes_moved("H2D")
+
+    def d2h_bytes(self) -> int:
+        """Device-to-host bytes transferred so far."""
+        return self.ledger.bytes_moved("D2H")
+
+    def reset_ledger(self) -> None:
+        self.ledger.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedDevice({self.spec.name}, id={self.device_id}, "
+            f"allocated={self.allocated_bytes})"
+        )

@@ -1,0 +1,170 @@
+"""The Kokkos programming model (Section 5.4).
+
+A single code base parameterised over backends: views allocated in a
+backend-selected memory space, data moved with ``deep_copy`` via mirror
+views, and kernels launched with ``parallel_for`` over range policies.
+The backend is chosen at construction (the paper's compile-time switch):
+``cuda``, ``hip``, ``sycl``, or ``openacc``; the memory-space naming
+follows real Kokkos (``CudaSpace``, ``HIPSpace``,
+``Experimental::SYCLDeviceUSMSpace``), and — matching the paper —
+the OpenACC backend has *no* unified-memory space variant and routes data
+movement through the OpenACC runtime's implicit data environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.dispatch import ExecutionSpace, RangePolicy
+from ..core.errors import ModelError
+from ..core.views import TransferRecord, View
+from .base import KernelBody, ProgrammingModel
+from .device import SimulatedDevice
+from .openacc import OpenACCRuntime
+
+__all__ = ["KokkosModel", "KOKKOS_BACKENDS", "KOKKOS_MEMORY_SPACES"]
+
+#: Backends the paper exercises, with their Kokkos memory-space names.
+KOKKOS_MEMORY_SPACES: Dict[str, str] = {
+    "cuda": "CudaSpace",
+    "hip": "HIPSpace",
+    "sycl": "Experimental::SYCLDeviceUSMSpace",
+    "openacc": "Experimental::OpenACCSpace",
+}
+
+KOKKOS_BACKENDS = tuple(KOKKOS_MEMORY_SPACES)
+
+#: Backends that additionally provide a unified-memory space variant
+#: (e.g. CudaUVMSpace); OpenACC does not (Section 7.3).
+UNIFIED_MEMORY_SPACES: Dict[str, str] = {
+    "cuda": "CudaUVMSpace",
+    "hip": "HIPManagedSpace",
+    "sycl": "Experimental::SYCLSharedUSMSpace",
+}
+
+
+class KokkosModel(ProgrammingModel):
+    """Kokkos backend: Views + deep_copy + parallel_for(RangePolicy)."""
+
+    tool_assisted = False  # the paper's Kokkos port is fully manual
+
+    def __init__(
+        self,
+        backend: str = "cuda",
+        device: Optional[SimulatedDevice] = None,
+        team_size: int = 128,
+    ) -> None:
+        if backend not in KOKKOS_MEMORY_SPACES:
+            raise ModelError(
+                f"unknown Kokkos backend {backend!r}; "
+                f"available: {sorted(KOKKOS_MEMORY_SPACES)}"
+            )
+        super().__init__(device)
+        if team_size <= 0:
+            raise ModelError("team size must be positive")
+        self.backend = backend
+        self.name = f"kokkos-{backend}"
+        self.display_name = f"Kokkos {backend.upper() if backend != 'openacc' else 'OpenACC'}"
+        self.memory_space_name = KOKKOS_MEMORY_SPACES[backend]
+        self.team_size = team_size
+        self.space = ExecutionSpace(f"kokkos-{backend}-exec", team_size)
+        self._acc = (
+            OpenACCRuntime(self.device, team_size)
+            if backend == "openacc"
+            else None
+        )
+
+    # -- Kokkos-flavoured API --------------------------------------------------
+    def unified_memory_space(self) -> str:
+        """The backend's unified-memory space name.
+
+        Raises :class:`ModelError` for OpenACC, which provides none — the
+        incompatibility the paper had to work around with I/O changes.
+        """
+        if self.backend not in UNIFIED_MEMORY_SPACES:
+            raise ModelError(
+                "the Kokkos OpenACC backend provides no unified-memory "
+                "space variant (no explicit allocation API in the OpenACC "
+                "specification)"
+            )
+        return UNIFIED_MEMORY_SPACES[self.backend]
+
+    def view(
+        self, label: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> View:
+        """``Kokkos::View<...>`` in the backend memory space."""
+        return View(label, shape, np.dtype(dtype), self.device.space)
+
+    def deep_copy_to_device(self, dst: View, host: np.ndarray) -> None:
+        """``deep_copy(device_view, host_mirror)``."""
+        if dst.shape != tuple(np.shape(host)):
+            raise ModelError(
+                f"deep_copy shape mismatch {dst.shape} vs {np.shape(host)}"
+            )
+        if self._acc is not None:
+            self._acc.acc_update_device(dst, np.asarray(host))
+            return
+        dst.data()[...] = np.asarray(host, dtype=dst.dtype)
+        self.device.ledger.record(
+            TransferRecord("Host", self.device.space.name, dst.nbytes, dst.label)
+        )
+
+    def deep_copy_to_host(self, host: np.ndarray, src: View) -> None:
+        """``deep_copy(host_mirror, device_view)``."""
+        if tuple(np.shape(host)) != src.shape:
+            raise ModelError(
+                f"deep_copy shape mismatch {np.shape(host)} vs {src.shape}"
+            )
+        if self._acc is not None:
+            self._acc.acc_update_self(host, src)
+            return
+        np.copyto(host, src.data())
+        self.device.ledger.record(
+            TransferRecord(self.device.space.name, "Host", src.nbytes, src.label)
+        )
+
+    def parallel_for(
+        self, label: str, policy: RangePolicy, functor: KernelBody
+    ) -> None:
+        """``Kokkos::parallel_for(label, policy, functor)``."""
+        if self._acc is not None:
+            if policy.begin != 0:
+                offset = policy.begin
+
+                def shifted(idx: np.ndarray) -> None:
+                    functor(idx + offset)
+
+                self._acc.acc_parallel_loop(policy.extent, shifted)
+            else:
+                self._acc.acc_parallel_loop(policy.extent, functor)
+            self._count_launch()
+            return
+        self.space.launch_range(functor, policy)
+        self._count_launch()
+
+    def fence(self) -> None:
+        """``Kokkos::fence()``."""
+        if self._acc is not None:
+            self._acc.acc_wait()
+        else:
+            self.space.fence()
+
+    # -- generic surface ----------------------------------------------------
+    def alloc(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> View:
+        return self.view(label, shape, dtype)
+
+    def to_device(self, dst: View, host: np.ndarray) -> None:
+        self.deep_copy_to_device(dst, host)
+
+    def to_host(self, host: np.ndarray, src: View) -> None:
+        self.deep_copy_to_host(host, src)
+
+    def launch(self, label: str, n: int, body: KernelBody) -> None:
+        if n == 0:
+            return
+        self.parallel_for(label, RangePolicy(0, n), body)
+
+    def synchronize(self) -> None:
+        self.fence()

@@ -1,0 +1,104 @@
+"""OpenACC execution primitives (used by the Kokkos-OpenACC backend).
+
+In the paper, OpenACC appears as an (unreleased) Kokkos backend on Summit
+and Polaris (Section 5.4 and 7.3).  This module provides the directive-
+style primitives that backend delegates to: ``acc_enter_data`` /
+``acc_exit_data`` for the data environment and ``acc_parallel_loop`` for
+offloaded loops.
+
+One paper-documented limitation is modelled faithfully: the OpenACC
+specification provides no API to explicitly allocate unified or pinned
+memory, so there is no unified-memory allocation entry point here — the
+implicit data environment is all you get (Section 7.3: "the current
+OpenACC specification does not provide any memory allocation API ... to
+explicitly allocate host pinned memory or unified memory").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.dispatch import ExecutionSpace
+from ..core.errors import ModelError
+from ..core.views import TransferRecord, View
+from .base import KernelBody
+from .device import SimulatedDevice
+
+__all__ = ["OpenACCRuntime"]
+
+#: Typical OpenACC gang/vector configuration for 1-D loops.
+DEFAULT_VECTOR_LENGTH = 128
+
+
+class OpenACCRuntime:
+    """Directive-style data and compute management for one device."""
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        vector_length: int = DEFAULT_VECTOR_LENGTH,
+    ) -> None:
+        if vector_length <= 0:
+            raise ModelError("vector length must be positive")
+        self.device = device if device is not None else SimulatedDevice()
+        self.vector_length = vector_length
+        self.space = ExecutionSpace("openacc-exec", vector_length)
+        self.data_regions = 0
+
+    # -- data environment ----------------------------------------------------
+    def acc_enter_data(self, label: str, host: np.ndarray) -> View:
+        """``#pragma acc enter data copyin(...)``: allocate + upload."""
+        view = View(
+            label, tuple(host.shape), host.dtype, self.device.space
+        )
+        view.data()[...] = host
+        self.device.ledger.record(
+            TransferRecord("Host", self.device.space.name, view.nbytes, label)
+        )
+        self.data_regions += 1
+        return view
+
+    def acc_create(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> View:
+        """``#pragma acc enter data create(...)``: allocate, no upload."""
+        self.data_regions += 1
+        return View(label, shape, np.dtype(dtype), self.device.space)
+
+    def acc_update_self(self, host: np.ndarray, view: View) -> None:
+        """``#pragma acc update self(...)``: download to host."""
+        if tuple(np.shape(host)) != view.shape:
+            raise ModelError("update self shape mismatch")
+        np.copyto(host, view.data())
+        self.device.ledger.record(
+            TransferRecord(
+                self.device.space.name, "Host", view.nbytes, view.label
+            )
+        )
+
+    def acc_update_device(self, view: View, host: np.ndarray) -> None:
+        """``#pragma acc update device(...)``: upload from host."""
+        if tuple(np.shape(host)) != view.shape:
+            raise ModelError("update device shape mismatch")
+        view.data()[...] = np.asarray(host, dtype=view.dtype)
+        self.device.ledger.record(
+            TransferRecord(
+                "Host", self.device.space.name, view.nbytes, view.label
+            )
+        )
+
+    def acc_exit_data(self, view: View) -> None:
+        """``#pragma acc exit data delete(...)``."""
+        view.free()
+        self.data_regions -= 1
+
+    # -- compute ------------------------------------------------------------
+    def acc_parallel_loop(self, n: int, body: KernelBody) -> None:
+        """``#pragma acc parallel loop`` over ``range(n)``."""
+        if n < 0:
+            raise ModelError("loop extent must be non-negative")
+        self.space.launch(body, n, self.vector_length)
+
+    def acc_wait(self) -> None:
+        """``#pragma acc wait``."""
+        self.space.fence()

@@ -1,0 +1,148 @@
+"""The SYCL programming model (Section 5.2).
+
+Single-source offload: kernels and transfers are submitted to a
+:class:`Queue` (the concurrency mechanism analogous to CUDA streams),
+kernels execute over workgroups via :class:`~repro.core.dispatch.NDRange`,
+and memory uses USM (pointer-style, as DPCT-generated code prefers) through
+``malloc_device`` plus ``queue.memcpy``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..core.dispatch import ExecutionSpace, NDRange
+from ..core.errors import ModelError
+from ..core.views import TransferRecord, View
+from .base import KernelBody, ProgrammingModel
+from .device import SimulatedDevice
+
+__all__ = ["SYCLModel", "Queue"]
+
+#: SYCL implementations commonly pick 256-wide workgroups on PVC.
+DEFAULT_WORKGROUP = 256
+
+
+class Queue:
+    """An in-order SYCL queue bound to one device."""
+
+    def __init__(self, model: "SYCLModel") -> None:
+        self._model = model
+        self.submissions = 0
+
+    def submit(self, command: Callable[["Queue"], None]) -> "Queue":
+        """Submit a command group; returns self for ``.wait()`` chaining."""
+        command(self)
+        self.submissions += 1
+        return self
+
+    def parallel_for(self, ndr: NDRange, body: KernelBody) -> None:
+        """Run ``body`` over the nd_range; out-of-range items are masked
+        (the guard SYCL kernels write against padded global sizes)."""
+        model = self._model
+        n = ndr.global_size
+        chunk = ndr.local_size
+        starts = range(0, n, chunk)
+        limit = model._current_limit
+        for a in starts:
+            b = min(a + chunk, n)
+            idx = np.arange(a, b, dtype=np.int64)
+            if limit is not None:
+                idx = idx[idx < limit]
+            if idx.size:
+                body(idx)
+        model.space.stats.launches += 1
+        model.space.stats.blocks += len(starts)
+        model.space.stats.elements += n if limit is None else min(n, limit)
+        model._count_launch()
+
+    def memcpy(self, dst, src) -> "Queue":
+        """USM-style copy; direction inferred from argument types."""
+        self._model._memcpy(dst, src)
+        return self
+
+    def wait(self) -> None:
+        """Block until submitted work completes (no-op in simulation)."""
+
+
+class SYCLModel(ProgrammingModel):
+    """SYCL backend: queues, nd_range parallel_for, USM allocations."""
+
+    name = "sycl"
+    display_name = "SYCL"
+    tool_assisted = True  # produced from CUDA by DPCT in the paper
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        workgroup_size: int = DEFAULT_WORKGROUP,
+    ) -> None:
+        super().__init__(device)
+        if workgroup_size <= 0:
+            raise ModelError("workgroup size must be positive")
+        self.workgroup_size = workgroup_size
+        self.space = ExecutionSpace("sycl-exec", workgroup_size)
+        self.queue = Queue(self)
+        self._current_limit: Optional[int] = None
+
+    # -- SYCL-flavoured API -------------------------------------------------
+    def malloc_device(
+        self, label: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> View:
+        """USM device allocation."""
+        return View(label, shape, np.dtype(dtype), self.device.space)
+
+    def _memcpy(self, dst, src) -> None:
+        if isinstance(dst, View) and not isinstance(src, View):
+            if dst.shape != tuple(np.shape(src)):
+                raise ModelError(
+                    f"memcpy shape mismatch {dst.shape} vs {np.shape(src)}"
+                )
+            dst.data()[...] = np.asarray(src, dtype=dst.dtype)
+            self.device.ledger.record(
+                TransferRecord(
+                    "Host", self.device.space.name, dst.nbytes, dst.label
+                )
+            )
+        elif isinstance(src, View) and not isinstance(dst, View):
+            if tuple(np.shape(dst)) != src.shape:
+                raise ModelError(
+                    f"memcpy shape mismatch {np.shape(dst)} vs {src.shape}"
+                )
+            np.copyto(dst, src.data())
+            self.device.ledger.record(
+                TransferRecord(
+                    self.device.space.name, "Host", src.nbytes, src.label
+                )
+            )
+        else:
+            raise ModelError(
+                "memcpy needs exactly one device View and one host array"
+            )
+
+    # -- generic surface ------------------------------------------------------
+    def alloc(self, label: str, shape: Tuple[int, ...], dtype=np.float64) -> View:
+        return self.malloc_device(label, shape, dtype)
+
+    def to_device(self, dst: View, host: np.ndarray) -> None:
+        self.queue.memcpy(dst, host).wait()
+
+    def to_host(self, host: np.ndarray, src: View) -> None:
+        self.queue.memcpy(host, src).wait()
+
+    def launch(self, label: str, n: int, body: KernelBody) -> None:
+        if n == 0:
+            return
+        ndr = NDRange.for_elements(n, self.workgroup_size)
+        self._current_limit = n if ndr.global_size != n else None
+
+        def command(queue: Queue) -> None:
+            queue.parallel_for(ndr, body)
+
+        self.queue.submit(command)
+        self._current_limit = None
+
+    def synchronize(self) -> None:
+        self.queue.wait()

@@ -1,0 +1,148 @@
+"""Calibration fitting — the inverse problem of the simulator.
+
+Given a *measured* MFLUPS series over a scaling schedule, recover the
+stream-collide efficiency that, fed back through the pricing engine,
+best explains the measurements.  Two uses:
+
+* **self-consistency validation** — fitting the simulator's own output
+  must recover the calibration constant that produced it (pinned by the
+  test suite), proving the pricing mechanism is invertible and that the
+  calibration constants mean what they claim;
+* **calibrating against real data** — a user with actual testbed
+  measurements can fit per-(system, model) efficiencies the same way the
+  paper's authors would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.errors import PerfModelError
+from ..hardware.machine import Machine
+from ..perf.calibrate import Calibration
+from ..perf.simulate import price_run
+from ..perf.trace import RunTrace
+
+__all__ = ["FitResult", "fit_sc_efficiency"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """The fitted efficiency and its quality."""
+
+    sc_efficiency: float
+    relative_rmse: float
+    evaluations: int
+
+    @property
+    def good_fit(self) -> bool:
+        return self.relative_rmse < 0.05
+
+
+def _series_for(
+    traces: Sequence[RunTrace],
+    machine: Machine,
+    model_name: str,
+    app: str,
+    efficiency: float,
+    template: Calibration,
+) -> List[float]:
+    cal = Calibration(
+        sc_efficiency=efficiency,
+        launch_factor=template.launch_factor,
+        comm_factor=template.comm_factor,
+        aorta_factor=template.aorta_factor,
+        aorta_scale_decay=template.aorta_scale_decay,
+        aorta_decay_onset=template.aorta_decay_onset,
+    )
+    # Route the custom calibration by monkey-free injection: price each
+    # trace with a one-off variant of the lookup.
+    from ..models.registry import variant_for
+    from ..perf import calibrate as _cal_mod
+    from ..perf.simulate import _rank_cost, _DEFAULT_OVERRIDES, RunCost
+
+    out: List[float] = []
+    for trace in traces:
+        variant = variant_for(model_name, machine)
+        ranks = tuple(
+            _rank_cost(
+                trace, machine, variant, cal, app, rt, _DEFAULT_OVERRIDES
+            )
+            for rt in trace.ranks
+        )
+        cost = RunCost(
+            machine=machine.name,
+            model=model_name,
+            app=app,
+            workload=trace.workload,
+            n_gpus=trace.n_ranks,
+            total_fluid=trace.total_fluid,
+            ranks=ranks,
+            oom=False,
+        )
+        out.append(cost.mflups)
+    return out
+
+
+def fit_sc_efficiency(
+    traces: Sequence[RunTrace],
+    measured_mflups: Sequence[float],
+    machine: Machine,
+    model_name: str,
+    app: str = "harvey",
+    template: Calibration = None,
+    bounds: tuple = (0.05, 1.0),
+    tolerance: float = 1e-4,
+) -> FitResult:
+    """Fit the stream-collide efficiency by golden-section search.
+
+    The predicted MFLUPS is monotone in the efficiency, so the relative
+    RMSE against the measurements is unimodal over the bracket; a
+    derivative-free search suffices.
+    """
+    if len(traces) != len(measured_mflups):
+        raise PerfModelError("traces and measurements must align")
+    if not traces:
+        raise PerfModelError("need at least one scaling point")
+    if any(m <= 0 for m in measured_mflups):
+        raise PerfModelError("measured MFLUPS must be positive")
+    template = template if template is not None else Calibration(0.5)
+    measured = np.asarray(measured_mflups, dtype=np.float64)
+    evaluations = 0
+
+    def loss(eff: float) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        predicted = np.asarray(
+            _series_for(traces, machine, model_name, app, eff, template)
+        )
+        return float(
+            np.sqrt(np.mean(((predicted - measured) / measured) ** 2))
+        )
+
+    lo, hi = bounds
+    if not 0.0 < lo < hi <= 1.0:
+        raise PerfModelError("bounds must satisfy 0 < lo < hi <= 1")
+    phi = (np.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc, fd = loss(c), loss(d)
+    while (b - a) > tolerance:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = loss(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = loss(d)
+    best = (a + b) / 2.0
+    return FitResult(
+        sc_efficiency=float(best),
+        relative_rmse=loss(best),
+        evaluations=evaluations,
+    )

@@ -1,0 +1,34 @@
+"""MFLUPS — millions of fluid lattice updates per second.
+
+The paper's performance unit (Section 3.2): problem-size- and
+geometry-independent throughput for pure fluid LBM simulations.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import PerfModelError
+
+__all__ = ["mflups", "iteration_time_from_mflups", "speedup"]
+
+
+def mflups(total_fluid: float, iteration_time_s: float) -> float:
+    """Throughput for one iteration over ``total_fluid`` sites."""
+    if total_fluid < 0:
+        raise PerfModelError("fluid count must be non-negative")
+    if iteration_time_s <= 0:
+        raise PerfModelError("iteration time must be positive")
+    return total_fluid / iteration_time_s / 1e6
+
+
+def iteration_time_from_mflups(total_fluid: float, perf_mflups: float) -> float:
+    """Inverse conversion (used by tests and report rendering)."""
+    if perf_mflups <= 0:
+        raise PerfModelError("MFLUPS must be positive")
+    return total_fluid / (perf_mflups * 1e6)
+
+
+def speedup(fast_mflups: float, slow_mflups: float) -> float:
+    """Ratio of two throughputs."""
+    if slow_mflups <= 0 or fast_mflups <= 0:
+        raise PerfModelError("MFLUPS values must be positive")
+    return fast_mflups / slow_mflups

@@ -1,0 +1,148 @@
+"""The paper's GPU performance model (Section 6, Eqs. 1-4).
+
+The model predicts an *upper bound* on iteration time for a
+memory-bandwidth-bound LBM run:
+
+* Eq. 1 — stream-collide time: ``t_sc = n_bytes / B_mem`` where ``B_mem``
+  is the BabelStream-measured device bandwidth;
+* Eq. 2 — total time: ``t = t_sc + sum_j t_comm_j`` over all halo
+  communication events;
+* Eq. 3 — communication surface per processor, from the idealised
+  cubic-subdomain assumption: ``SA_comm ~ w * V^(2/3)`` with ``V`` the
+  per-processor fluid volume (in lattice sites);
+* Eq. 4 — the face-count correction for low GPU counts:
+  ``w = 2 * min(log2(n_gpus), 6)``.
+
+Each of the ``w`` surface events is priced with the PingPong link model of
+the machine; by default events cross the inter-node fabric once more than
+one node is in use (the bound the paper's "ideal prediction" curves show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import PerfModelError
+from ..hardware.interconnect import LinkTier
+from ..hardware.machine import Machine
+
+__all__ = [
+    "streamcollide_time",
+    "face_count",
+    "comm_surface_sites",
+    "PredictedIteration",
+    "predict_iteration",
+    "BYTES_PER_UPDATE_D3Q19",
+    "HALO_BYTES_PER_SITE_D3Q19",
+]
+
+#: Read + write of all 19 double-precision populations per fluid update.
+BYTES_PER_UPDATE_D3Q19 = 2 * 19 * 8
+
+#: Bytes exchanged per halo site.  Only the populations crossing a
+#: subdomain face must move — 5 of the 19 D3Q19 directions per axis face —
+#: which is what production LBM codes pack and send.  (The functional
+#: runtime in :mod:`repro.lbm.distributed` ships all 19 for simplicity;
+#: the performance layers price the packed exchange.)
+HALO_BYTES_PER_SITE_D3Q19 = 5 * 8
+
+
+def streamcollide_time(n_bytes: float, bandwidth_bytes_s: float) -> float:
+    """Eq. 1: bytes over bandwidth."""
+    if n_bytes < 0:
+        raise PerfModelError("byte count must be non-negative")
+    if bandwidth_bytes_s <= 0:
+        raise PerfModelError("bandwidth must be positive")
+    return n_bytes / bandwidth_bytes_s
+
+
+def face_count(n_gpus: int) -> float:
+    """Eq. 4: ``w = 2 * min(log2(n_gpus), 6)``.
+
+    Caps at the 6 faces of a cube (each sent and received once).
+    """
+    if n_gpus < 1:
+        raise PerfModelError("n_gpus must be >= 1")
+    if n_gpus == 1:
+        return 0.0
+    return 2.0 * min(float(np.log2(n_gpus)), 6.0)
+
+
+def comm_surface_sites(fluid_per_gpu: float) -> float:
+    """Eq. 3's ``V^(2/3)`` term: the maximum halo face of the idealised
+    cubic subdomain, in lattice sites."""
+    if fluid_per_gpu < 0:
+        raise PerfModelError("fluid volume must be non-negative")
+    return float(fluid_per_gpu) ** (2.0 / 3.0)
+
+
+@dataclass(frozen=True)
+class PredictedIteration:
+    """One performance-model prediction."""
+
+    total_fluid: float
+    n_gpus: int
+    t_streamcollide: float
+    t_comm: float
+    num_events: float
+    event_bytes: float
+
+    @property
+    def t_iteration(self) -> float:
+        return self.t_streamcollide + self.t_comm
+
+    @property
+    def mflups(self) -> float:
+        """Predicted performance in millions of fluid lattice updates/s."""
+        if self.t_iteration == 0:
+            raise PerfModelError("zero iteration time")
+        return self.total_fluid / self.t_iteration / 1e6
+
+
+def predict_iteration(
+    machine: Machine,
+    total_fluid: float,
+    n_gpus: int,
+    bytes_per_update: float = BYTES_PER_UPDATE_D3Q19,
+    halo_bytes_per_site: float = HALO_BYTES_PER_SITE_D3Q19,
+    bandwidth_bytes_s: Optional[float] = None,
+) -> PredictedIteration:
+    """The full Section-6 prediction for one scaling point.
+
+    Fluid is split evenly over ``n_gpus`` (the model's assumption); each
+    of the ``w`` events moves one ``V^(2/3)`` face and is priced on the
+    slowest link the placement touches (inter-node once more than one
+    node is used, otherwise the intra-node link).
+    """
+    if total_fluid <= 0:
+        raise PerfModelError("total fluid must be positive")
+    if n_gpus < 1:
+        raise PerfModelError("n_gpus must be >= 1")
+    bw = (
+        bandwidth_bytes_s
+        if bandwidth_bytes_s is not None
+        else machine.node.gpu.mem_bandwidth_bytes_s
+    )
+    fluid_per_gpu = total_fluid / n_gpus
+    t_sc = streamcollide_time(fluid_per_gpu * bytes_per_update, bw)
+    w = face_count(n_gpus)
+    face_sites = comm_surface_sites(fluid_per_gpu)
+    event_bytes = face_sites * halo_bytes_per_site
+    if machine.nodes_used(n_gpus) > 1:
+        link = machine.node.link(LinkTier.INTER_NODE)
+    elif n_gpus > machine.node.gpu.subdevices:
+        link = machine.node.link(LinkTier.INTRA_NODE)
+    else:
+        link = machine.node.link(LinkTier.SAME_PACKAGE)
+    t_comm = w * link.message_time(int(event_bytes)) if w else 0.0
+    return PredictedIteration(
+        total_fluid=float(total_fluid),
+        n_gpus=n_gpus,
+        t_streamcollide=t_sc,
+        t_comm=t_comm,
+        num_events=w,
+        event_bytes=float(event_bytes),
+    )

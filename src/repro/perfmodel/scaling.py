@@ -1,0 +1,107 @@
+"""Piecewise strong-scaling schedules (Section 8.1).
+
+"We strong scale over a range of GPUs spanning four powers of 2, and then
+grow the problem size proportionately to the increase in GPU count."  The
+paper's runs span 2-1024 GPUs in three sections; the problem grows at 16
+and 128 GPUs, producing the jump discontinuities visible in Figs. 3-6.
+
+Workload sizes:
+
+* cylinder — proxy-app simulation sizes (scale factors) 12, 24, 48;
+* aorta — grid spacings 110, 55 and 27.5 microns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.errors import PerfModelError
+
+__all__ = [
+    "ScalingPoint",
+    "PiecewiseSchedule",
+    "cylinder_schedule",
+    "aorta_schedule",
+    "CYLINDER_SCALES",
+    "AORTA_SPACINGS_MM",
+]
+
+#: Paper cylinder sizes for the three sections (Fig. 3/5 captions).
+CYLINDER_SCALES = (12.0, 24.0, 48.0)
+
+#: Paper aorta grid spacings in mm for the three sections (Fig. 4/6).
+AORTA_SPACINGS_MM = (0.110, 0.055, 0.0275)
+
+#: GPU counts per section: the problem grows when a new section starts,
+#: so 16 and 128 are evaluated at the *new* size (the jump points).
+SECTION_COUNTS = ((2, 4, 8), (16, 32, 64), (128, 256, 512, 1024))
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (GPU count, problem size) evaluation."""
+
+    n_gpus: int
+    size: float
+    section: int
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise PerfModelError("n_gpus must be >= 1")
+        if self.size <= 0:
+            raise PerfModelError("size must be positive")
+
+
+@dataclass(frozen=True)
+class PiecewiseSchedule:
+    """A full piecewise-scaling run plan."""
+
+    workload: str
+    points: Tuple[ScalingPoint, ...]
+
+    def gpu_counts(self) -> List[int]:
+        return [p.n_gpus for p in self.points]
+
+    def truncated(self, max_gpus: int) -> "PiecewiseSchedule":
+        """Drop points above a GPU budget (Sunspot stops at 256 in the
+        paper due to testbed availability)."""
+        pts = tuple(p for p in self.points if p.n_gpus <= max_gpus)
+        if not pts:
+            raise PerfModelError(f"no points at or below {max_gpus} GPUs")
+        return PiecewiseSchedule(self.workload, pts)
+
+    @property
+    def jump_counts(self) -> List[int]:
+        """GPU counts where the problem size grows (weak-scaling points)."""
+        out = []
+        for prev, cur in zip(self.points, self.points[1:]):
+            if cur.size != prev.size:
+                out.append(cur.n_gpus)
+        return out
+
+
+def _build(workload: str, sizes: Sequence[float]) -> PiecewiseSchedule:
+    if len(sizes) != len(SECTION_COUNTS):
+        raise PerfModelError(
+            f"need {len(SECTION_COUNTS)} sizes, got {len(sizes)}"
+        )
+    points = []
+    for section, (counts, size) in enumerate(zip(SECTION_COUNTS, sizes)):
+        for n in counts:
+            points.append(ScalingPoint(n, float(size), section))
+    return PiecewiseSchedule(workload, tuple(points))
+
+
+def cylinder_schedule(
+    scales: Sequence[float] = CYLINDER_SCALES,
+) -> PiecewiseSchedule:
+    """The cylinder piecewise schedule (sizes 12/24/48 by default)."""
+    return _build("cylinder", scales)
+
+
+def aorta_schedule(
+    spacings_mm: Sequence[float] = AORTA_SPACINGS_MM,
+) -> PiecewiseSchedule:
+    """The aorta piecewise schedule (110/55/27.5 micron spacings)."""
+    return _build("aorta", spacings_mm)

@@ -1,0 +1,163 @@
+"""Sensitivity analysis of the performance model.
+
+The paper's contribution (6) is "evaluation of the impact of hardware
+architecture on the choice of programming model and code performance".
+This module quantifies that impact analytically: for any scaling point it
+reports the elasticity of predicted MFLUPS with respect to each hardware
+knob — device memory bandwidth, interconnect bandwidth, and interconnect
+latency — identifying which resource bounds the run where.
+
+Elasticity is the dimensionless ``d log(MFLUPS) / d log(knob)``: 1.0
+means performance is fully bound by that knob, 0.0 means insensitive.
+Elasticities over the (bandwidth-type) knobs sum to ~1 for this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from ..core.errors import PerfModelError
+from ..hardware.interconnect import LinkSpec, LinkTier
+from ..hardware.machine import Machine
+from ..hardware.node import NodeSpec
+from .model import BYTES_PER_UPDATE_D3Q19, predict_iteration
+
+__all__ = ["Sensitivity", "sensitivity_analysis", "dominant_resource"]
+
+#: Relative perturbation used for the central differences.
+_EPS = 0.01
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticities of predicted performance at one scaling point."""
+
+    machine: str
+    n_gpus: int
+    total_fluid: float
+    memory_bandwidth: float
+    interconnect_bandwidth: float
+    interconnect_latency: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "memory_bandwidth": self.memory_bandwidth,
+            "interconnect_bandwidth": self.interconnect_bandwidth,
+            "interconnect_latency": self.interconnect_latency,
+        }
+
+
+def _with_scaled_gpu_bw(machine: Machine, factor: float) -> Machine:
+    gpu = replace(
+        machine.node.gpu,
+        mem_bandwidth_tbs=machine.node.gpu.mem_bandwidth_tbs * factor,
+    )
+    node = NodeSpec(
+        cpu_name=machine.node.cpu_name,
+        cpus=machine.node.cpus,
+        cores_per_cpu=machine.node.cores_per_cpu,
+        gpu=gpu,
+        packages=machine.node.packages,
+        links=machine.node.links,
+    )
+    return replace(machine, node=node)
+
+
+def _with_scaled_link(
+    machine: Machine, bw_factor: float, lat_factor: float
+) -> Machine:
+    links = dict(machine.node.links)
+    old = links[LinkTier.INTER_NODE]
+    links[LinkTier.INTER_NODE] = LinkSpec(
+        old.name, old.bandwidth_gbs * bw_factor, old.latency_s * lat_factor
+    )
+    node = NodeSpec(
+        cpu_name=machine.node.cpu_name,
+        cpus=machine.node.cpus,
+        cores_per_cpu=machine.node.cores_per_cpu,
+        gpu=machine.node.gpu,
+        packages=machine.node.packages,
+        links=links,
+    )
+    return replace(machine, node=node)
+
+
+def _mflups(machine: Machine, total_fluid: float, n: int, bpu: float) -> float:
+    return predict_iteration(
+        machine, total_fluid, n, bytes_per_update=bpu
+    ).mflups
+
+
+def _elasticity(f_plus: float, f_minus: float) -> float:
+    """Central-difference log-log derivative with step ``_EPS``."""
+    import math
+
+    return (math.log(f_plus) - math.log(f_minus)) / (
+        math.log(1 + _EPS) - math.log(1 - _EPS)
+    )
+
+
+def sensitivity_analysis(
+    machine: Machine,
+    total_fluid: float,
+    n_gpus: int,
+    bytes_per_update: float = BYTES_PER_UPDATE_D3Q19,
+) -> Sensitivity:
+    """Elasticities of the Eq. 1-4 prediction at one scaling point."""
+    if total_fluid <= 0 or n_gpus < 1:
+        raise PerfModelError("need positive fluid and at least one GPU")
+    mem = _elasticity(
+        _mflups(_with_scaled_gpu_bw(machine, 1 + _EPS), total_fluid, n_gpus,
+                bytes_per_update),
+        _mflups(_with_scaled_gpu_bw(machine, 1 - _EPS), total_fluid, n_gpus,
+                bytes_per_update),
+    )
+    net_bw = _elasticity(
+        _mflups(_with_scaled_link(machine, 1 + _EPS, 1.0), total_fluid,
+                n_gpus, bytes_per_update),
+        _mflups(_with_scaled_link(machine, 1 - _EPS, 1.0), total_fluid,
+                n_gpus, bytes_per_update),
+    )
+    # latency elasticity is negative (more latency, less throughput);
+    # report its magnitude-signed value
+    net_lat = _elasticity(
+        _mflups(_with_scaled_link(machine, 1.0, 1 + _EPS), total_fluid,
+                n_gpus, bytes_per_update),
+        _mflups(_with_scaled_link(machine, 1.0, 1 - _EPS), total_fluid,
+                n_gpus, bytes_per_update),
+    )
+    return Sensitivity(
+        machine=machine.name,
+        n_gpus=n_gpus,
+        total_fluid=float(total_fluid),
+        memory_bandwidth=mem,
+        interconnect_bandwidth=net_bw,
+        interconnect_latency=net_lat,
+    )
+
+
+def dominant_resource(sens: Sensitivity) -> str:
+    """Which knob bounds performance at this point."""
+    table = {
+        "memory_bandwidth": sens.memory_bandwidth,
+        "interconnect_bandwidth": sens.interconnect_bandwidth,
+        "interconnect_latency": abs(sens.interconnect_latency),
+    }
+    return max(table, key=table.get)
+
+
+def sensitivity_sweep(
+    machine: Machine,
+    total_fluid_per_gpu: float,
+    gpu_counts: List[int],
+    bytes_per_update: float = BYTES_PER_UPDATE_D3Q19,
+) -> List[Sensitivity]:
+    """Weak-scaling sensitivity sweep: fixed work per GPU, growing
+    counts — shows the compute->communication bound transition."""
+    return [
+        sensitivity_analysis(
+            machine, total_fluid_per_gpu * n, n, bytes_per_update
+        )
+        for n in gpu_counts
+    ]

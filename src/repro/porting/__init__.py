@@ -1,0 +1,42 @@
+"""The porting toolchain: a HARVEY-like CUDA corpus plus the three
+porting paths the paper evaluates (HIPify, DPCT, manual Kokkos) and the
+line-level effort accounting of Table 3."""
+
+from .corpus import (
+    CORPUS_FILE_COUNT,
+    TARGET_WARNINGS,
+    corpus_line_count,
+    harvey_corpus,
+    proxy_corpus,
+)
+from .diffstats import DiffStats, corpus_diff_stats, diff_stats
+from .dpct import (
+    WARNING_CATEGORIES,
+    DPCTResult,
+    DPCTWarning,
+    apply_manual_fixes,
+    dpct_translate,
+)
+from .hipify import HipifyResult, hipify, validate_hip
+from .kokkosport import KokkosPortResult, port_to_kokkos
+
+__all__ = [
+    "harvey_corpus",
+    "proxy_corpus",
+    "corpus_line_count",
+    "CORPUS_FILE_COUNT",
+    "TARGET_WARNINGS",
+    "DiffStats",
+    "diff_stats",
+    "corpus_diff_stats",
+    "DPCTWarning",
+    "DPCTResult",
+    "dpct_translate",
+    "apply_manual_fixes",
+    "WARNING_CATEGORIES",
+    "HipifyResult",
+    "hipify",
+    "validate_hip",
+    "KokkosPortResult",
+    "port_to_kokkos",
+]

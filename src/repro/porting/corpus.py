@@ -1,0 +1,322 @@
+"""A miniature CUDA source corpus modelled on HARVEY's structure.
+
+The porting-tool experiments (Section 7, Tables 2-3) need a CUDA code
+base to port.  This module generates one deterministically: 28 source
+files (the number DPCT processed for HARVEY) mirroring the subsystems of
+a production LBM code — kernels for collide/stream/boundary/moments,
+communication staging, geometry and decomposition setup, I/O, timers —
+with the API-usage profile that drives the paper's Table 2 warning
+breakdown:
+
+* 107 error-handling call sites (``CUDA_CHECK`` on API returns),
+* 20 kernel launches (``<<<grid, block>>>``),
+* 3 uses of features DPC++ has no equivalent for,
+* 2 performance-improvement trigger sites,
+* 1 trigonometric call whose DPC++ replacement is not exactly equivalent,
+
+for 133 warnings total, and 27 uninitialised ``dim3`` declarations whose
+DPCT translation fails to compile (the manual-fix count of Table 3).
+
+A 3-file proxy-app corpus is also provided; it ports "without any
+intervention" (Section 7.1) — no uninitialised ``dim3``, no unsupported
+features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.errors import PortingError
+
+__all__ = [
+    "harvey_corpus",
+    "proxy_corpus",
+    "corpus_line_count",
+    "CORPUS_FILE_COUNT",
+    "TARGET_WARNINGS",
+]
+
+CORPUS_FILE_COUNT = 28
+
+#: The Table 2 target profile (counts out of 133 warnings).
+TARGET_WARNINGS = {
+    "Error handling": 107,
+    "Kernel invocation": 20,
+    "Unsupported feature": 3,
+    "Performance improvement": 2,
+    "Functional equivalence": 1,
+}
+
+_HEADER = """\
+// {name} — part of the HARVEY-like miniature corpus (auto-generated)
+#include <cuda_runtime.h>
+#include "harvey_types.h"
+
+#define CUDA_CHECK(call)                                              \\
+    do {{                                                             \\
+        cudaError_t err_ = (call);                                    \\
+        if (err_ != cudaSuccess) {{                                   \\
+            fprintf(stderr, "CUDA error %s at %s:%d\\n",              \\
+                    cudaGetErrorString(err_), __FILE__, __LINE__);    \\
+            abort();                                                  \\
+        }}                                                            \\
+    }} while (0)
+"""
+
+
+def _kernel(name: str, body_lines: List[str]) -> str:
+    body = "\n".join("    " + line for line in body_lines)
+    return (
+        f"__global__ void {name}(double* distr, double* distr_out,\n"
+        f"                       const long* nbr, const int n) {{\n"
+        f"    int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+        f"    if (i >= n) return;\n"
+        f"{body}\n"
+        f"}}\n"
+    )
+
+
+_KERNEL_BODIES: Dict[str, List[str]] = {
+    "collide": [
+        "double rho = 0.0, ux = 0.0, uy = 0.0, uz = 0.0;",
+        "for (int q = 0; q < 19; ++q) {",
+        "    double f = distr[q * n + i];",
+        "    rho += f;",
+        "    ux += f * c_vel[3 * q + 0];",
+        "    uy += f * c_vel[3 * q + 1];",
+        "    uz += f * c_vel[3 * q + 2];",
+        "}",
+        "ux /= rho; uy /= rho; uz /= rho;",
+        "double usq = ux * ux + uy * uy + uz * uz;",
+        "for (int q = 0; q < 19; ++q) {",
+        "    double cu = 3.0 * (c_vel[3 * q + 0] * ux +",
+        "                       c_vel[3 * q + 1] * uy +",
+        "                       c_vel[3 * q + 2] * uz);",
+        "    double feq = c_wgt[q] * rho *",
+        "        (1.0 + cu + 0.5 * cu * cu - 1.5 * usq);",
+        "    distr_out[q * n + i] =",
+        "        distr[q * n + i] * (1.0 - omega) + omega * feq;",
+        "}",
+    ],
+    "stream": [
+        "for (int q = 0; q < 19; ++q) {",
+        "    long src = nbr[q * n + i];",
+        "    distr_out[q * n + i] = (src >= 0)",
+        "        ? distr[q * n + src]",
+        "        : distr[c_opp[q] * n + i];",
+        "}",
+    ],
+    "bounce": [
+        "for (int q = 0; q < 19; ++q) {",
+        "    long src = nbr[q * n + i];",
+        "    if (src < 0) distr_out[q * n + i] = distr[c_opp[q] * n + i];",
+        "}",
+    ],
+    "moments": [
+        "double rho = 0.0;",
+        "for (int q = 0; q < 19; ++q) rho += distr[q * n + i];",
+        "distr_out[i] = rho;",
+    ],
+    "pack": [
+        "for (int q = 0; q < 5; ++q)",
+        "    distr_out[q * n + i] = distr[nbr[q * n + i]];",
+    ],
+    "unpack": [
+        "for (int q = 0; q < 5; ++q)",
+        "    distr_out[nbr[q * n + i]] = distr[q * n + i];",
+    ],
+    "inlet": [
+        "double u = c_pulse[i % 64];",
+        "for (int q = 0; q < 19; ++q)",
+        "    distr_out[q * n + i] = c_wgt[q] * (1.0 + 3.0 * u);",
+    ],
+    "outlet": [
+        "double rho0 = 1.0;",
+        "for (int q = 0; q < 19; ++q)",
+        "    distr_out[q * n + i] = c_wgt[q] * rho0;",
+    ],
+    "force": [
+        "for (int q = 0; q < 19; ++q)",
+        "    distr_out[q * n + i] += c_wgt[q] * 3.0 * c_force[q];",
+    ],
+    "reduce": [
+        "atomicAdd(&distr_out[0], distr[i]);",
+    ],
+}
+
+
+def _launch_block(kernel: str, index: int, uninit_dim3: bool) -> List[str]:
+    """A host-side launch with grid/block setup and error checks."""
+    lines: List[str] = []
+    if uninit_dim3:
+        # DPCT translates these to default-constructed sycl::range<3>,
+        # which does not compile — the paper's Section 7.1 manual fix.
+        lines.append(f"    dim3 grid_{kernel}_{index};")
+        lines.append(f"    grid_{kernel}_{index}.x = (n + 127) / 128;")
+    else:
+        lines.append(f"    dim3 grid_{kernel}_{index}((n + 127) / 128, 1, 1);")
+    lines.append(f"    dim3 block_{kernel}_{index}(128, 1, 1);")
+    lines.append(
+        f"    {kernel}_kernel<<<grid_{kernel}_{index}, "
+        f"block_{kernel}_{index}>>>(d_distr, d_distr_out, d_nbr, n);"
+    )
+    lines.append("    CUDA_CHECK(cudaGetLastError());")
+    return lines
+
+
+def _error_check_sites(count: int, tag: str) -> List[str]:
+    """Host-side API calls wrapped in CUDA_CHECK (one warning each)."""
+    calls = [
+        'CUDA_CHECK(cudaMalloc((void**)&d_{tag}_{i}, n * sizeof(double)));',
+        'CUDA_CHECK(cudaMemcpy(d_{tag}_{i}, h_buf, n * sizeof(double), '
+        'cudaMemcpyHostToDevice));',
+        'CUDA_CHECK(cudaMemcpy(h_buf, d_{tag}_{i}, n * sizeof(double), '
+        'cudaMemcpyDeviceToHost));',
+        'CUDA_CHECK(cudaDeviceSynchronize());',
+        'CUDA_CHECK(cudaFree(d_{tag}_{i}));',
+    ]
+    out = []
+    for i in range(count):
+        out.append("    " + calls[i % len(calls)].format(tag=tag, i=i))
+    return out
+
+
+# (file name, kernels, launches-with-uninit-dim3 flags, error checks,
+#  special snippet keys)
+_FileSpec = Tuple[str, List[str], List[bool], int, List[str]]
+
+_SPECIALS: Dict[str, str] = {
+    "cache_config": "    CUDA_CHECK(cudaFuncSetCacheConfig("
+    "collide_kernel, cudaFuncCachePreferL1));",
+    "stream_attach": "    CUDA_CHECK(cudaStreamAttachMemAsync("
+    "stream0, d_distr, 0, cudaMemAttachGlobal));",
+    "device_limit": "    CUDA_CHECK(cudaDeviceSetLimit("
+    "cudaLimitMallocHeapSize, heap_bytes));",
+    "malloc_host": "    CUDA_CHECK(cudaMallocHost((void**)&h_pinned, "
+    "n * sizeof(double)));",
+    "malloc_host2": "    CUDA_CHECK(cudaMallocHost((void**)&h_stage, "
+    "halo_bytes));",
+    "sincospi": "    sincospi(phase, &pulse_sin, &pulse_cos);",
+}
+
+#: special-snippet keys by DPCT warning category (see dpct.py)
+SPECIAL_UNSUPPORTED = ("cache_config", "stream_attach", "device_limit")
+SPECIAL_PERFORMANCE = ("malloc_host", "malloc_host2")
+SPECIAL_FUNCTIONAL = ("sincospi",)
+
+
+def _file_specs() -> List[_FileSpec]:
+    """The 28-file layout.
+
+    Kernel launches total 20; uninitialised-dim3 launches total 27 when
+    counted per *declaration line* (some launch sites declare the grid
+    uninitialised and a second sweep adds standalone uninitialised dim3
+    temporaries); error checks total 107.
+    """
+    specs: List[_FileSpec] = [
+        # core kernels
+        ("collide.cu", ["collide"], [True], 3, ["cache_config"]),
+        ("stream.cu", ["stream"], [True], 3, []),
+        ("bounce.cu", ["bounce"], [True], 3, []),
+        ("moments.cu", ["moments"], [True], 3, []),
+        ("forcing.cu", ["force"], [True], 3, []),
+        ("reduce.cu", ["reduce"], [True], 3, []),
+        # boundary handling
+        ("inlet.cu", ["inlet"], [True], 3, ["sincospi"]),
+        ("outlet.cu", ["outlet"], [True], 3, []),
+        # halo communication staging
+        ("pack.cu", ["pack"], [True], 3, ["malloc_host"]),
+        ("unpack.cu", ["unpack"], [True], 3, ["malloc_host2"]),
+        # second instances of the hot kernels (fused variants)
+        ("collide_fused.cu", ["collide"], [True], 3, []),
+        ("stream_fused.cu", ["stream"], [True], 3, []),
+        ("inlet_pulse.cu", ["inlet"], [True], 3, []),
+        ("outlet_windkessel.cu", ["outlet"], [True], 3, []),
+        ("moments_wall.cu", ["moments"], [True], 3, ["stream_attach"]),
+        ("pack_corner.cu", ["pack"], [True], 3, []),
+        ("unpack_corner.cu", ["unpack"], [True], 3, []),
+        ("bounce_curved.cu", ["bounce"], [True], 3, []),
+        ("force_guo.cu", ["force"], [True], 3, []),
+        ("reduce_mass.cu", ["reduce"], [True], 3, ["device_limit"]),
+        # host-side subsystems (no kernels)
+        ("main.cu", [], [], 4, []),
+        ("init.cu", [], [], 3, []),
+        ("geometry.cu", [], [], 3, []),
+        ("decompose.cu", [], [], 3, []),
+        ("comm.cu", [], [], 3, []),
+        ("io.cu", [], [], 3, []),
+        ("monitor.cu", [], [], 3, []),
+        ("timer.cu", [], [], 3, []),
+    ]
+    return specs
+
+
+def _render_file(spec: _FileSpec, extra_dim3: int) -> str:
+    name, kernels, uninit_flags, n_checks, specials = spec
+    parts = [_HEADER.format(name=name)]
+    for kname in kernels:
+        parts.append(_kernel(f"{kname}_kernel", _KERNEL_BODIES[kname]))
+    body: List[str] = [f"void {name.split('.')[0]}_driver(int n) {{"]
+    body.append("    double* h_buf = host_buffer(n);")
+    for i in range(extra_dim3):
+        body.append(f"    dim3 tmp_extent_{i};")
+    body.extend(_error_check_sites(n_checks, name.split(".")[0]))
+    for kname, uninit in zip(kernels, uninit_flags):
+        body.extend(_launch_block(kname, 0, uninit))
+    for key in specials:
+        body.append(_SPECIALS[key])
+    body.append("}")
+    parts.append("\n".join(body) + "\n")
+    return "\n".join(parts)
+
+
+def harvey_corpus() -> Dict[str, str]:
+    """The 28-file HARVEY-like CUDA corpus."""
+    specs = _file_specs()
+    if len(specs) != CORPUS_FILE_COUNT:
+        raise PortingError(
+            f"corpus spec lists {len(specs)} files, expected "
+            f"{CORPUS_FILE_COUNT}"
+        )
+    # Explicit CUDA_CHECK sites plus one cudaGetLastError check per
+    # launch plus the two CUDA_CHECK-wrapped cudaMallocHost sites must
+    # total the 107 error-handling warnings of Table 2.
+    total_launches_ = sum(len(s[1]) for s in specs)
+    total_checks = (
+        sum(s[3] for s in specs)
+        + total_launches_
+        + len(SPECIAL_PERFORMANCE)
+    )
+    if total_checks != TARGET_WARNINGS["Error handling"]:
+        raise PortingError(
+            f"corpus spec yields {total_checks} error-handling sites, "
+            f"expected {TARGET_WARNINGS['Error handling']}"
+        )
+    total_launches = sum(len(s[1]) for s in specs)
+    if total_launches != TARGET_WARNINGS["Kernel invocation"]:
+        raise PortingError(
+            f"corpus spec has {total_launches} launches, expected "
+            f"{TARGET_WARNINGS['Kernel invocation']}"
+        )
+    # 20 launches carry uninitialised dim3 grids; 7 more standalone
+    # uninitialised dim3 temporaries bring the manual-fix count to 27.
+    extra_by_file = {"main.cu": 3, "comm.cu": 2, "io.cu": 2}
+    out: Dict[str, str] = {}
+    for spec in specs:
+        out[spec[0]] = _render_file(spec, extra_by_file.get(spec[0], 0))
+    return out
+
+
+def proxy_corpus() -> Dict[str, str]:
+    """The 3-file proxy-app corpus (ports cleanly)."""
+    specs: List[_FileSpec] = [
+        ("proxy_main.cu", [], [], 4, []),
+        ("proxy_kernels.cu", ["collide", "stream"], [False, False], 4, []),
+        ("proxy_comm.cu", ["pack"], [False], 3, []),
+    ]
+    return {spec[0]: _render_file(spec, 0) for spec in specs}
+
+
+def corpus_line_count(files: Dict[str, str]) -> int:
+    """Total source lines in a corpus."""
+    return sum(len(text.splitlines()) for text in files.values())

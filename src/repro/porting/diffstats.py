@@ -1,0 +1,74 @@
+"""Porting-effort accounting: lines added and changed between code bases.
+
+Reproduces the Table 3 methodology: "we monitored the number of lines of
+the application source code that were modified and added during the
+porting process."  Per file, a line-level diff (difflib) classifies:
+
+* *changed* — lines rewritten in place (paired lines of ``replace``
+  opcodes);
+* *added* — net new lines (``insert`` opcodes plus the surplus of a
+  ``replace`` whose new side is longer).
+
+Deletions are reported too, though Table 3 does not track them.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DiffStats", "diff_stats", "corpus_diff_stats"]
+
+
+@dataclass(frozen=True)
+class DiffStats:
+    """Line-level porting effort."""
+
+    added: int = 0
+    changed: int = 0
+    removed: int = 0
+
+    def __add__(self, other: "DiffStats") -> "DiffStats":
+        return DiffStats(
+            self.added + other.added,
+            self.changed + other.changed,
+            self.removed + other.removed,
+        )
+
+
+def diff_stats(original: str, ported: str) -> DiffStats:
+    """Diff two source texts line-by-line."""
+    a = original.splitlines()
+    b = ported.splitlines()
+    matcher = difflib.SequenceMatcher(a=a, b=b, autojunk=False)
+    added = changed = removed = 0
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "replace":
+            paired = min(i2 - i1, j2 - j1)
+            changed += paired
+            if (j2 - j1) > (i2 - i1):
+                added += (j2 - j1) - (i2 - i1)
+            else:
+                removed += (i2 - i1) - (j2 - j1)
+        elif tag == "insert":
+            added += j2 - j1
+        elif tag == "delete":
+            removed += i2 - i1
+    return DiffStats(added, changed, removed)
+
+
+def corpus_diff_stats(
+    original: Dict[str, str], ported: Dict[str, str]
+) -> DiffStats:
+    """Aggregate diff over a corpus; new files count entirely as added."""
+    total = DiffStats()
+    for name, text in ported.items():
+        if name in original:
+            total = total + diff_stats(original[name], text)
+        else:
+            total = total + DiffStats(added=len(text.splitlines()))
+    for name, text in original.items():
+        if name not in ported:
+            total = total + DiffStats(removed=len(text.splitlines()))
+    return total

@@ -1,0 +1,5 @@
+"""The open-source LBM proxy application (cylindrical channel flow)."""
+
+from .app import ProxyApp, ProxyConfig, ProxyRunReport
+
+__all__ = ["ProxyApp", "ProxyConfig", "ProxyRunReport"]

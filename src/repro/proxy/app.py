@@ -1,0 +1,135 @@
+"""The LBM proxy application (Section 3.2).
+
+The open-source proxy explores HARVEY's performance-limiting aspects in a
+simplified setting: a cylindrical channel of axial length ``84x`` and
+radius ``8x``, body-force-driven periodic flow, nodal bounce-back on the
+wall, and a simplistic slab decomposition that load-balances the cylinder
+perfectly.  Performance is reported in MFLUPS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..decomp.block import quadrant_decompose
+from ..geometry.cylinder import CylinderSpec, cylinder_fluid_estimate, make_cylinder
+from ..hardware.machine import Machine
+from ..lbm.distributed import DistributedSolver
+from ..lbm.moments import poiseuille_pipe_max_velocity
+from ..lbm.bgk import viscosity_from_tau
+from ..lbm.solver import SolverConfig
+from ..perf.simulate import RunCost, price_run
+from ..perf.trace import cylinder_trace
+
+__all__ = ["ProxyConfig", "ProxyRunReport", "ProxyApp"]
+
+
+@dataclass
+class ProxyConfig:
+    """Proxy-app parameters: the paper's ``x`` plus solver knobs."""
+
+    scale: float = 1.0
+    num_ranks: int = 2
+    tau: float = 0.8
+    body_force: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+        if self.num_ranks < 1:
+            raise ConfigError("num_ranks must be >= 1")
+        if self.tau <= 0.5:
+            raise ConfigError("tau must exceed 0.5")
+        if self.body_force <= 0:
+            raise ConfigError("body force must be positive")
+
+
+@dataclass(frozen=True)
+class ProxyRunReport:
+    """Throughput and physics health of a proxy run."""
+
+    scale: float
+    num_ranks: int
+    steps: int
+    fluid_nodes: int
+    wall_seconds: float
+    mass_drift: float
+    centerline_velocity: float
+    predicted_centerline_velocity: float
+
+    @property
+    def mflups(self) -> float:
+        if self.wall_seconds <= 0:
+            raise ConfigError("run reported no elapsed time")
+        return self.fluid_nodes * self.steps / self.wall_seconds / 1e6
+
+    @property
+    def poiseuille_agreement(self) -> float:
+        """Ratio of measured to analytic centreline velocity (→ 1 at
+        convergence; bounce-back staircasing keeps it a few % low)."""
+        return self.centerline_velocity / self.predicted_centerline_velocity
+
+
+class ProxyApp:
+    """A configured proxy-app instance."""
+
+    def __init__(self, config: ProxyConfig) -> None:
+        self.config = config
+        self.spec = CylinderSpec(scale=config.scale, periodic=True)
+        self.grid = make_cylinder(self.spec)
+        self.partition = quadrant_decompose(self.grid, config.num_ranks, axis=0)
+        solver_cfg = SolverConfig(
+            tau=config.tau,
+            force=(config.body_force, 0.0, 0.0),
+            periodic=(True, False, False),
+        )
+        self.solver = DistributedSolver(self.partition, solver_cfg)
+
+    def run(self, steps: int) -> ProxyRunReport:
+        if steps < 1:
+            raise ConfigError("steps must be >= 1")
+        mass_before = self.solver.mass()
+        t0 = time.perf_counter()
+        self.solver.step(steps)
+        wall = time.perf_counter() - t0
+        mass_after = self.solver.mass()
+        u = self.solver.velocity()
+        u_center = float(u[:, 0].max())
+        u_pred = poiseuille_pipe_max_velocity(
+            self.config.body_force,
+            self.spec.radius,
+            viscosity_from_tau(self.config.tau),
+        )
+        return ProxyRunReport(
+            scale=self.config.scale,
+            num_ranks=self.config.num_ranks,
+            steps=steps,
+            fluid_nodes=self.solver.num_nodes,
+            wall_seconds=wall,
+            mass_drift=abs(mass_after - mass_before) / mass_before,
+            centerline_velocity=u_center,
+            predicted_centerline_velocity=u_pred,
+        )
+
+    def expected_fluid_nodes(self) -> float:
+        """Analytic fluid count ``pi r^2 L`` for the configured scale."""
+        return cylinder_fluid_estimate(self.config.scale)
+
+    def performance_on(
+        self,
+        machine: Machine,
+        model_name: Optional[str] = None,
+        n_gpus: Optional[int] = None,
+        scale: Optional[float] = None,
+    ) -> RunCost:
+        """Price the proxy workload on a simulated machine."""
+        model = model_name or machine.native_model
+        ranks = n_gpus or self.config.num_ranks
+        s = scale or self.config.scale
+        trace = cylinder_trace(s, ranks, scheme="quadrant", with_caps=False)
+        return price_run(trace, machine, model, "proxy")

@@ -1,0 +1,18 @@
+"""Simulated MPI runtime: communicator, non-blocking requests, event
+log, lockstep executor."""
+
+from .events import CommEvent, EventLog
+from .executor import LockstepExecutor
+from .requests import Request, irecv, isend, waitall
+from .simmpi import SimComm
+
+__all__ = [
+    "CommEvent",
+    "EventLog",
+    "SimComm",
+    "LockstepExecutor",
+    "Request",
+    "isend",
+    "irecv",
+    "waitall",
+]

@@ -1,0 +1,112 @@
+"""Non-blocking communication on top of :class:`SimComm`.
+
+Real HARVEY overlaps halo exchange with interior computation using
+``MPI_Isend``/``MPI_Irecv``.  This module adds the request-based API to
+the simulated communicator: ``isend``/``irecv`` return :class:`Request`
+objects completed by ``wait``/``waitall``, with the strictness the rest
+of the runtime has (double waits, unmatched receives, and type mismatch
+are loud errors).
+
+The in-process transport makes message delivery deterministic, but the
+*protocol* is the real one: an ``irecv`` posted before its ``isend``
+completes only at ``wait`` time, and buffers are owned by the request
+until completion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.errors import RuntimeSimError
+from .simmpi import SimComm
+
+__all__ = ["Request", "isend", "irecv", "waitall"]
+
+
+class Request:
+    """A pending non-blocking operation."""
+
+    def __init__(
+        self,
+        comm: SimComm,
+        kind: str,
+        rank: int,
+        peer: int,
+        tag: int,
+        buf: Optional[np.ndarray] = None,
+    ) -> None:
+        if kind not in ("send", "recv"):
+            raise RuntimeSimError(f"unknown request kind {kind!r}")
+        self._comm = comm
+        self.kind = kind
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self._buf = buf
+        self._done = False
+        self._result: Optional[np.ndarray] = None
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def test(self) -> bool:
+        """Non-destructively check whether the operation could complete."""
+        if self._done:
+            return True
+        if self.kind == "send":
+            return True  # the simulated transport buffers eagerly
+        key = (self.peer, self.rank, self.tag)
+        queue = self._comm._queues.get(key)
+        return bool(queue)
+
+    def wait(self) -> Optional[np.ndarray]:
+        """Complete the operation; receives return the message."""
+        if self._done:
+            raise RuntimeSimError("request already completed")
+        if self.kind == "send":
+            self._done = True
+            return None
+        data = self._comm.recv(self.rank, self.peer, self.tag)
+        if self._buf is not None:
+            if data.shape != self._buf.shape or data.dtype != self._buf.dtype:
+                raise RuntimeSimError(
+                    f"irecv buffer mismatch: got {data.shape}/{data.dtype}, "
+                    f"posted {self._buf.shape}/{self._buf.dtype}"
+                )
+            np.copyto(self._buf, data)
+            self._result = self._buf
+        else:
+            self._result = data
+        self._done = True
+        return self._result
+
+
+def isend(
+    comm: SimComm, src: int, dst: int, buf: np.ndarray, tag: int = 0
+) -> Request:
+    """Post a non-blocking send (the payload is captured immediately,
+    so the caller may reuse ``buf`` — matching the copy-on-send contract
+    of the blocking path)."""
+    comm.send(src, dst, buf, tag)
+    return Request(comm, "send", src, dst, tag)
+
+
+def irecv(
+    comm: SimComm,
+    dst: int,
+    src: int,
+    tag: int = 0,
+    buf: Optional[np.ndarray] = None,
+) -> Request:
+    """Post a non-blocking receive; completes at ``wait``."""
+    comm._check_rank(dst, "destination")
+    comm._check_rank(src, "source")
+    return Request(comm, "recv", dst, src, tag, buf)
+
+
+def waitall(requests: List[Request]) -> List[Optional[np.ndarray]]:
+    """Complete a batch of requests, returning receive payloads in order."""
+    return [req.wait() for req in requests]

@@ -1,0 +1,95 @@
+"""Ablation studies over the simulator's design choices."""
+
+import pytest
+
+from repro.analysis import decomposition_ablation, run_ablation
+from repro.core import PerfModelError
+from repro.hardware import CRUSHER, POLARIS, SUMMIT
+from repro.perf import PricingOverrides, aorta_trace, cylinder_trace, price_run
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return aorta_trace(0.055, 64)
+
+
+class TestPricingOverrides:
+    def test_defaults_match_plain_pricing(self, trace):
+        plain = price_run(trace, POLARIS, "cuda", "harvey")
+        overridden = price_run(
+            trace, POLARIS, "cuda", "harvey", overrides=PricingOverrides()
+        )
+        assert plain.mflups == overridden.mflups
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            PricingOverrides(halo_bytes_per_site=0)
+        with pytest.raises(PerfModelError):
+            PricingOverrides(comm_overlap=1.5)
+
+
+class TestAblations:
+    def test_all19_halo_slower(self, trace):
+        results = {
+            r.name: r
+            for r in run_ablation(trace, POLARIS, "cuda", "harvey")
+        }
+        r = results["halo_payload_all19"]
+        assert r.ablated_mflups < r.baseline_mflups
+        assert r.impact < 0
+
+    def test_host_staging_slower(self, trace):
+        results = {
+            r.name: r
+            for r in run_ablation(trace, SUMMIT, "cuda", "harvey")
+        }
+        r = results["host_staged_mpi"]
+        assert r.ablated_mflups < r.baseline_mflups
+
+    def test_perfect_overlap_faster(self, trace):
+        results = {
+            r.name: r
+            for r in run_ablation(trace, POLARIS, "cuda", "harvey")
+        }
+        r = results["perfect_comm_overlap"]
+        assert r.ablated_mflups > r.baseline_mflups
+
+    def test_no_occupancy_faster(self, trace):
+        results = {
+            r.name: r
+            for r in run_ablation(trace, POLARIS, "cuda", "harvey")
+        }
+        r = results["no_occupancy_model"]
+        assert r.ablated_mflups >= r.baseline_mflups
+
+    def test_overlap_matters_more_where_comm_is_larger(self):
+        """Polaris (thin fabric) gains more from overlap than Crusher —
+        the Fig. 7 ordering expressed as an ablation."""
+        tr = aorta_trace(0.0275, 512)
+        gain = {}
+        for machine in (POLARIS, CRUSHER):
+            (r,) = run_ablation(
+                tr, machine, machine.native_model, "harvey",
+                which=["perfect_comm_overlap"],
+            )
+            gain[machine.name] = r.impact
+        assert gain["Polaris"] > gain["Crusher"]
+
+    def test_unknown_ablation_rejected(self, trace):
+        with pytest.raises(PerfModelError, match="unknown ablation"):
+            run_ablation(trace, POLARIS, "cuda", "harvey", which=["foo"])
+
+    def test_subset_selection(self, trace):
+        results = run_ablation(
+            trace, POLARIS, "cuda", "harvey", which=["no_occupancy_model"]
+        )
+        assert len(results) == 1
+
+
+class TestDecompositionAblation:
+    def test_bisection_beats_block_on_aorta(self):
+        r = decomposition_ablation(CRUSHER, 0.110, 16)
+        assert r.name == "block_decomposition"
+        assert r.ablated_mflups < r.baseline_mflups
+        # the block scheme's imbalance costs tens of percent
+        assert r.impact < -0.15

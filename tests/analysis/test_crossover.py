@@ -1,0 +1,85 @@
+"""Crossover detection, including the paper's headline crossovers."""
+
+import pytest
+
+from repro.analysis import (
+    ScalingSeries,
+    find_crossovers,
+    first_crossover,
+    native_hardware_comparison,
+)
+from repro.core import PerfModelError
+
+
+def _series(label, counts, values):
+    s = ScalingSeries(label)
+    for n, v in zip(counts, values):
+        s.append(n, v)
+    return s
+
+
+class TestCrossoverMath:
+    def test_simple_flip(self):
+        a = _series("a", [2, 4, 8], [10.0, 10.0, 5.0])
+        b = _series("b", [2, 4, 8], [5.0, 5.0, 10.0])
+        x = first_crossover(a, b)
+        assert x is not None
+        assert 4 < x.gpu_count < 8
+        assert x.now_leading == "b"
+
+    def test_no_crossover(self):
+        a = _series("a", [2, 4], [10.0, 12.0])
+        b = _series("b", [2, 4], [5.0, 6.0])
+        assert first_crossover(a, b) is None
+
+    def test_multiple_crossovers(self):
+        a = _series("a", [2, 4, 8, 16], [1.0, 3.0, 1.0, 3.0])
+        b = _series("b", [2, 4, 8, 16], [2.0, 2.0, 2.0, 2.0])
+        assert len(find_crossovers(a, b)) == 3
+
+    def test_log_interpolation(self):
+        """Equidistant in log space when the gap halves symmetrically."""
+        a = _series("a", [4, 16], [3.0, 1.0])
+        b = _series("b", [4, 16], [1.0, 3.0])
+        x = first_crossover(a, b)
+        assert x.gpu_count == pytest.approx(8.0, rel=1e-6)
+
+    def test_misaligned_series_partial_overlap(self):
+        a = _series("a", [2, 4, 8], [1.0, 2.0, 3.0])
+        b = _series("b", [4, 8, 16], [3.0, 2.0, 1.0])
+        # shares {4, 8}; a goes from behind to ahead
+        x = first_crossover(a, b)
+        assert x is not None
+
+    def test_too_little_overlap(self):
+        a = _series("a", [2], [1.0])
+        b = _series("b", [2], [2.0])
+        with pytest.raises(PerfModelError, match="fewer than two"):
+            first_crossover(a, b)
+
+
+class TestPaperCrossovers:
+    @pytest.fixture(scope="class")
+    def aorta(self):
+        return native_hardware_comparison("aorta")
+
+    @pytest.fixture(scope="class")
+    def cylinder(self):
+        return native_hardware_comparison("cylinder")
+
+    def test_crusher_polaris_aorta_crossover_at_512(self, aorta):
+        """"begins to outperform the A100 on Polaris starting at 512"."""
+        x = first_crossover(
+            aorta["Polaris"]["harvey"], aorta["Crusher"]["harvey"]
+        )
+        assert x is not None
+        assert "Crusher" in x.now_leading
+        assert 256 < x.gpu_count <= 512
+
+    def test_proxy_hip_cuda_crossover_near_1024(self, cylinder):
+        x = first_crossover(
+            cylinder["Polaris"]["proxy"], cylinder["Crusher"]["proxy"]
+        )
+        assert x is not None
+        assert "Crusher" in x.now_leading
+        assert 256 < x.gpu_count <= 1024

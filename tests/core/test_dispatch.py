@@ -1,0 +1,114 @@
+"""Execution-space launch semantics shared by the model backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExecutionSpace,
+    LaunchConfig,
+    ModelError,
+    NDRange,
+    RangePolicy,
+)
+
+
+class TestLaunchConfig:
+    def test_for_elements_covers(self):
+        cfg = LaunchConfig.for_elements(1000, 128)
+        assert cfg.grid == 8 and cfg.block == 128
+        assert cfg.threads >= 1000
+
+    def test_exact_multiple(self):
+        cfg = LaunchConfig.for_elements(256, 128)
+        assert cfg.grid == 2
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ModelError):
+            LaunchConfig.for_elements(0)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ModelError):
+            LaunchConfig(0, 128)
+        with pytest.raises(ModelError):
+            LaunchConfig(1, -1)
+
+
+class TestNDRange:
+    def test_padded_to_workgroup(self):
+        ndr = NDRange.for_elements(1000, 256)
+        assert ndr.global_size == 1024
+        assert ndr.global_size % ndr.local_size == 0
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ModelError, match="divisib"):
+            NDRange(1000, 256)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ModelError):
+            NDRange.for_elements(0)
+
+
+class TestRangePolicy:
+    def test_extent(self):
+        assert RangePolicy(3, 10).extent == 7
+
+    def test_reversed_rejected(self):
+        with pytest.raises(ModelError):
+            RangePolicy(10, 3)
+
+
+class TestExecutionSpace:
+    def test_launch_visits_each_index_once(self):
+        space = ExecutionSpace("test", default_block=7)
+        seen = np.zeros(100, dtype=int)
+
+        def body(idx):
+            seen[idx] += 1
+
+        space.launch(body, 100)
+        assert (seen == 1).all()
+
+    def test_launch_blocks_are_contiguous_and_bounded(self):
+        space = ExecutionSpace("test", default_block=16)
+        chunks = []
+        space.launch(chunks.append, 50)
+        assert all(len(c) <= 16 for c in chunks)
+        flat = np.concatenate(chunks)
+        assert np.array_equal(flat, np.arange(50))
+
+    def test_launch_stats(self):
+        space = ExecutionSpace("test", default_block=32)
+        space.launch(lambda idx: None, 100)
+        space.launch(lambda idx: None, 10)
+        assert space.stats.launches == 2
+        assert space.stats.elements == 110
+        assert space.stats.blocks == 4 + 1
+
+    def test_zero_launch_is_noop(self):
+        space = ExecutionSpace("test")
+        space.launch(lambda idx: pytest.fail("should not run"), 0)
+        assert space.stats.launches == 0
+
+    def test_negative_launch_rejected(self):
+        space = ExecutionSpace("test")
+        with pytest.raises(ModelError):
+            space.launch(lambda idx: None, -1)
+
+    def test_launch_range_offsets(self):
+        space = ExecutionSpace("test", default_block=8)
+        seen = []
+        space.launch_range(
+            lambda idx: seen.extend(idx.tolist()), RangePolicy(10, 30)
+        )
+        assert seen == list(range(10, 30))
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 500), block=st.integers(1, 64))
+    def test_launch_coverage_property(self, n, block):
+        """Every index in [0, n) is visited exactly once, any blocking."""
+        space = ExecutionSpace("prop", default_block=block)
+        seen = np.zeros(n, dtype=int)
+        space.launch(lambda idx: np.add.at(seen, idx, 1), n)
+        assert (seen == 1).all()

@@ -1,0 +1,150 @@
+"""Lattice descriptor invariants and equilibrium properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import D3Q15, D3Q19, D3Q27, LatticeError, get_lattice
+from repro.core.lattice import Lattice
+
+ALL = [D3Q15, D3Q19, D3Q27]
+
+
+@pytest.mark.parametrize("lat", ALL, ids=lambda l: l.name)
+class TestDescriptorInvariants:
+    def test_velocity_count_matches_name(self, lat):
+        assert lat.q == int(lat.name.split("Q")[1])
+
+    def test_weights_sum_to_one(self, lat):
+        assert lat.w.sum() == pytest.approx(1.0)
+
+    def test_weights_positive(self, lat):
+        assert (lat.w > 0).all()
+
+    def test_first_velocity_is_rest(self, lat):
+        assert tuple(lat.c[0]) == (0, 0, 0)
+
+    def test_opposite_is_involution(self, lat):
+        assert (lat.opposite[lat.opposite] == np.arange(lat.q)).all()
+
+    def test_opposite_negates_velocity(self, lat):
+        assert np.array_equal(lat.c[lat.opposite], -lat.c)
+
+    def test_velocities_unique(self, lat):
+        assert len({tuple(v) for v in lat.c}) == lat.q
+
+    def test_first_moment_isotropy(self, lat):
+        """sum_q w_q c_q = 0 (Galilean invariance prerequisite)."""
+        assert np.allclose(lat.w @ lat.c.astype(float), 0.0)
+
+    def test_second_moment_isotropy(self, lat):
+        """sum_q w_q c_qa c_qb = cs^2 delta_ab."""
+        c = lat.c.astype(float)
+        tensor = np.einsum("q,qa,qb->ab", lat.w, c, c)
+        assert np.allclose(tensor, lat.cs2 * np.eye(3))
+
+    def test_third_moment_vanishes(self, lat):
+        c = lat.c.astype(float)
+        tensor = np.einsum("q,qa,qb,qc->abc", lat.w, c, c, c)
+        assert np.allclose(tensor, 0.0)
+
+    def test_arrays_immutable(self, lat):
+        with pytest.raises(ValueError):
+            lat.c[0, 0] = 5
+        with pytest.raises(ValueError):
+            lat.w[0] = 0.5
+
+    def test_velocity_index_roundtrip(self, lat):
+        for qi in range(lat.q):
+            cx, cy, cz = (int(x) for x in lat.c[qi])
+            assert lat.velocity_index(cx, cy, cz) == qi
+
+    def test_velocity_index_unknown_raises(self, lat):
+        with pytest.raises(LatticeError):
+            lat.velocity_index(7, 7, 7)
+
+    def test_bytes_per_update(self, lat):
+        assert lat.bytes_per_update() == 2 * lat.q * 8
+        assert lat.bytes_per_update(real_bytes=4) == 2 * lat.q * 4
+
+
+class TestEquilibrium:
+    def test_zero_velocity_equilibrium_is_weights(self):
+        feq = D3Q19.equilibrium(np.ones(3), np.zeros((3, 3)))
+        assert np.allclose(feq, np.tile(D3Q19.w[:, None], (1, 3)))
+
+    def test_density_recovered(self):
+        rho = np.array([0.9, 1.0, 1.1])
+        u = np.full((3, 3), 0.02)
+        feq = D3Q19.equilibrium(rho, u)
+        assert np.allclose(feq.sum(axis=0), rho)
+
+    def test_momentum_recovered(self):
+        rho = np.array([1.0, 1.2])
+        u = np.array([[0.01, -0.02, 0.03], [0.0, 0.05, 0.0]])
+        feq = D3Q19.equilibrium(rho, u)
+        mom = np.tensordot(D3Q19.c.astype(float), feq, axes=(0, 0)).T
+        assert np.allclose(mom, rho[:, None] * u)
+
+    def test_equilibrium_scales_linearly_with_density(self):
+        u = np.array([[0.02, 0.01, -0.01]])
+        f1 = D3Q19.equilibrium(np.array([1.0]), u)
+        f2 = D3Q19.equilibrium(np.array([2.0]), u)
+        assert np.allclose(f2, 2.0 * f1)
+
+    def test_shape_validation(self):
+        with pytest.raises(LatticeError):
+            D3Q19.equilibrium(np.ones(2), np.zeros((3, 3)))
+        with pytest.raises(LatticeError):
+            D3Q19.equilibrium(np.ones(2), np.zeros((2, 2)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rho=st.floats(0.5, 2.0),
+        ux=st.floats(-0.05, 0.05),
+        uy=st.floats(-0.05, 0.05),
+        uz=st.floats(-0.05, 0.05),
+    )
+    def test_equilibrium_moments_property(self, rho, ux, uy, uz):
+        """Density and momentum are exact for any admissible state."""
+        r = np.array([rho])
+        u = np.array([[ux, uy, uz]])
+        feq = D3Q19.equilibrium(r, u)
+        assert feq.sum() == pytest.approx(rho, rel=1e-12)
+        mom = np.tensordot(D3Q19.c.astype(float), feq, axes=(0, 0))[:, 0]
+        assert np.allclose(mom, rho * u[0], atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(speed=st.floats(0.0, 0.1))
+    def test_equilibrium_positive_at_low_mach(self, speed):
+        u = np.array([[speed, 0.0, 0.0]])
+        feq = D3Q19.equilibrium(np.array([1.0]), u)
+        assert (feq > 0).all()
+
+
+class TestConstruction:
+    def test_get_lattice_case_insensitive(self):
+        assert get_lattice("d3q19") is D3Q19
+        assert get_lattice("D3Q27") is D3Q27
+
+    def test_get_lattice_unknown(self):
+        with pytest.raises(LatticeError, match="unknown lattice"):
+            get_lattice("D2Q9")
+
+    def test_bad_weights_rejected(self):
+        c = D3Q19.c.copy()
+        w = np.full(19, 1.0 / 19)  # sums to 1 but wrong for the set: ok
+        # sums not to 1:
+        with pytest.raises(LatticeError, match="sum"):
+            Lattice("bad", c, w * 0.5, D3Q19.opposite)
+
+    def test_bad_opposite_rejected(self):
+        opp = D3Q19.opposite.copy()
+        opp[1], opp[2] = opp[2], opp[1]  # break the pairing
+        with pytest.raises(LatticeError):
+            Lattice("bad", D3Q19.c, D3Q19.w, opp)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(LatticeError):
+            Lattice("bad", np.zeros((5, 2)), np.ones(5) / 5, np.arange(5))

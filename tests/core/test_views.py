@@ -1,0 +1,179 @@
+"""View/memory-space/deep_copy semantics (the Kokkos-like layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HostSpace,
+    MemorySpace,
+    TransferLedger,
+    View,
+    ViewError,
+    create_mirror_view,
+    deep_copy,
+)
+
+
+@pytest.fixture
+def device_space():
+    return MemorySpace("Dev:0", capacity_bytes=1 << 20, ledger=TransferLedger())
+
+
+class TestMemorySpace:
+    def test_allocation_accounting(self, device_space):
+        device_space.allocate(100)
+        device_space.allocate(50)
+        assert device_space.allocated_bytes == 150
+        assert device_space.peak_bytes == 150
+        device_space.free(100)
+        assert device_space.allocated_bytes == 50
+        assert device_space.peak_bytes == 150
+
+    def test_capacity_enforced(self, device_space):
+        with pytest.raises(ViewError, match="out of memory"):
+            device_space.allocate((1 << 20) + 1)
+
+    def test_over_free_rejected(self, device_space):
+        device_space.allocate(10)
+        with pytest.raises(ViewError, match="freeing"):
+            device_space.free(11)
+
+    def test_negative_alloc_rejected(self, device_space):
+        with pytest.raises(ViewError):
+            device_space.allocate(-1)
+
+    def test_host_space_unbounded(self):
+        host = HostSpace()
+        host.allocate(1 << 40)  # no capacity check
+        assert host.is_host
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ViewError):
+            MemorySpace("x", capacity_bytes=0)
+
+
+class TestView:
+    def test_allocation_charged_to_space(self, device_space):
+        v = View("f", (10, 10), np.float64, device_space)
+        assert device_space.allocated_bytes == 800
+        v.free()
+        assert device_space.allocated_bytes == 0
+
+    def test_element_access(self):
+        v = View("x", (4, 3))
+        v[1, 2] = 7.5
+        assert v[1, 2] == 7.5
+        assert v.extent(0) == 4 and v.extent(1) == 3
+
+    def test_from_array_copies(self):
+        data = np.arange(6.0).reshape(2, 3)
+        v = View.from_array("a", data)
+        data[0, 0] = 99
+        assert v[0, 0] == 0.0
+
+    def test_const_view_rejects_writes(self):
+        v = View("c", (3,), const=True)
+        with pytest.raises(ViewError, match="const"):
+            v[0] = 1.0
+        with pytest.raises(ViewError, match="const"):
+            v.fill(2.0)
+
+    def test_freeze_shares_storage(self):
+        v = View("x", (3,))
+        v[0] = 5.0
+        frozen = v.freeze()
+        assert frozen.const
+        assert frozen[0] == 5.0
+        v[0] = 6.0  # writes through the original still visible
+        assert frozen[0] == 6.0
+        with pytest.raises(ViewError):
+            frozen[0] = 7.0
+
+    def test_use_after_free(self):
+        v = View("x", (3,))
+        v.free()
+        with pytest.raises(ViewError, match="after free"):
+            v[0]
+        with pytest.raises(ViewError, match="after free"):
+            v.data()
+
+    def test_numpy_interop(self):
+        v = View.from_array("x", np.arange(4.0))
+        assert np.asarray(v).sum() == 6.0
+        assert len(v) == 4
+
+    def test_init_shape_mismatch(self):
+        with pytest.raises(ViewError):
+            View("x", (3,), _init=np.zeros(4))
+
+
+class TestDeepCopy:
+    def test_same_space_copy(self):
+        a = View.from_array("a", np.arange(4.0))
+        b = View("b", (4,))
+        deep_copy(b, a)
+        assert np.array_equal(b.data(), a.data())
+
+    def test_cross_space_records_transfer(self, device_space):
+        host = View.from_array("h", np.arange(8.0))
+        dev = View("d", (8,), np.float64, device_space)
+        deep_copy(dev, host)
+        assert device_space.ledger.bytes_moved("H2D") == 64
+        back = View("h2", (8,))
+        deep_copy(back, dev)
+        assert device_space.ledger.bytes_moved("D2H") == 64
+
+    def test_const_target_rejected(self, device_space):
+        """The paper's workaround: const views cannot be deep_copy targets."""
+        host = View.from_array("h", np.ones(4))
+        const_dev = View("cd", (4,), np.float64, device_space, const=True)
+        with pytest.raises(ViewError, match="constant elements"):
+            deep_copy(const_dev, host)
+        # the sanctioned path: non-const intermediate, then freeze
+        tmp = View("tmp", (4,), np.float64, device_space)
+        deep_copy(tmp, host)
+        frozen = tmp.freeze()
+        assert np.array_equal(frozen.data(), host.data())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ViewError, match="shape"):
+            deep_copy(View("a", (3,)), View("b", (4,)))
+
+    def test_non_view_rejected(self):
+        with pytest.raises(ViewError):
+            deep_copy(np.zeros(3), View("b", (3,)))
+
+
+class TestMirrorViews:
+    def test_mirror_defaults_to_host(self, device_space):
+        dev = View("d", (5,), np.float64, device_space)
+        mirror = create_mirror_view(dev)
+        assert mirror.space.is_host
+        assert mirror.shape == dev.shape
+
+    def test_mirror_to_explicit_space(self, device_space):
+        host = View("h", (5,))
+        mirror = create_mirror_view(host, device_space)
+        assert mirror.space is device_space
+
+
+class TestTransferLedger:
+    def test_direction_classification(self):
+        from repro.core import TransferRecord
+
+        assert TransferRecord("Host", "Dev", 8, "x").direction == "H2D"
+        assert TransferRecord("Dev", "Host", 8, "x").direction == "D2H"
+        assert TransferRecord("DevA", "DevB", 8, "x").direction == "D2D"
+        assert TransferRecord("Host", "Host", 8, "x").direction == "H2H"
+
+    def test_totals_and_clear(self):
+        ledger = TransferLedger()
+        from repro.core import TransferRecord
+
+        ledger.record(TransferRecord("Host", "Dev", 10, "a"))
+        ledger.record(TransferRecord("Dev", "Host", 30, "b"))
+        assert ledger.bytes_moved() == 40
+        assert ledger.bytes_moved("H2D") == 10
+        assert ledger.count("D2H") == 1
+        ledger.clear()
+        assert ledger.bytes_moved() == 0

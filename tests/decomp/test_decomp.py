@@ -1,0 +1,213 @@
+"""Decomposition schemes: balance, disjointness, halo symmetry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DecompositionError
+from repro.decomp import (
+    Partition,
+    Subdomain,
+    axis_decompose,
+    balanced_factors,
+    bisection_decompose,
+    grid_decompose,
+    quadrant_decompose,
+)
+from repro.geometry import Box, CylinderSpec, VoxelGrid, make_aorta, make_cylinder
+from repro.geometry.flags import FLUID
+
+
+@pytest.fixture(scope="module")
+def cylinder():
+    return make_cylinder(CylinderSpec(scale=1.0))
+
+
+@pytest.fixture(scope="module")
+def aorta():
+    return make_aorta(1.5)
+
+
+class TestAxisDecompose:
+    def test_near_perfect_balance_on_cylinder(self, cylinder):
+        part = axis_decompose(cylinder, 8)
+        assert part.imbalance < 1.06
+
+    def test_validates(self, cylinder):
+        part = axis_decompose(cylinder, 6)
+        part.validate()
+
+    def test_slabs_cover_axis(self, cylinder):
+        part = axis_decompose(cylinder, 4)
+        edges = sorted(s.box.lo[0] for s in part.subdomains)
+        assert edges[0] == 0
+        assert max(s.box.hi[0] for s in part.subdomains) == cylinder.shape[0]
+
+    def test_too_many_slabs_rejected(self, cylinder):
+        with pytest.raises(DecompositionError, match="layers"):
+            axis_decompose(cylinder, cylinder.shape[0] + 1)
+
+    def test_single_rank(self, cylinder):
+        part = axis_decompose(cylinder, 1)
+        assert part.num_ranks == 1
+        assert part.subdomains[0].fluid_count == cylinder.num_fluid
+
+    def test_empty_grid_rejected(self):
+        g = VoxelGrid(np.zeros((8, 8, 8), dtype=np.int8))
+        with pytest.raises(DecompositionError, match="no fluid"):
+            axis_decompose(g, 2)
+
+
+class TestQuadrantDecompose:
+    def test_multiple_of_four_uses_quadrants(self, cylinder):
+        part = quadrant_decompose(cylinder, 8)
+        assert part.scheme.startswith("quadrant")
+        assert part.num_ranks == 8
+        part.validate()
+
+    def test_quadrant_balance_near_perfect(self, cylinder):
+        part = quadrant_decompose(cylinder, 8)
+        # symmetry gives balance up to the centre-line rows; at radius 8
+        # those rows are ~15% of a quadrant (vanishes at paper scales)
+        assert part.imbalance < 1.2
+
+    def test_fallback_to_slabs(self, cylinder):
+        part = quadrant_decompose(cylinder, 6)
+        assert part.scheme.startswith("axis")
+
+    def test_quadrants_of_slab_on_same_node_ordering(self, cylinder):
+        """Ranks are slab-major: ranks 0-3 share the first axial slab."""
+        part = quadrant_decompose(cylinder, 8)
+        first_slab_hi = part.subdomains[0].box.hi[0]
+        for r in range(4):
+            assert part.subdomains[r].box.hi[0] == first_slab_hi
+        assert part.subdomains[4].box.lo[0] == first_slab_hi
+
+    def test_smaller_halo_than_slabs_at_scale(self, cylinder):
+        """At high rank counts slab faces stay the full cross-section
+        while quadrant subdomains keep shrinking — the property that
+        keeps the proxy compute-bound at 1024 GPUs."""
+        slabs = axis_decompose(cylinder, 64)
+        quads = quadrant_decompose(cylinder, 64)
+        assert quads.max_halo() < slabs.max_halo()
+
+
+class TestGridDecompose:
+    def test_balanced_factors(self):
+        assert balanced_factors(8) == (2, 2, 2)
+        assert balanced_factors(24) == (4, 3, 2)
+        assert balanced_factors(7) == (7, 1, 1)
+        assert balanced_factors(1) == (1, 1, 1)
+        with pytest.raises(DecompositionError):
+            balanced_factors(0)
+
+    def test_covers_grid(self, aorta):
+        part = grid_decompose(aorta, 8)
+        part.validate()
+        assert part.total_fluid == aorta.num_fluid
+
+    def test_explicit_dims(self, aorta):
+        part = grid_decompose(aorta, 6, dims=(1, 2, 3))
+        assert part.num_ranks == 6
+
+    def test_dims_mismatch_rejected(self, aorta):
+        with pytest.raises(DecompositionError):
+            grid_decompose(aorta, 8, dims=(2, 2, 3))
+
+    def test_oblivious_to_geometry(self, aorta):
+        """Block decomposition on the sparse aorta is badly imbalanced —
+        the motivation for HARVEY's bisection balancer."""
+        block = grid_decompose(aorta, 16)
+        bis = bisection_decompose(aorta, 16)
+        assert block.imbalance > 1.4
+        assert bis.imbalance < block.imbalance
+
+
+class TestBisection:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 31])
+    def test_any_rank_count(self, aorta, n):
+        part = bisection_decompose(aorta, n)
+        part.validate()
+        assert part.num_ranks == n
+        assert part.total_fluid == aorta.num_fluid
+
+    def test_balance_on_sparse_geometry(self, aorta):
+        part = bisection_decompose(aorta, 16)
+        assert part.imbalance < 1.25
+
+    def test_balance_on_cylinder(self, cylinder):
+        part = bisection_decompose(cylinder, 8)
+        assert part.imbalance < 1.15
+
+    def test_too_many_ranks_rejected(self):
+        flags = np.zeros((4, 4, 4), dtype=np.int8)
+        flags[1, 1, 1] = FLUID
+        flags[2, 2, 2] = FLUID
+        g = VoxelGrid(flags)
+        with pytest.raises(DecompositionError):
+            bisection_decompose(g, 5)
+
+    @settings(max_examples=12, deadline=None)
+    @given(n=st.integers(1, 24))
+    def test_completeness_property(self, aorta, n):
+        """Every fluid voxel is assigned exactly once, any rank count."""
+        part = bisection_decompose(aorta, n)
+        owner = part.owner_map()
+        mask = aorta.fluid_mask()
+        assert (owner[mask] >= 0).all()
+        assert part.total_fluid == aorta.num_fluid
+
+
+class TestPartitionInvariants:
+    def test_halo_symmetry(self, aorta):
+        """If i needs j's nodes, j needs i's (26-connectivity symmetry)."""
+        part = bisection_decompose(aorta, 8)
+        halos = part.halo_counts()
+        for (i, j) in halos:
+            assert (j, i) in halos
+
+    def test_halo_totals_and_neighbors(self, aorta):
+        part = bisection_decompose(aorta, 8)
+        for s in part.subdomains:
+            neighbors = part.neighbors(s.rank)
+            assert s.rank not in neighbors
+            total = part.halo_total(s.rank)
+            assert total == sum(
+                part.halo_counts()[(s.rank, j)] for j in neighbors
+            )
+
+    def test_overlapping_subdomains_rejected(self, cylinder):
+        b = Box((0, 0, 0), (10, 10, 10))
+        subs = [
+            Subdomain(0, b, cylinder.fluid_in_box(b)),
+            Subdomain(1, b, cylinder.fluid_in_box(b)),
+        ]
+        part = Partition(cylinder, subs)
+        with pytest.raises(DecompositionError, match="overlap"):
+            part.validate()
+
+    def test_wrong_fluid_count_detected(self, cylinder):
+        b1, b2 = cylinder.full_box().split(0, 42)
+        subs = [
+            Subdomain(0, b1, cylinder.fluid_in_box(b1) + 1),
+            Subdomain(1, b2, cylinder.fluid_in_box(b2)),
+        ]
+        with pytest.raises(DecompositionError, match="records"):
+            Partition(cylinder, subs).validate()
+
+    def test_nonconsecutive_ranks_rejected(self, cylinder):
+        b1, b2 = cylinder.full_box().split(0, 42)
+        with pytest.raises(DecompositionError, match="0..n-1"):
+            Partition(
+                cylinder,
+                [
+                    Subdomain(0, b1, cylinder.fluid_in_box(b1)),
+                    Subdomain(2, b2, cylinder.fluid_in_box(b2)),
+                ],
+            )
+
+    def test_summary_format(self, cylinder):
+        part = axis_decompose(cylinder, 4)
+        s = part.summary()
+        assert "4 ranks" in s and "imbalance" in s

@@ -1,0 +1,178 @@
+"""Cylinder and synthetic-aorta generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeometryError
+from repro.geometry import (
+    AXIAL_FACTOR,
+    RADIUS_FACTOR,
+    AortaSpec,
+    CylinderSpec,
+    EndCap,
+    Tube,
+    cylinder_fluid_estimate,
+    make_aorta,
+    make_cylinder,
+    voxelize_tubes,
+)
+from repro.geometry.flags import FLUID, INLET, OUTLET, SOLID
+
+
+class TestCylinder:
+    def test_paper_aspect_ratio(self):
+        assert AXIAL_FACTOR == 84 and RADIUS_FACTOR == 8
+        spec = CylinderSpec(scale=2.0)
+        assert spec.length == 168
+        assert spec.radius == 16.0
+
+    def test_fluid_count_near_analytic(self):
+        # strict-interior voxelisation undercounts more at small radii
+        for scale, tol in ((0.5, 0.15), (1.0, 0.06), (2.0, 0.03)):
+            grid = make_cylinder(CylinderSpec(scale=scale))
+            estimate = cylinder_fluid_estimate(scale)
+            assert grid.num_fluid == pytest.approx(estimate, rel=tol)
+
+    def test_axial_uniformity(self):
+        """Every axial layer has the same fluid cross-section."""
+        grid = make_cylinder(CylinderSpec(scale=1.0))
+        profile = grid.fluid_profile(grid.full_box(), axis=0)
+        assert (profile == profile[0]).all()
+
+    def test_periodic_has_no_boundary_flags(self):
+        grid = make_cylinder(CylinderSpec(scale=0.5, periodic=True))
+        assert grid.num_inlet == 0 and grid.num_outlet == 0
+
+    def test_caps_flag_end_planes(self):
+        grid = make_cylinder(CylinderSpec(scale=0.5, periodic=False))
+        assert grid.num_inlet > 0 and grid.num_outlet > 0
+        assert (grid.flags[0][grid.flags[0] != SOLID] == INLET).all()
+        assert (grid.flags[-1][grid.flags[-1] != SOLID] == OUTLET).all()
+
+    def test_wall_margin_is_solid(self):
+        grid = make_cylinder(CylinderSpec(scale=1.0))
+        # the outermost shell of the cross-section must be solid
+        assert (grid.flags[:, 0, :] == SOLID).all()
+        assert (grid.flags[:, :, -1] == SOLID).all()
+
+    def test_invalid_spec(self):
+        with pytest.raises(GeometryError):
+            CylinderSpec(scale=0)
+        with pytest.raises(GeometryError):
+            CylinderSpec(scale=1.0, margin=0)
+        with pytest.raises(GeometryError):
+            cylinder_fluid_estimate(-1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(scale=st.floats(0.5, 2.5))
+    def test_fluid_scales_cubically(self, scale):
+        base = make_cylinder(CylinderSpec(scale=1.0)).num_fluid
+        grid = make_cylinder(CylinderSpec(scale=scale))
+        expected = base * scale**3
+        assert grid.num_fluid == pytest.approx(expected, rel=0.12)
+
+
+class TestTubes:
+    def test_straight_tube_volume(self):
+        tube = Tube(points=((0, 0, 0), (20, 0, 0)), radii=(3.0, 3.0))
+        grid = voxelize_tubes([tube], spacing=0.5)
+        # capsule = cylinder plus two hemispherical end caps
+        expected = (np.pi * 3.0**2 * 20 + 4.0 / 3.0 * np.pi * 3.0**3) / 0.5**3
+        assert grid.num_fluid == pytest.approx(expected, rel=0.05)
+
+    def test_tapered_tube_thinner_at_end(self):
+        tube = Tube(points=((0, 0, 0), (30, 0, 0)), radii=(4.0, 1.5))
+        grid = voxelize_tubes([tube], spacing=0.5)
+        profile = grid.fluid_profile(grid.full_box(), axis=0)
+        inner = profile[profile > 0]
+        assert inner[2] > inner[-3]
+
+    def test_end_caps_flagged(self):
+        tube = Tube(
+            points=((0, 0, 0), (10, 0, 0)),
+            radii=(2.0, 2.0),
+            start_cap=EndCap("inlet"),
+            end_cap=EndCap("outlet"),
+        )
+        grid = voxelize_tubes([tube], spacing=0.5)
+        assert grid.num_inlet > 0
+        assert grid.num_outlet > 0
+        coords_in = np.argwhere(grid.flags == INLET)
+        coords_out = np.argwhere(grid.flags == OUTLET)
+        assert coords_in[:, 0].max() < coords_out[:, 0].min()
+
+    def test_union_of_tubes(self):
+        a = Tube(points=((0, 0, 0), (10, 0, 0)), radii=(2.0, 2.0))
+        b = Tube(points=((5, -5, 0), (5, 5, 0)), radii=(2.0, 2.0))
+        grid = voxelize_tubes([a, b], spacing=0.5)
+        single = voxelize_tubes([a], spacing=0.5)
+        assert grid.num_fluid > single.num_fluid
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            Tube(points=((0, 0, 0),), radii=(1.0,))
+        with pytest.raises(GeometryError):
+            Tube(points=((0, 0, 0), (1, 0, 0)), radii=(1.0, -1.0))
+        with pytest.raises(GeometryError):
+            EndCap("sideways")
+        with pytest.raises(GeometryError):
+            voxelize_tubes([], spacing=1.0)
+        tube = Tube(points=((0, 0, 0), (5, 0, 0)), radii=(1.0, 1.0))
+        with pytest.raises(GeometryError):
+            voxelize_tubes([tube], spacing=0.0)
+
+
+class TestAorta:
+    @pytest.fixture(scope="class")
+    def aorta(self):
+        return make_aorta(1.0)
+
+    def test_sparse_fluid_fraction(self, aorta):
+        """The aorta's key property for the paper: sparse domain."""
+        assert aorta.fluid_fraction < 0.40
+
+    def test_inlet_at_root_outlets_elsewhere(self, aorta):
+        # inlet at the aortic root (bottom of the ascending segment);
+        # outlets at the descending end and the three branch tops
+        assert aorta.num_inlet > 0
+        assert aorta.num_outlet > 0
+        inlet_coords = np.argwhere(aorta.flags == INLET)
+        outlet_coords = np.argwhere(aorta.flags == OUTLET)
+        # the inlet sits at one x-extreme; outlets span both low-z
+        # (descending end) and high-z (branch tops) regions
+        assert inlet_coords[:, 0].max() < outlet_coords[:, 0].max()
+        z_out = outlet_coords[:, 2]
+        assert z_out.min() < aorta.shape[2] * 0.3
+        assert z_out.max() > aorta.shape[2] * 0.7
+
+    def test_branches_present(self, aorta):
+        """Fluid extends above the arch apex (the branch vessels)."""
+        spec = AortaSpec()
+        apex_mm = spec.ascending_length + spec.arch_radius
+        apex_voxel = int(apex_mm / aorta.spacing)
+        fluid_above = aorta.fluid_mask()[:, :, apex_voxel + 4 :].sum()
+        assert fluid_above > 0
+
+    def test_resolution_scaling(self):
+        coarse = make_aorta(2.0)
+        fine = make_aorta(1.0)
+        assert fine.num_fluid == pytest.approx(
+            coarse.num_fluid * 8, rel=0.15
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(GeometryError):
+            AortaSpec(root_radius=-1)
+        with pytest.raises(GeometryError):
+            AortaSpec(arch_points=2)
+        with pytest.raises(GeometryError):
+            AortaSpec(branch_radius=50.0)
+        with pytest.raises(GeometryError):
+            make_aorta(0.0)
+
+    def test_custom_spec_changes_geometry(self):
+        small = make_aorta(1.0, AortaSpec(branch_length=10.0))
+        default = make_aorta(1.0)
+        assert small.num_fluid < default.num_fluid

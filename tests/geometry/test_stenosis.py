@@ -1,0 +1,98 @@
+"""Stenosed-vessel geometry and its flow physics."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeometryError
+from repro.geometry.stenosis import StenosisSpec, make_stenosis, throat_radius
+
+
+class TestStenosisGeometry:
+    def test_throat_narrower_than_ends(self):
+        spec = StenosisSpec(radius=6.0, length=60, severity=0.5)
+        grid = make_stenosis(spec)
+        profile = grid.fluid_profile(grid.full_box(), axis=0)
+        throat_x = int(spec.throat_position * spec.length)
+        assert profile[throat_x] < profile[2]
+        assert profile[throat_x] < profile[-3]
+
+    def test_throat_radius_value(self):
+        spec = StenosisSpec(radius=8.0, severity=0.25)
+        assert throat_radius(spec) == pytest.approx(6.0)
+
+    def test_throat_position_respected(self):
+        spec = StenosisSpec(
+            radius=6.0, length=80, severity=0.5, throat_position=0.25
+        )
+        grid = make_stenosis(spec)
+        profile = grid.fluid_profile(grid.full_box(), axis=0)
+        assert int(np.argmin(profile[2:-2])) + 2 == pytest.approx(20, abs=2)
+
+    def test_severity_zero_limit_is_uniform(self):
+        mild = StenosisSpec(radius=6.0, length=40, severity=0.01,
+                            throat_width=3.0)
+        grid = make_stenosis(mild)
+        profile = grid.fluid_profile(grid.full_box(), axis=0)
+        assert profile.max() - profile.min() <= profile.max() * 0.1
+
+    def test_caps_flagged(self):
+        grid = make_stenosis(StenosisSpec(radius=6.0, length=40))
+        assert grid.num_inlet > 0 and grid.num_outlet > 0
+        periodic = make_stenosis(
+            StenosisSpec(radius=6.0, length=40, periodic=True)
+        )
+        assert periodic.num_inlet == 0
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            StenosisSpec(severity=1.5)
+        with pytest.raises(GeometryError):
+            StenosisSpec(severity=0.0)
+        with pytest.raises(GeometryError):
+            StenosisSpec(radius=0.5)
+        with pytest.raises(GeometryError):
+            StenosisSpec(throat_position=2.0)
+        with pytest.raises(GeometryError, match="throat radius"):
+            make_stenosis(StenosisSpec(radius=2.0, severity=0.6))
+
+
+class TestStenosisFlow:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        from repro.lbm import Solver, SolverConfig
+
+        spec = StenosisSpec(radius=5.0, length=50, severity=0.5)
+        grid = make_stenosis(spec)
+        solver = Solver(
+            grid, SolverConfig(tau=0.8, inlet_velocity=(0.02, 0, 0))
+        )
+        solver.step(500)
+        return spec, solver
+
+    def test_jet_forms_at_throat(self, flow):
+        spec, solver = flow
+        coords = solver.coords
+        u = solver.velocity()[:, 0]
+        throat_x = int(spec.throat_position * spec.length)
+        u_throat = u[coords[:, 0] == throat_x].max()
+        u_inlet = u[coords[:, 0] == 4].max()
+        # the constriction accelerates the flow substantially
+        assert u_throat > 1.8 * u_inlet
+
+    def test_flow_rate_conserved_through_throat(self, flow):
+        spec, solver = flow
+        from repro.lbm import flow_rate
+
+        q_in = flow_rate(solver, 0, 4)
+        q_throat = flow_rate(
+            solver, 0, int(spec.throat_position * spec.length)
+        )
+        assert q_throat == pytest.approx(q_in, rel=0.05)
+
+    def test_pressure_drops_across_stenosis(self, flow):
+        spec, solver = flow
+        coords = solver.coords
+        rho = solver.density()
+        up = rho[coords[:, 0] == 4].mean()
+        down = rho[coords[:, 0] == spec.length - 5].mean()
+        assert up > down

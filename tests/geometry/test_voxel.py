@@ -1,0 +1,141 @@
+"""VoxelGrid and Box semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeometryError
+from repro.geometry import FLUID, INLET, OUTLET, SOLID, Box, VoxelGrid
+
+
+def _box_grid(shape=(6, 5, 4), fill=FLUID):
+    flags = np.full(shape, fill, dtype=np.int8)
+    return VoxelGrid(flags, name="test")
+
+
+class TestBox:
+    def test_shape_volume(self):
+        b = Box((1, 2, 3), (4, 6, 9))
+        assert b.shape == (3, 4, 6)
+        assert b.volume == 72
+
+    def test_invalid_rejected(self):
+        with pytest.raises(GeometryError):
+            Box((2, 0, 0), (1, 1, 1))
+
+    def test_contains(self):
+        b = Box((0, 0, 0), (2, 2, 2))
+        assert b.contains(1, 1, 1)
+        assert not b.contains(2, 0, 0)
+
+    def test_split(self):
+        b = Box((0, 0, 0), (10, 4, 4))
+        lo, hi = b.split(0, 6)
+        assert lo.hi[0] == 6 and hi.lo[0] == 6
+        assert lo.volume + hi.volume == b.volume
+
+    def test_split_out_of_range(self):
+        with pytest.raises(GeometryError):
+            Box((0, 0, 0), (4, 4, 4)).split(0, 5)
+
+    def test_intersection(self):
+        a = Box((0, 0, 0), (4, 4, 4))
+        b = Box((2, 2, 2), (6, 6, 6))
+        inter = a.intersection(b)
+        assert inter.lo == (2, 2, 2) and inter.hi == (4, 4, 4)
+        assert a.intersection(Box((5, 5, 5), (6, 6, 6))) is None
+
+    def test_longest_axis(self):
+        assert Box((0, 0, 0), (10, 2, 5)).longest_axis() == 0
+
+
+class TestVoxelGrid:
+    def test_counts(self):
+        g = _box_grid()
+        assert g.num_voxels == 120
+        assert g.num_fluid == 120
+        assert g.fluid_fraction == 1.0
+
+    def test_flag_counts(self):
+        flags = np.full((3, 3, 3), SOLID, dtype=np.int8)
+        flags[1, 1, 1] = FLUID
+        flags[0, 1, 1] = INLET
+        flags[2, 1, 1] = OUTLET
+        g = VoxelGrid(flags)
+        assert g.num_fluid == 3  # inlet/outlet are fluid-kind
+        assert g.num_inlet == 1
+        assert g.num_outlet == 1
+
+    def test_bounding_box_tight(self):
+        flags = np.full((10, 10, 10), SOLID, dtype=np.int8)
+        flags[2:5, 3:7, 1:9] = FLUID
+        g = VoxelGrid(flags)
+        bb = g.bounding_box()
+        assert bb.lo == (2, 3, 1) and bb.hi == (5, 7, 9)
+
+    def test_bounding_box_empty_raises(self):
+        g = VoxelGrid(np.zeros((3, 3, 3), dtype=np.int8))
+        with pytest.raises(GeometryError, match="no fluid"):
+            g.bounding_box()
+
+    def test_compact_ids_roundtrip(self):
+        flags = np.zeros((4, 4, 4), dtype=np.int8)
+        flags[1:3, 1:3, 1:3] = FLUID
+        g = VoxelGrid(flags)
+        coords, index_map = g.compact_ids()
+        assert coords.shape == (8, 3)
+        for i, (x, y, z) in enumerate(coords):
+            assert index_map[x, y, z] == i
+        assert (index_map[flags == SOLID] == -1).all()
+
+    def test_fluid_profile(self):
+        flags = np.zeros((4, 3, 3), dtype=np.int8)
+        flags[0] = FLUID
+        flags[2, 0, 0] = FLUID
+        g = VoxelGrid(flags)
+        profile = g.fluid_profile(g.full_box(), axis=0)
+        assert profile.tolist() == [9, 0, 1, 0]
+
+    def test_fluid_in_box(self):
+        g = _box_grid()
+        assert g.fluid_in_box(Box((0, 0, 0), (2, 2, 2))) == 8
+
+    def test_mask_cache_invalidation(self):
+        g = _box_grid()
+        assert g.num_fluid == 120
+        g.flags[0, 0, 0] = SOLID
+        g.invalidate_caches()
+        assert g.num_fluid == 119
+
+    def test_scaled_fluid_count_cubic(self):
+        g = _box_grid()
+        assert g.scaled_fluid_count(2.0) == pytest.approx(120 * 8)
+        with pytest.raises(GeometryError):
+            g.scaled_fluid_count(0.0)
+
+    def test_surface_voxels_full_box(self):
+        g = _box_grid(shape=(4, 4, 4))
+        # all voxels touch the domain edge except the 2x2x2 interior
+        assert g.surface_voxels() == 64 - 8
+
+    def test_subgrid_with_halo_pads_solid(self):
+        flags = np.full((4, 4, 4), FLUID, dtype=np.int8)
+        g = VoxelGrid(flags)
+        sub = g.subgrid(Box((0, 0, 0), (2, 4, 4)), halo=1)
+        assert sub.shape == (4, 6, 6)
+        # the halo beyond the domain edge is solid
+        assert (sub.flags[0] == SOLID).all()
+        # the halo into the domain interior carries real flags
+        assert (sub.flags[3, 1:5, 1:5] == FLUID).all()
+
+    def test_spacing_validation(self):
+        with pytest.raises(GeometryError):
+            VoxelGrid(np.zeros((2, 2, 2), dtype=np.int8), spacing=0.0)
+
+    def test_dimensionality_validation(self):
+        with pytest.raises(GeometryError):
+            VoxelGrid(np.zeros((2, 2), dtype=np.int8))
+
+    def test_summary_mentions_counts(self):
+        g = _box_grid()
+        s = g.summary()
+        assert "120" in s and "test" in s

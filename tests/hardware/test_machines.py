@@ -1,0 +1,180 @@
+"""Hardware specs, rank placement, and link classification."""
+
+import pytest
+
+from repro.core import HardwareError
+from repro.hardware import (
+    CRUSHER,
+    POLARIS,
+    SUMMIT,
+    SUNSPOT,
+    GPUSpec,
+    LinkSpec,
+    LinkTier,
+    Machine,
+    NodeSpec,
+    all_machines,
+    get_machine,
+    machine_names,
+)
+
+
+class TestGPUSpec:
+    def test_unit_conversions(self):
+        gpu = GPUSpec("X", "NVIDIA", 16.0, 1.0)
+        assert gpu.memory_bytes == 16 * 1024**3
+        assert gpu.mem_bandwidth_bytes_s == 1e12
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            GPUSpec("X", "NVIDIA", -1.0, 1.0)
+        with pytest.raises(HardwareError):
+            GPUSpec("X", "NVIDIA", 16.0, 0.0)
+        with pytest.raises(HardwareError):
+            GPUSpec("X", "NVIDIA", 16.0, 1.0, subdevices=0)
+        with pytest.raises(HardwareError):
+            GPUSpec("X", "NVIDIA", 16.0, 1.0, native_model="fortran")
+
+
+class TestLinkSpec:
+    def test_message_time_latency_plus_bandwidth(self):
+        link = LinkSpec("L", bandwidth_gbs=10.0, latency_s=1e-6)
+        assert link.message_time(0) == pytest.approx(1e-6)
+        assert link.message_time(10**10) == pytest.approx(1.0 + 1e-6)
+
+    def test_negative_size_rejected(self):
+        link = LinkSpec("L", 10.0, 1e-6)
+        with pytest.raises(HardwareError):
+            link.message_time(-1)
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            LinkSpec("L", 0.0, 1e-6)
+        with pytest.raises(HardwareError):
+            LinkSpec("L", 10.0, -1e-6)
+
+
+class TestNodeSpec:
+    def test_logical_gpus_counts_subdevices(self):
+        assert CRUSHER.node.logical_gpus == 8  # 4 packages x 2 GCDs
+        assert SUMMIT.node.logical_gpus == 6
+        assert SUNSPOT.node.logical_gpus == 12
+
+    def test_missing_link_tier_rejected(self):
+        gpu = GPUSpec("X", "NVIDIA", 16.0, 1.0)
+        with pytest.raises(HardwareError, match="link tiers"):
+            NodeSpec("cpu", 1, 8, gpu, 2, links={})
+
+    def test_multi_die_requires_same_package_link(self):
+        gpu = GPUSpec("X", "AMD", 16.0, 1.0, subdevices=2, native_model="hip")
+        links = {
+            LinkTier.CPU_GPU: LinkSpec("a", 1.0, 0.0),
+            LinkTier.INTRA_NODE: LinkSpec("b", 1.0, 0.0),
+            LinkTier.INTER_NODE: LinkSpec("c", 1.0, 0.0),
+        }
+        with pytest.raises(HardwareError, match="SAME_PACKAGE"):
+            NodeSpec("cpu", 1, 8, gpu, 2, links=links)
+
+    def test_single_die_same_package_falls_back(self):
+        link = SUMMIT.node.link(LinkTier.SAME_PACKAGE)
+        assert link is SUMMIT.node.link(LinkTier.INTRA_NODE)
+
+
+class TestPlacement:
+    def test_block_placement_fills_subdevices_first(self):
+        # Crusher: 2 GCDs per package, 4 packages per node
+        p0 = CRUSHER.placement(0, 16)
+        p1 = CRUSHER.placement(1, 16)
+        p2 = CRUSHER.placement(2, 16)
+        assert (p0.node, p0.package, p0.subdevice) == (0, 0, 0)
+        assert (p1.node, p1.package, p1.subdevice) == (0, 0, 1)
+        assert (p2.node, p2.package, p2.subdevice) == (0, 1, 0)
+
+    def test_node_boundary(self):
+        p = CRUSHER.placement(8, 16)
+        assert p.node == 1 and p.package == 0 and p.subdevice == 0
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(HardwareError):
+            CRUSHER.placement(16, 16)
+
+    def test_capacity_exceeded(self):
+        with pytest.raises(HardwareError, match="exceed capacity"):
+            CRUSHER.placement(0, CRUSHER.max_ranks + 1)
+
+    def test_nodes_used(self):
+        assert CRUSHER.nodes_used(8) == 1
+        assert CRUSHER.nodes_used(9) == 2
+        assert SUMMIT.nodes_used(1024) == 171
+
+
+class TestLinkClassification:
+    def test_same_package_pair(self):
+        tier = CRUSHER.classify_pair(0, 1, 16)
+        assert tier is LinkTier.SAME_PACKAGE
+
+    def test_intra_node_pair(self):
+        assert CRUSHER.classify_pair(0, 2, 16) is LinkTier.INTRA_NODE
+
+    def test_inter_node_pair(self):
+        assert CRUSHER.classify_pair(0, 8, 16) is LinkTier.INTER_NODE
+
+    def test_self_message_rejected(self):
+        with pytest.raises(HardwareError):
+            CRUSHER.classify_pair(3, 3, 16)
+
+    def test_single_die_gpus_never_same_package(self):
+        # Summit V100s are single-die: adjacent ranks are intra-node
+        assert SUMMIT.classify_pair(0, 1, 6) is LinkTier.INTRA_NODE
+
+    def test_link_between_returns_spec(self):
+        tier, link = CRUSHER.link_between(0, 8, 16)
+        assert tier is LinkTier.INTER_NODE
+        assert link.name == "4x HPE Slingshot"
+
+
+class TestRegistry:
+    def test_four_systems(self):
+        assert machine_names() == ["Sunspot", "Crusher", "Polaris", "Summit"]
+        assert len(all_machines()) == 4
+
+    def test_lookup_case_insensitive(self):
+        assert get_machine("summit") is SUMMIT
+        assert get_machine("POLARIS") is POLARIS
+
+    def test_unknown_machine(self):
+        with pytest.raises(HardwareError, match="unknown system"):
+            get_machine("Frontier")
+
+    def test_native_models(self):
+        assert SUMMIT.native_model == "cuda"
+        assert POLARIS.native_model == "cuda"
+        assert CRUSHER.native_model == "hip"
+        assert SUNSPOT.native_model == "sycl"
+
+    def test_max_ranks_cover_paper_scale(self):
+        """Every system must host the paper's 1024-GPU points (except
+        Sunspot which the paper truncates at 256 for availability)."""
+        assert CRUSHER.max_ranks >= 1024
+        assert POLARIS.max_ranks >= 1024
+        assert SUMMIT.max_ranks >= 1024
+        assert SUNSPOT.max_ranks >= 256
+
+    def test_crusher_interconnect_4x_bandwidth(self):
+        """Fig. 7's explanation: Crusher's internodal fabric is 4x."""
+        crusher_bw = CRUSHER.node.link(LinkTier.INTER_NODE).bandwidth_gbs
+        for other in (SUMMIT, POLARIS, SUNSPOT):
+            assert crusher_bw == pytest.approx(
+                4 * other.node.link(LinkTier.INTER_NODE).bandwidth_gbs
+            )
+
+    def test_sunspot_latency_above_summit_and_crusher(self):
+        """Section 9.1: lower internodal latencies measured on Summit and
+        Crusher than on Sunspot."""
+        sun = SUNSPOT.node.link(LinkTier.INTER_NODE).latency_s
+        assert sun > SUMMIT.node.link(LinkTier.INTER_NODE).latency_s
+        assert sun > CRUSHER.node.link(LinkTier.INTER_NODE).latency_s
+
+    def test_machine_requires_positive_nodes(self):
+        with pytest.raises(HardwareError):
+            Machine("bad", SUMMIT.node, 0, "cuda")

@@ -1,0 +1,91 @@
+"""CLI integration: every subcommand runs and prints the expected shape."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCLI:
+    def test_systems(self, capsys):
+        code, out = run_cli(capsys, "systems")
+        assert code == 0
+        for name in ("Sunspot", "Crusher", "Polaris", "Summit"):
+            assert name in out
+        assert "BabelStream" in out
+
+    def test_proxy(self, capsys):
+        code, out = run_cli(
+            capsys, "proxy", "--scale", "0.5", "--ranks", "2",
+            "--steps", "50",
+        )
+        assert code == 0
+        assert "MFLUPS" in out and "Poiseuille" in out
+
+    def test_harvey(self, capsys):
+        code, out = run_cli(
+            capsys, "harvey", "--workload", "aorta", "--resolution", "2.5",
+            "--ranks", "2", "--steps", "10",
+        )
+        assert code == 0
+        assert "imbalance" in out
+
+    def test_scaling_single_system(self, capsys):
+        code, out = run_cli(
+            capsys, "scaling", "--workload", "cylinder", "--system", "Crusher"
+        )
+        assert code == 0
+        assert "Crusher" in out and "Prediction" in out and "Proxy" in out
+
+    def test_backends(self, capsys):
+        code, out = run_cli(
+            capsys, "backends", "--system", "Sunspot", "--workload", "cylinder"
+        )
+        assert code == 0
+        assert "application efficiency" in out
+        assert "kokkos-sycl" in out
+
+    def test_composition(self, capsys):
+        code, out = run_cli(capsys, "composition")
+        assert code == 0
+        assert "runtime composition" in out
+        assert "Streamcollide" in out.replace("streamcollide", "Streamcollide")
+
+    def test_porting(self, capsys):
+        code, out = run_cli(capsys, "porting")
+        assert code == 0
+        assert "80.45" in out
+        assert "Table 3" in out
+
+    def test_portability(self, capsys):
+        code, out = run_cli(capsys, "portability", "--gpus", "16")
+        assert code == 0
+        assert "kokkos (any backend)" in out
+
+    def test_ablation(self, capsys):
+        code, out = run_cli(
+            capsys, "ablation", "--system", "Crusher", "--gpus", "32"
+        )
+        assert code == 0
+        assert "halo_payload_all19" in out
+        assert "block_decomposition" in out
+
+    def test_sensitivity(self, capsys):
+        code, out = run_cli(capsys, "sensitivity")
+        assert code == 0
+        assert "memory_bandwidth" in out
+
+    def test_roofline(self, capsys):
+        code, out = run_cli(capsys, "roofline")
+        assert code == 0
+        assert "memory" in out and "PVC" in out
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

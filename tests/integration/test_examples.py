@@ -1,0 +1,45 @@
+"""The shipped example scripts must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "aorta_pulsatile.py",
+        "porting_workflow.py",
+        "portability_study.py",
+        "performance_model.py",
+        "physical_units.py",
+        "stenosis_study.py",
+    ],
+)
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_physics():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "Poiseuille" in result.stdout or "agreement" in result.stdout
+    assert "MFLUPS" in result.stdout

@@ -1,0 +1,169 @@
+"""Distributed-solver equivalence and halo-exchange accounting."""
+
+import numpy as np
+import pytest
+
+from repro.decomp import (
+    axis_decompose,
+    bisection_decompose,
+    grid_decompose,
+    quadrant_decompose,
+)
+from repro.geometry import CylinderSpec, make_aorta, make_cylinder
+from repro.lbm import DistributedSolver, Solver, SolverConfig
+from repro.runtime import SimComm
+
+
+@pytest.fixture(scope="module")
+def cylinder():
+    return make_cylinder(CylinderSpec(scale=0.5))
+
+
+@pytest.fixture(scope="module")
+def aorta():
+    return make_aorta(2.0)
+
+
+CYL_CONFIG = dict(
+    tau=0.8, force=(1e-6, 0.0, 0.0), periodic=(True, False, False)
+)
+
+
+class TestEquivalence:
+    """Rung 3 of the validation ladder: distributed == single-domain."""
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4, 8])
+    def test_cylinder_slabs_bitwise(self, cylinder, n_ranks):
+        cfg = SolverConfig(**CYL_CONFIG)
+        ref = Solver(cylinder, cfg)
+        ref.step(15)
+        part = axis_decompose(cylinder, n_ranks)
+        dist = DistributedSolver(part, cfg)
+        dist.step(15)
+        assert np.array_equal(dist.gather_f(), ref.f)
+
+    def test_cylinder_quadrants_bitwise(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        ref = Solver(cylinder, cfg)
+        ref.step(12)
+        dist = DistributedSolver(quadrant_decompose(cylinder, 8), cfg)
+        dist.step(12)
+        assert np.array_equal(dist.gather_f(), ref.f)
+
+    @pytest.mark.parametrize("n_ranks", [2, 5, 6])
+    def test_aorta_bisection_bitwise(self, aorta, n_ranks):
+        cfg = SolverConfig(tau=0.7, inlet_velocity=(0.0, 0.0, 0.02))
+        ref = Solver(aorta, cfg)
+        ref.step(10)
+        dist = DistributedSolver(bisection_decompose(aorta, n_ranks), cfg)
+        dist.step(10)
+        assert np.array_equal(dist.gather_f(), ref.f)
+
+    def test_aorta_block_decomposition_bitwise(self, aorta):
+        """Even a badly balanced partition must be exact."""
+        cfg = SolverConfig(tau=0.7, inlet_velocity=(0.0, 0.0, 0.02))
+        ref = Solver(aorta, cfg)
+        ref.step(8)
+        dist = DistributedSolver(grid_decompose(aorta, 8), cfg)
+        dist.step(8)
+        assert np.array_equal(dist.gather_f(), ref.f)
+
+    def test_pulsatile_inlet_bitwise(self, aorta):
+        from repro.harvey import PulsatileWaveform
+
+        wave = PulsatileWaveform(peak_velocity=0.03, period_steps=20)
+        cfg = SolverConfig(tau=0.8, inlet_velocity=wave)
+        ref = Solver(aorta, cfg)
+        ref.step(25)
+        dist = DistributedSolver(bisection_decompose(aorta, 4), cfg)
+        dist.step(25)
+        assert np.array_equal(dist.gather_f(), ref.f)
+
+
+class TestCommunication:
+    def test_halo_bytes_match_log(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = axis_decompose(cylinder, 4)
+        dist = DistributedSolver(part, cfg)
+        dist.step(3)
+        p2p = [e for e in dist.comm.log.events if e.kind == "p2p"]
+        assert sum(e.nbytes for e in p2p) == 3 * dist.halo_bytes_per_step()
+
+    def test_periodic_wrap_creates_end_to_end_exchange(self, cylinder):
+        """Periodic x means rank 0 and the last rank are neighbours."""
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = axis_decompose(cylinder, 4)
+        dist = DistributedSolver(part, cfg)
+        dist.step(1)
+        pairs = set(dist.comm.log.bytes_by_pair())
+        assert (0, 3) in pairs and (3, 0) in pairs
+
+    def test_non_periodic_has_no_wraparound(self, aorta):
+        cfg = SolverConfig(tau=0.7, inlet_velocity=(0.0, 0.0, 0.02))
+        part = axis_decompose(aorta, 4, axis=2)
+        dist = DistributedSolver(part, cfg)
+        dist.step(1)
+        pairs = set(
+            (e.src, e.dst)
+            for e in dist.comm.log.events
+            if e.kind == "p2p"
+        )
+        assert (0, 3) not in pairs
+
+    def test_exchange_symmetric_pairs(self, aorta):
+        cfg = SolverConfig(tau=0.7, inlet_velocity=(0.0, 0.0, 0.02))
+        dist = DistributedSolver(bisection_decompose(aorta, 6), cfg)
+        dist.step(1)
+        pairs = set(
+            (e.src, e.dst)
+            for e in dist.comm.log.events
+            if e.kind == "p2p"
+        )
+        for (i, j) in pairs:
+            assert (j, i) in pairs
+
+    def test_mass_via_allreduce(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        dist = DistributedSolver(axis_decompose(cylinder, 3), cfg)
+        ref = Solver(cylinder, cfg)
+        assert dist.mass() == pytest.approx(ref.mass())
+
+    def test_external_comm_size_checked(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = axis_decompose(cylinder, 4)
+        from repro.core import RuntimeSimError
+
+        with pytest.raises(RuntimeSimError, match="size"):
+            DistributedSolver(part, cfg, comm=SimComm(3))
+
+
+class TestRankState:
+    def test_owned_counts_match_partition(self, aorta):
+        cfg = SolverConfig(tau=0.7, inlet_velocity=(0.0, 0.0, 0.02))
+        part = bisection_decompose(aorta, 5)
+        dist = DistributedSolver(part, cfg)
+        for sub, st in zip(part.subdomains, dist.ranks):
+            assert st.num_owned == sub.fluid_count
+
+    def test_ghost_nodes_disjoint_from_owned(self, aorta):
+        cfg = SolverConfig(tau=0.7, inlet_velocity=(0.0, 0.0, 0.02))
+        dist = DistributedSolver(bisection_decompose(aorta, 4), cfg)
+        for st in dist.ranks:
+            assert (
+                len(np.intersect1d(st.owned_global, st.ghost_global)) == 0
+            )
+
+    def test_all_nodes_owned_exactly_once(self, aorta):
+        cfg = SolverConfig(tau=0.7, inlet_velocity=(0.0, 0.0, 0.02))
+        dist = DistributedSolver(bisection_decompose(aorta, 7), cfg)
+        owned = np.concatenate([st.owned_global for st in dist.ranks])
+        assert owned.size == dist.num_nodes
+        assert np.unique(owned).size == owned.size
+
+    def test_velocity_matches_reference(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        ref = Solver(cylinder, cfg)
+        ref.step(30)
+        dist = DistributedSolver(axis_decompose(cylinder, 4), cfg)
+        dist.step(30)
+        assert np.allclose(dist.velocity(), ref.velocity())

@@ -1,0 +1,229 @@
+"""Programming-model backends: API semantics and device accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelError, ViewError
+from repro.core.dispatch import RangePolicy
+from repro.hardware import GPUSpec
+from repro.models import (
+    GENERIC_GPU,
+    CUDAModel,
+    HIPModel,
+    KokkosModel,
+    OpenACCRuntime,
+    SimulatedDevice,
+    SYCLModel,
+    create_model,
+)
+from repro.models.cuda import MEMCPY_DEVICE_TO_HOST, MEMCPY_HOST_TO_DEVICE
+from repro.models.hip import HIP_FROM_CUDA
+
+
+class TestSimulatedDevice:
+    def test_capacity_from_spec(self):
+        dev = SimulatedDevice(GENERIC_GPU)
+        assert dev.free_bytes == GENERIC_GPU.memory_bytes
+
+    def test_oom_on_small_device(self):
+        tiny = GPUSpec("tiny", "NVIDIA", memory_gb=0.0001, mem_bandwidth_tbs=1.0)
+        dev = SimulatedDevice(tiny)
+        model = CUDAModel(dev)
+        with pytest.raises(ViewError, match="out of memory"):
+            model.cudaMalloc("big", (1 << 20,))
+
+    def test_transfer_byte_tracking(self):
+        model = CUDAModel()
+        host = np.arange(100.0)
+        view = model.upload("x", host)
+        assert model.device.h2d_bytes() == 800
+        model.download(view)
+        assert model.device.d2h_bytes() == 800
+        model.device.reset_ledger()
+        assert model.device.h2d_bytes() == 0
+
+    def test_bad_device_id(self):
+        with pytest.raises(ModelError):
+            SimulatedDevice(GENERIC_GPU, device_id=-1)
+
+
+class TestCUDAModel:
+    def test_memcpy_kind_enforced(self):
+        model = CUDAModel()
+        d = model.cudaMalloc("d", (4,))
+        h = np.zeros(4)
+        with pytest.raises(ModelError, match="HostToDevice"):
+            model.cudaMemcpy(h, d, MEMCPY_HOST_TO_DEVICE)  # wrong order
+        with pytest.raises(ModelError, match="DeviceToHost"):
+            model.cudaMemcpy(d, h, MEMCPY_DEVICE_TO_HOST)
+        with pytest.raises(ModelError, match="unknown memcpy kind"):
+            model.cudaMemcpy(d, h, "sideways")
+
+    def test_memcpy_shape_checked(self):
+        model = CUDAModel()
+        d = model.cudaMalloc("d", (4,))
+        with pytest.raises(ModelError, match="shape"):
+            model.cudaMemcpy(d, np.zeros(5), MEMCPY_HOST_TO_DEVICE)
+
+    def test_launch_config_must_cover(self):
+        from repro.core.dispatch import LaunchConfig
+
+        model = CUDAModel()
+        with pytest.raises(ModelError, match="covers"):
+            model.launch_kernel(lambda idx: None, 1000, LaunchConfig(1, 128))
+
+    def test_launch_counts(self):
+        model = CUDAModel()
+        model.launch("k", 100, lambda idx: None)
+        model.launch("k", 100, lambda idx: None)
+        assert model.launch_count == 2
+
+
+class TestHIPModel:
+    def test_hip_names_mirror_cuda(self):
+        """The API mirror that makes HIPify a regex (Section 7.2)."""
+        for cuda_name, hip_name in HIP_FROM_CUDA.items():
+            assert hip_name == cuda_name.replace("cuda", "hip", 1)
+
+    def test_hip_memcpy_kinds(self):
+        model = HIPModel()
+        d = model.hipMalloc("d", (4,))
+        model.hipMemcpy(d, np.arange(4.0), "hipMemcpyHostToDevice")
+        out = np.empty(4)
+        model.hipMemcpy(out, d, "hipMemcpyDeviceToHost")
+        assert np.array_equal(out, np.arange(4.0))
+
+    def test_is_cuda_semantics(self):
+        assert issubclass(HIPModel, CUDAModel)
+        assert HIPModel().name == "hip"
+
+
+class TestSYCLModel:
+    def test_queue_submission_counted(self):
+        model = SYCLModel()
+        model.launch("k", 50, lambda idx: None)
+        assert model.queue.submissions == 1
+
+    def test_ndrange_padding_masked(self):
+        """Out-of-range items beyond n are never passed to the body."""
+        model = SYCLModel(workgroup_size=64)
+        seen = []
+        model.launch("k", 100, lambda idx: seen.extend(idx.tolist()))
+        assert max(seen) == 99
+        assert len(seen) == 100
+
+    def test_memcpy_type_discipline(self):
+        model = SYCLModel()
+        d = model.malloc_device("d", (4,))
+        with pytest.raises(ModelError):
+            model.queue.memcpy(np.zeros(4), np.zeros(4))
+        with pytest.raises(ModelError):
+            model.queue.memcpy(d, model.malloc_device("e", (4,)))
+
+    def test_bad_workgroup(self):
+        with pytest.raises(ModelError):
+            SYCLModel(workgroup_size=0)
+
+
+class TestKokkosModel:
+    def test_backend_names_and_spaces(self):
+        from repro.models import KOKKOS_MEMORY_SPACES
+
+        for backend, space in KOKKOS_MEMORY_SPACES.items():
+            model = KokkosModel(backend)
+            assert model.name == f"kokkos-{backend}"
+            assert model.memory_space_name == space
+
+    def test_unknown_backend(self):
+        with pytest.raises(ModelError, match="unknown Kokkos backend"):
+            KokkosModel("metal")
+
+    def test_openacc_has_no_unified_memory_space(self):
+        """The paper's Section 7.3 limitation, modelled faithfully."""
+        acc = KokkosModel("openacc")
+        with pytest.raises(ModelError, match="unified-memory"):
+            acc.unified_memory_space()
+        assert KokkosModel("cuda").unified_memory_space() == "CudaUVMSpace"
+
+    def test_parallel_for_with_offset_policy(self):
+        model = KokkosModel("cuda")
+        seen = []
+        model.parallel_for(
+            "k", RangePolicy(10, 20), lambda idx: seen.extend(idx.tolist())
+        )
+        assert seen == list(range(10, 20))
+
+    def test_openacc_backend_parallel_for_offset(self):
+        model = KokkosModel("openacc")
+        seen = []
+        model.parallel_for(
+            "k", RangePolicy(5, 9), lambda idx: seen.extend(idx.tolist())
+        )
+        assert seen == [5, 6, 7, 8]
+
+    def test_deep_copy_roundtrip_every_backend(self):
+        for backend in ("cuda", "hip", "sycl", "openacc"):
+            model = KokkosModel(backend)
+            view = model.view("x", (6,))
+            host = np.arange(6.0)
+            model.deep_copy_to_device(view, host)
+            out = np.empty(6)
+            model.deep_copy_to_host(out, view)
+            assert np.array_equal(out, host), backend
+            assert model.device.h2d_bytes() == 48
+
+    def test_deep_copy_shape_checked(self):
+        model = KokkosModel("hip")
+        view = model.view("x", (6,))
+        with pytest.raises(ModelError, match="shape"):
+            model.deep_copy_to_device(view, np.zeros(5))
+
+
+class TestOpenACCRuntime:
+    def test_data_region_lifecycle(self):
+        acc = OpenACCRuntime()
+        view = acc.acc_enter_data("x", np.arange(4.0))
+        assert acc.data_regions == 1
+        assert acc.device.h2d_bytes() == 32
+        out = np.empty(4)
+        acc.acc_update_self(out, view)
+        assert np.array_equal(out, np.arange(4.0))
+        acc.acc_exit_data(view)
+        assert acc.data_regions == 0
+        assert acc.device.allocated_bytes == 0
+
+    def test_create_does_not_upload(self):
+        acc = OpenACCRuntime()
+        acc.acc_create("x", (8,))
+        assert acc.device.h2d_bytes() == 0
+
+    def test_parallel_loop_coverage(self):
+        acc = OpenACCRuntime(vector_length=3)
+        seen = []
+        acc.acc_parallel_loop(10, lambda idx: seen.extend(idx.tolist()))
+        assert seen == list(range(10))
+
+    def test_update_shape_checked(self):
+        acc = OpenACCRuntime()
+        view = acc.acc_create("x", (4,))
+        with pytest.raises(ModelError):
+            acc.acc_update_device(view, np.zeros(3))
+
+
+class TestFactory:
+    def test_create_all_names(self):
+        from repro.models import MODEL_NAMES
+
+        for name in MODEL_NAMES:
+            model = create_model(name)
+            assert model.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ModelError):
+            create_model("openmp")
+
+    def test_shared_device(self):
+        dev = SimulatedDevice()
+        a = create_model("cuda", dev)
+        b = create_model("sycl", dev)
+        assert a.device is b.device

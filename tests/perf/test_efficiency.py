@@ -1,0 +1,74 @@
+"""Application and architectural efficiency metrics (Section 8.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PerfModelError
+from repro.perf import application_efficiency, architectural_efficiency
+
+
+class TestApplicationEfficiency:
+    def test_best_gets_one(self):
+        eff = application_efficiency(
+            {"a": [100.0, 50.0], "b": [80.0, 60.0]}
+        )
+        assert eff["a"] == [1.0, pytest.approx(50 / 60)]
+        assert eff["b"] == [pytest.approx(0.8), 1.0]
+
+    def test_per_count_normalisation(self):
+        """Normalisation is per GPU count, not per series."""
+        eff = application_efficiency({"a": [10.0, 1000.0], "b": [5.0, 2000.0]})
+        assert eff["a"][0] == 1.0
+        assert eff["b"][1] == 1.0
+
+    def test_singleton(self):
+        eff = application_efficiency({"only": [7.0]})
+        assert eff["only"] == [1.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(PerfModelError, match="lengths"):
+            application_efficiency({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(PerfModelError):
+            application_efficiency({})
+        with pytest.raises(PerfModelError):
+            application_efficiency({"a": []})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(PerfModelError):
+            application_efficiency({"a": [0.0]})
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(
+            st.lists(st.floats(1.0, 1e6), min_size=3, max_size=3),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_bounded_and_max_one_property(self, values):
+        series = {f"m{i}": v for i, v in enumerate(values)}
+        eff = application_efficiency(series)
+        for v in eff.values():
+            assert all(0 < x <= 1.0 + 1e-12 for x in v)
+        for i in range(3):
+            assert max(v[i] for v in eff.values()) == pytest.approx(1.0)
+
+
+class TestArchitecturalEfficiency:
+    def test_pointwise_ratio(self):
+        eff = architectural_efficiency([50.0, 100.0], [100.0, 100.0])
+        assert eff == [0.5, 1.0]
+
+    def test_can_exceed_one(self):
+        """Caching effects: the paper sees CUDA proxy on Polaris above 1."""
+        eff = architectural_efficiency([120.0], [100.0])
+        assert eff[0] == pytest.approx(1.2)
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            architectural_efficiency([1.0], [1.0, 2.0])
+        with pytest.raises(PerfModelError):
+            architectural_efficiency([1.0], [0.0])

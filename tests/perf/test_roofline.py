@@ -1,0 +1,58 @@
+"""Roofline characterisation of the LBM kernel."""
+
+import pytest
+
+from repro.core import PerfModelError
+from repro.hardware import GPUSpec, all_machines
+from repro.perf import (
+    STREAMCOLLIDE_CHARACTER,
+    KernelCharacter,
+    roofline_analysis,
+)
+
+
+class TestKernelCharacter:
+    def test_streamcollide_intensity_low(self):
+        """The Section 6 premise quantified: AI ~ 1.4 FLOP/byte."""
+        assert 0.5 < STREAMCOLLIDE_CHARACTER.arithmetic_intensity < 3.0
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            KernelCharacter("bad", 0.0, 8.0)
+        with pytest.raises(PerfModelError):
+            KernelCharacter("bad", 8.0, -1.0)
+
+
+class TestRoofline:
+    def test_lbm_memory_bound_on_every_paper_device(self):
+        for machine in all_machines():
+            point = roofline_analysis(machine.node.gpu)
+            assert point.memory_bound, machine.name
+            assert point.arithmetic_intensity < point.ridge_intensity
+
+    def test_attainable_equals_bandwidth_times_intensity(self):
+        gpu = all_machines()[0].node.gpu  # PVC
+        point = roofline_analysis(gpu)
+        expected = (
+            STREAMCOLLIDE_CHARACTER.arithmetic_intensity
+            * gpu.mem_bandwidth_bytes_s
+            / 1e9
+        )
+        assert point.attainable_gflops == pytest.approx(expected)
+
+    def test_peak_fraction_small(self):
+        """Memory-bound LBM leaves most FP64 peak idle everywhere."""
+        for machine in all_machines():
+            point = roofline_analysis(machine.node.gpu)
+            assert point.peak_fraction < 0.25
+
+    def test_compute_bound_kernel_classified(self):
+        dense = KernelCharacter("gemm-like", 1e4, 8.0)
+        point = roofline_analysis(all_machines()[0].node.gpu, dense)
+        assert point.bound == "compute"
+        assert point.peak_fraction == pytest.approx(1.0)
+
+    def test_unknown_device_rejected(self):
+        exotic = GPUSpec("H100", "NVIDIA", 80.0, 3.0)
+        with pytest.raises(PerfModelError, match="no FP64 peak"):
+            roofline_analysis(exotic)

@@ -1,0 +1,84 @@
+"""Calibration fitting: the simulator is invertible."""
+
+import pytest
+
+from repro.core import PerfModelError
+from repro.hardware import POLARIS, SUMMIT
+from repro.perf import cylinder_trace, price_run
+from repro.perf.calibrate import get_calibration
+from repro.perfmodel import fit_sc_efficiency
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [
+        cylinder_trace(12.0, n, scheme="bisection", with_caps=True)
+        for n in (2, 8, 32)
+    ]
+
+
+class TestSelfConsistency:
+    def test_recovers_known_calibration(self, traces):
+        """Fitting the simulator's own output must recover the
+        efficiency that produced it."""
+        truth = get_calibration("Polaris", "cuda", "harvey")
+        measured = [
+            price_run(t, POLARIS, "cuda", "harvey").mflups for t in traces
+        ]
+        fit = fit_sc_efficiency(
+            traces, measured, POLARIS, "cuda", template=truth
+        )
+        assert fit.sc_efficiency == pytest.approx(
+            truth.sc_efficiency, abs=0.005
+        )
+        assert fit.good_fit
+        assert fit.relative_rmse < 0.01
+
+    def test_recovers_summit_kokkos(self, traces):
+        truth = get_calibration("Summit", "kokkos-openacc", "harvey")
+        measured = [
+            price_run(t, SUMMIT, "kokkos-openacc", "harvey").mflups
+            for t in traces
+        ]
+        fit = fit_sc_efficiency(
+            traces, measured, SUMMIT, "kokkos-openacc", template=truth
+        )
+        assert fit.sc_efficiency == pytest.approx(
+            truth.sc_efficiency, abs=0.005
+        )
+
+    def test_perturbed_measurements_still_fit_reasonably(self, traces):
+        truth = get_calibration("Polaris", "cuda", "harvey")
+        measured = [
+            1.05 * price_run(t, POLARIS, "cuda", "harvey").mflups
+            for t in traces
+        ]
+        fit = fit_sc_efficiency(
+            traces, measured, POLARIS, "cuda", template=truth
+        )
+        # 5% uniformly faster measurements -> slightly higher efficiency
+        assert fit.sc_efficiency > truth.sc_efficiency
+        assert fit.relative_rmse < 0.05
+
+
+class TestValidation:
+    def test_misaligned_inputs(self, traces):
+        with pytest.raises(PerfModelError):
+            fit_sc_efficiency(traces, [1.0], POLARIS, "cuda")
+
+    def test_empty_inputs(self):
+        with pytest.raises(PerfModelError):
+            fit_sc_efficiency([], [], POLARIS, "cuda")
+
+    def test_nonpositive_measurements(self, traces):
+        with pytest.raises(PerfModelError):
+            fit_sc_efficiency(
+                traces, [0.0, 1.0, 2.0], POLARIS, "cuda"
+            )
+
+    def test_bad_bounds(self, traces):
+        with pytest.raises(PerfModelError):
+            fit_sc_efficiency(
+                traces, [1.0, 2.0, 3.0], POLARIS, "cuda",
+                bounds=(0.9, 0.1),
+            )

@@ -1,0 +1,187 @@
+"""The paper's Eqs. 1-4, MFLUPS conversions, and scaling schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PerfModelError
+from repro.hardware import CRUSHER, POLARIS, SUMMIT
+from repro.perfmodel import (
+    AORTA_SPACINGS_MM,
+    CYLINDER_SCALES,
+    PiecewiseSchedule,
+    ScalingPoint,
+    aorta_schedule,
+    comm_surface_sites,
+    cylinder_schedule,
+    face_count,
+    iteration_time_from_mflups,
+    mflups,
+    predict_iteration,
+    speedup,
+    streamcollide_time,
+)
+
+
+class TestEq1StreamCollide:
+    def test_bytes_over_bandwidth(self):
+        assert streamcollide_time(1e12, 1e12) == 1.0
+        assert streamcollide_time(5e11, 1e12) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            streamcollide_time(-1, 1e12)
+        with pytest.raises(PerfModelError):
+            streamcollide_time(1e12, 0)
+
+
+class TestEq4FaceCount:
+    def test_values(self):
+        assert face_count(1) == 0.0
+        assert face_count(2) == 2.0
+        assert face_count(4) == 4.0
+        assert face_count(8) == 6.0
+        assert face_count(64) == 12.0
+
+    def test_caps_at_twelve(self):
+        """w = 2*min(log2(n), 6): the 6 faces of a cube, both ways."""
+        assert face_count(64) == face_count(1024) == 12.0
+
+    def test_monotone_nondecreasing(self):
+        values = [face_count(2**k) for k in range(11)]
+        assert values == sorted(values)
+
+    def test_bad_count(self):
+        with pytest.raises(PerfModelError):
+            face_count(0)
+
+
+class TestEq3Surface:
+    def test_cube_face_area(self):
+        assert comm_surface_sites(1000) == pytest.approx(100.0)
+        assert comm_surface_sites(8000) == pytest.approx(400.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(v=st.floats(1.0, 1e9))
+    def test_two_thirds_scaling(self, v):
+        assert comm_surface_sites(8 * v) == pytest.approx(
+            4 * comm_surface_sites(v), rel=1e-9
+        )
+
+
+class TestPrediction:
+    def test_single_gpu_has_no_comm(self):
+        pred = predict_iteration(SUMMIT, 1e7, 1)
+        assert pred.t_comm == 0.0
+        assert pred.num_events == 0.0
+
+    def test_eq1_value_at_one_gpu(self):
+        pred = predict_iteration(SUMMIT, 1e7, 1)
+        expected = 1e7 * 2 * 19 * 8 / (0.770e12)
+        assert pred.t_streamcollide == pytest.approx(expected)
+
+    def test_mflups_definition(self):
+        pred = predict_iteration(POLARIS, 1e7, 4)
+        assert pred.mflups == pytest.approx(
+            1e7 / pred.t_iteration / 1e6
+        )
+
+    def test_custom_bytes_per_update(self):
+        heavy = predict_iteration(SUMMIT, 1e7, 2, bytes_per_update=912)
+        light = predict_iteration(SUMMIT, 1e7, 2, bytes_per_update=456)
+        assert heavy.t_streamcollide == pytest.approx(
+            2 * light.t_streamcollide
+        )
+
+    def test_more_gpus_higher_throughput_at_fixed_problem(self):
+        values = [
+            predict_iteration(CRUSHER, 1e9, n).mflups
+            for n in (2, 8, 32, 128)
+        ]
+        assert values == sorted(values)
+
+    def test_link_tier_selection(self):
+        """Single-node runs are priced on intra-node links, multi-node
+        on the network fabric."""
+        small = predict_iteration(CRUSHER, 1e8, 8)  # one Crusher node
+        large = predict_iteration(CRUSHER, 1e8, 16)  # two nodes
+        # same w=6 events... n=8 -> w=6; n=16 -> w=8; compare per-event
+        per_event_small = small.t_comm / small.num_events
+        per_event_large = large.t_comm / large.num_events
+        assert per_event_large < per_event_small  # faces shrink with n
+        assert large.num_events > small.num_events
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            predict_iteration(SUMMIT, 0, 4)
+        with pytest.raises(PerfModelError):
+            predict_iteration(SUMMIT, 1e6, 0)
+
+
+class TestMflups:
+    def test_roundtrip(self):
+        t = iteration_time_from_mflups(1e9, 500.0)
+        assert mflups(1e9, t) == pytest.approx(500.0)
+
+    def test_speedup(self):
+        assert speedup(200.0, 100.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(PerfModelError):
+            mflups(1e6, 0.0)
+        with pytest.raises(PerfModelError):
+            iteration_time_from_mflups(1e6, -1.0)
+        with pytest.raises(PerfModelError):
+            speedup(0.0, 1.0)
+
+
+class TestSchedules:
+    def test_paper_sizes(self):
+        assert CYLINDER_SCALES == (12.0, 24.0, 48.0)
+        assert AORTA_SPACINGS_MM == (0.110, 0.055, 0.0275)
+
+    def test_gpu_counts_span_2_to_1024(self):
+        sched = cylinder_schedule()
+        counts = sched.gpu_counts()
+        assert counts[0] == 2 and counts[-1] == 1024
+        assert counts == sorted(counts)
+        assert all(
+            b / a == 2 for a, b in zip(counts, counts[1:])
+        )
+
+    def test_jumps_at_16_and_128(self):
+        """The weak-scaling points of Figs. 3-6."""
+        assert cylinder_schedule().jump_counts == [16, 128]
+        assert aorta_schedule().jump_counts == [16, 128]
+
+    def test_sizes_grow_with_sections(self):
+        sched = cylinder_schedule()
+        sizes = [p.size for p in sched.points]
+        assert sizes == sorted(sizes)
+
+    def test_aorta_spacing_shrinks_with_sections(self):
+        sched = aorta_schedule()
+        sizes = [p.size for p in sched.points]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_truncation(self):
+        sched = cylinder_schedule().truncated(256)
+        assert max(sched.gpu_counts()) == 256
+        with pytest.raises(PerfModelError):
+            sched.truncated(1)
+
+    def test_point_validation(self):
+        with pytest.raises(PerfModelError):
+            ScalingPoint(0, 12.0, 0)
+        with pytest.raises(PerfModelError):
+            ScalingPoint(2, -1.0, 0)
+
+    def test_problem_grows_proportionally_to_gpus(self):
+        """Section 8.1: 'grow the problem size proportionately to the
+        increase in GPU count' — 8x GPUs per section, 2x linear size
+        (8x fluid volume) for the cylinder."""
+        a, b, c = CYLINDER_SCALES
+        assert b / a == 2.0 and c / b == 2.0
+        x, y, z = AORTA_SPACINGS_MM
+        assert x / y == 2.0 and y / z == 2.0

@@ -1,0 +1,261 @@
+"""Porting toolchain: corpus, HIPify, DPCT, Kokkos port, diff stats."""
+
+import pytest
+
+from repro.core import PortingError
+from repro.porting import (
+    CORPUS_FILE_COUNT,
+    TARGET_WARNINGS,
+    DiffStats,
+    apply_manual_fixes,
+    corpus_diff_stats,
+    corpus_line_count,
+    diff_stats,
+    dpct_translate,
+    harvey_corpus,
+    hipify,
+    port_to_kokkos,
+    proxy_corpus,
+    validate_hip,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return harvey_corpus()
+
+
+class TestCorpus:
+    def test_28_files(self, corpus):
+        assert len(corpus) == CORPUS_FILE_COUNT
+
+    def test_deterministic(self, corpus):
+        assert harvey_corpus() == corpus
+
+    def test_every_file_is_cuda(self, corpus):
+        for name, text in corpus.items():
+            assert name.endswith(".cu")
+            assert "cuda_runtime.h" in text
+
+    def test_launch_sites(self, corpus):
+        launches = sum(text.count("<<<") for text in corpus.values())
+        assert launches == TARGET_WARNINGS["Kernel invocation"]
+
+    def test_uninitialised_dim3_count(self, corpus):
+        import re
+
+        pattern = re.compile(r"^\s*dim3\s+\w+\s*;\s*$", re.MULTILINE)
+        count = sum(len(pattern.findall(t)) for t in corpus.values())
+        assert count == 27  # Table 3's DPCT manual-fix count
+
+    def test_proxy_corpus_small_and_clean(self):
+        proxy = proxy_corpus()
+        assert len(proxy) == 3
+        import re
+
+        pattern = re.compile(r"^\s*dim3\s+\w+\s*;\s*$", re.MULTILINE)
+        assert sum(len(pattern.findall(t)) for t in proxy.values()) == 0
+
+    def test_line_count_order_of_magnitude(self, corpus):
+        assert 500 < corpus_line_count(corpus) < 2000
+
+
+class TestDiffStats:
+    def test_identity(self):
+        assert diff_stats("a\nb\n", "a\nb\n") == DiffStats(0, 0, 0)
+
+    def test_pure_insert(self):
+        assert diff_stats("a\nb\n", "a\nx\ny\nb\n") == DiffStats(2, 0, 0)
+
+    def test_pure_delete(self):
+        assert diff_stats("a\nb\nc\n", "a\nc\n") == DiffStats(0, 0, 1)
+
+    def test_replace_counts_changed(self):
+        assert diff_stats("a\nb\nc\n", "a\nX\nc\n") == DiffStats(0, 1, 0)
+
+    def test_replace_longer_counts_added(self):
+        s = diff_stats("a\nb\nc\n", "a\nX\nY\nc\n")
+        assert s.changed == 1 and s.added == 1
+
+    def test_corpus_new_file_counts_added(self):
+        stats = corpus_diff_stats({"a": "x\n"}, {"a": "x\n", "b": "1\n2\n"})
+        assert stats.added == 2
+
+    def test_corpus_removed_file(self):
+        stats = corpus_diff_stats({"a": "x\n", "b": "1\n"}, {"a": "x\n"})
+        assert stats.removed == 1
+
+    def test_addition(self):
+        total = DiffStats(1, 2, 3) + DiffStats(4, 5, 6)
+        assert total == DiffStats(5, 7, 9)
+
+
+class TestHipify:
+    def test_complete_conversion(self, corpus):
+        result = hipify(corpus)
+        assert validate_hip(result.files) == []
+
+    def test_all_launches_rewritten(self, corpus):
+        result = hipify(corpus)
+        assert result.launches_rewritten == TARGET_WARNINGS[
+            "Kernel invocation"
+        ]
+        assert all("<<<" not in t for t in result.files.values())
+
+    def test_launch_ggl_form(self, corpus):
+        result = hipify(corpus)
+        text = result.files["collide.hip.cpp"]
+        assert "hipLaunchKernelGGL(collide_kernel," in text
+
+    def test_file_extension_renamed(self, corpus):
+        result = hipify(corpus)
+        assert "collide.hip.cpp" in result.files
+        assert "collide.cu" not in result.files
+
+    def test_zero_manual_lines(self, corpus):
+        result = hipify(corpus)
+        assert result.manual_lines_needed == DiffStats(0, 0, 0)
+
+    def test_header_swapped(self, corpus):
+        result = hipify(corpus)
+        for text in result.files.values():
+            assert "hip/hip_runtime.h" in text
+            assert "cuda_runtime.h" not in text
+
+    def test_check_macro_renamed(self, corpus):
+        result = hipify(corpus)
+        joined = "\n".join(result.files.values())
+        assert "HIP_CHECK" in joined and "CUDA_CHECK" not in joined
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(PortingError):
+            hipify({})
+
+
+class TestDPCT:
+    @pytest.fixture(scope="class")
+    def result(self, corpus):
+        return dpct_translate(corpus)
+
+    def test_exact_table2_counts(self, result):
+        assert result.warning_counts() == TARGET_WARNINGS
+        assert len(result.warnings) == sum(TARGET_WARNINGS.values())
+
+    def test_breakdown_percentages(self, result):
+        breakdown = result.warning_breakdown()
+        assert breakdown["Error handling"] == pytest.approx(80.45, abs=0.01)
+        assert breakdown["Kernel invocation"] == pytest.approx(15.04, abs=0.01)
+
+    def test_no_cuda_calls_survive(self, result):
+        import re
+
+        pattern = re.compile(r"\bcuda[A-Z]\w*\s*\(")
+        for name, text in result.files.items():
+            for line in text.splitlines():
+                if line.strip().startswith("/*") or line.strip().startswith("//"):
+                    continue
+                assert not pattern.search(line), (name, line)
+
+    def test_kernel_invocations_become_parallel_for(self, result):
+        text = result.files["collide.dp.cpp"]
+        assert "q_ct1.parallel_for(" in text
+        assert "sycl::nd_range<3>" in text
+
+    def test_dim3_becomes_range3(self, result):
+        text = result.files["collide.dp.cpp"]
+        assert "sycl::range<3>" in text
+        assert "dim3" not in text
+
+    def test_sincospi_functional_equivalence(self, result):
+        w = [x for x in result.warnings if x.code == "DPCT1017"]
+        assert len(w) == 1
+        assert "not an exact" in w[0].message
+
+    def test_manual_fixes_exactly_27(self, result):
+        fixed, changed = apply_manual_fixes(result)
+        assert changed == 27
+        # after fixing, no uninitialised ranges remain
+        refixed, changed_again = apply_manual_fixes(
+            type(result)(files=fixed, warnings=result.warnings, stats=result.stats)
+        )
+        assert changed_again == 0
+
+    def test_needs_manual_fixes_flag(self, result):
+        assert result.needs_manual_fixes
+
+    def test_proxy_translates_clean(self):
+        proxy_result = dpct_translate(proxy_corpus())
+        _fixed, changed = apply_manual_fixes(proxy_result)
+        assert changed == 0
+        assert proxy_result.warning_counts()["Unsupported feature"] == 0
+
+    def test_warning_locations_point_at_cuda_lines(self, corpus, result):
+        for w in result.warnings[:20]:
+            line = corpus[w.file].splitlines()[w.line - 1]
+            assert "cuda" in line.lower() or "<<<" in line
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(PortingError):
+            dpct_translate({})
+
+
+class TestKokkosPort:
+    @pytest.fixture(scope="class")
+    def result(self, corpus):
+        return port_to_kokkos(corpus)
+
+    def test_every_kernel_becomes_functor(self, result):
+        assert result.kernels_rewritten == 20
+        joined = "\n".join(result.files.values())
+        assert joined.count("struct") >= 20
+        assert "KOKKOS_INLINE_FUNCTION" in joined
+
+    def test_backend_header_generated(self, result):
+        header = result.files["kokkos_config.hpp"]
+        for token in (
+            "KOKKOS_ENABLE_CUDA",
+            "KOKKOS_ENABLE_HIP",
+            "KOKKOS_ENABLE_SYCL",
+            "KOKKOS_ENABLE_OPENACC",
+            "SYCLDeviceUSMSpace",
+        ):
+            assert token in header
+
+    def test_openacc_has_no_uvm_macro(self, result):
+        """The Section 7.3 limitation appears in the generated header."""
+        header = result.files["kokkos_config.hpp"]
+        acc_block = header.split("KOKKOS_ENABLE_OPENACC")[1].split("#else")[0]
+        assert "HARVEY_UVM_SPACE" not in acc_block.split("//")[0]
+
+    def test_no_cuda_remnants(self, result):
+        import re
+
+        pattern = re.compile(r"\bcuda[A-Z]\w*\s*\(|<<<")
+        for name, text in result.files.items():
+            for line in text.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("//") or "was:" in line:
+                    continue
+                assert not pattern.search(line), (name, line)
+
+    def test_effort_dominates_tools(self, corpus, result):
+        dres = dpct_translate(corpus)
+        _f, dpct_changed = apply_manual_fixes(dres)
+        hres = hipify(corpus)
+        kokkos_total = result.stats.added + result.stats.changed
+        assert kokkos_total > 10 * dpct_changed
+        assert hres.manual_lines_needed.added + (
+            hres.manual_lines_needed.changed
+        ) == 0
+
+    def test_dim3_replaced_by_int_arrays(self, result):
+        """Section 7.3: dim3 becomes a 3-element integer array."""
+        joined = "\n".join(
+            t for n, t in result.files.items() if n.endswith(".kokkos.cpp")
+        )
+        assert "int grid_collide_0[3]" in joined
+        assert "dim3" not in joined
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(PortingError):
+            port_to_kokkos({})

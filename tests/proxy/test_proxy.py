@@ -1,0 +1,65 @@
+"""The LBM proxy application."""
+
+import pytest
+
+from repro.core import ConfigError
+from repro.hardware import POLARIS, SUNSPOT
+from repro.proxy import ProxyApp, ProxyConfig
+
+
+class TestProxyConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ProxyConfig(scale=0)
+        with pytest.raises(ConfigError):
+            ProxyConfig(num_ranks=0)
+        with pytest.raises(ConfigError):
+            ProxyConfig(tau=0.5)
+        with pytest.raises(ConfigError):
+            ProxyConfig(body_force=0.0)
+
+
+class TestProxyApp:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return ProxyApp(ProxyConfig(scale=0.6, num_ranks=4, tau=0.8))
+
+    def test_paper_geometry(self, app):
+        assert app.grid.shape[0] == int(round(84 * 0.6))
+        assert app.spec.radius == 8 * 0.6
+
+    def test_quadrant_decomposition(self, app):
+        assert app.partition.scheme.startswith("quadrant")
+        assert app.partition.imbalance < 1.3
+
+    def test_run_physics(self, app):
+        report = app.run(steps=300)
+        assert report.mass_drift < 1e-10
+        assert 0.7 < report.poiseuille_agreement <= 1.05
+        assert report.mflups > 0
+
+    def test_expected_fluid_estimate(self, app):
+        assert app.expected_fluid_nodes() == pytest.approx(
+            app.grid.num_fluid, rel=0.15
+        )
+
+    def test_performance_projection(self, app):
+        cost = app.performance_on(POLARIS, n_gpus=8, scale=12.0)
+        assert cost.app == "proxy"
+        assert cost.model == "cuda"
+        assert cost.mflups > 0
+
+    def test_projection_respects_availability(self, app):
+        from repro.core import ModelError
+
+        with pytest.raises(ModelError):
+            app.performance_on(SUNSPOT, model_name="cuda", n_gpus=4)
+
+    def test_bad_steps(self, app):
+        with pytest.raises(ConfigError):
+            app.run(0)
+
+    def test_non_multiple_of_four_ranks(self):
+        app = ProxyApp(ProxyConfig(scale=0.5, num_ranks=3))
+        report = app.run(steps=5)
+        assert report.num_ranks == 3

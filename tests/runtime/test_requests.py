@@ -1,0 +1,106 @@
+"""Non-blocking request semantics over the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.core import RuntimeSimError
+from repro.runtime import Request, SimComm, irecv, isend, waitall
+
+
+class TestNonBlocking:
+    def test_isend_irecv_roundtrip(self):
+        comm = SimComm(2)
+        req_s = isend(comm, 0, 1, np.arange(4.0))
+        req_r = irecv(comm, 1, 0)
+        req_s.wait()
+        out = req_r.wait()
+        assert np.array_equal(out, np.arange(4.0))
+
+    def test_irecv_posted_before_send(self):
+        comm = SimComm(2)
+        req_r = irecv(comm, 1, 0)
+        assert not req_r.test()  # nothing sent yet
+        isend(comm, 0, 1, np.array([7.0]))
+        assert req_r.test()
+        assert req_r.wait()[0] == 7.0
+
+    def test_send_buffer_captured_eagerly(self):
+        comm = SimComm(2)
+        data = np.array([1.0])
+        isend(comm, 0, 1, data)
+        data[0] = 99.0
+        assert irecv(comm, 1, 0).wait()[0] == 1.0
+
+    def test_recv_into_posted_buffer(self):
+        comm = SimComm(2)
+        buf = np.zeros(3)
+        req = irecv(comm, 1, 0, buf=buf)
+        isend(comm, 0, 1, np.arange(3.0))
+        out = req.wait()
+        assert out is buf
+        assert np.array_equal(buf, np.arange(3.0))
+
+    def test_posted_buffer_shape_mismatch(self):
+        comm = SimComm(2)
+        req = irecv(comm, 1, 0, buf=np.zeros(2))
+        isend(comm, 0, 1, np.zeros(3))
+        with pytest.raises(RuntimeSimError, match="mismatch"):
+            req.wait()
+
+    def test_double_wait_rejected(self):
+        comm = SimComm(2)
+        isend(comm, 0, 1, np.zeros(1))
+        req = irecv(comm, 1, 0)
+        req.wait()
+        with pytest.raises(RuntimeSimError, match="already"):
+            req.wait()
+
+    def test_wait_without_message_raises(self):
+        comm = SimComm(2)
+        req = irecv(comm, 1, 0)
+        with pytest.raises(RuntimeSimError, match="no message"):
+            req.wait()
+
+    def test_waitall_ordering(self):
+        comm = SimComm(3)
+        reqs = [irecv(comm, 0, 1), irecv(comm, 0, 2)]
+        isend(comm, 2, 0, np.array([2.0]))
+        isend(comm, 1, 0, np.array([1.0]))
+        results = waitall(reqs)
+        assert results[0][0] == 1.0
+        assert results[1][0] == 2.0
+
+    def test_send_requests_complete_trivially(self):
+        comm = SimComm(2)
+        req = isend(comm, 0, 1, np.zeros(1))
+        assert req.test()
+        assert req.wait() is None
+        assert req.completed
+
+    def test_tagged_channels_independent(self):
+        comm = SimComm(2)
+        isend(comm, 0, 1, np.array([5.0]), tag=5)
+        req3 = irecv(comm, 1, 0, tag=3)
+        assert not req3.test()
+        req5 = irecv(comm, 1, 0, tag=5)
+        assert req5.wait()[0] == 5.0
+
+    def test_rank_validation(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeSimError):
+            irecv(comm, 5, 0)
+        with pytest.raises(RuntimeSimError):
+            Request(comm, "bcast", 0, 1, 0)
+
+    def test_overlap_pattern(self):
+        """The HARVEY overlap idiom: post receives, send, compute, wait."""
+        comm = SimComm(2)
+        recvs = [irecv(comm, r, 1 - r) for r in (0, 1)]
+        sends = [
+            isend(comm, r, 1 - r, np.full(4, float(r))) for r in (0, 1)
+        ]
+        interior_work = np.arange(100.0).sum()  # "compute"
+        waitall(sends)
+        left, right = waitall(recvs)
+        assert interior_work == 4950.0
+        assert (left == 1.0).all() and (right == 0.0).all()

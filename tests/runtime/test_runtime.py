@@ -1,0 +1,164 @@
+"""Simulated MPI communicator, event log, lockstep executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import RuntimeSimError
+from repro.runtime import CommEvent, EventLog, LockstepExecutor, SimComm
+
+
+class TestSimComm:
+    def test_send_recv_roundtrip(self):
+        comm = SimComm(2)
+        data = np.arange(5.0)
+        comm.send(0, 1, data)
+        out = comm.recv(1, 0)
+        assert np.array_equal(out, data)
+
+    def test_send_copies_buffer(self):
+        comm = SimComm(2)
+        data = np.arange(3.0)
+        comm.send(0, 1, data)
+        data[0] = 99.0
+        assert comm.recv(1, 0)[0] == 0.0
+
+    def test_fifo_ordering_per_channel(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.array([1.0]))
+        comm.send(0, 1, np.array([2.0]))
+        assert comm.recv(1, 0)[0] == 1.0
+        assert comm.recv(1, 0)[0] == 2.0
+
+    def test_tags_separate_channels(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.array([1.0]), tag=1)
+        comm.send(0, 1, np.array([2.0]), tag=2)
+        assert comm.recv(1, 0, tag=2)[0] == 2.0
+        assert comm.recv(1, 0, tag=1)[0] == 1.0
+
+    def test_recv_without_send_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeSimError, match="no message pending"):
+            comm.recv(1, 0)
+
+    def test_self_send_rejected(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeSimError):
+            comm.send(1, 1, np.array([1.0]))
+
+    def test_rank_bounds(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeSimError):
+            comm.send(0, 2, np.array([1.0]))
+        with pytest.raises(RuntimeSimError):
+            comm.recv(-1, 0)
+
+    def test_recv_into_checks_shape(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.zeros((2, 3)))
+        out = np.empty((3, 2))
+        with pytest.raises(RuntimeSimError, match="mismatch"):
+            comm.recv_into(1, 0, out)
+
+    def test_recv_into_fills_buffer(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.full((2, 2), 7.0))
+        out = np.empty((2, 2))
+        comm.recv_into(1, 0, out)
+        assert (out == 7.0).all()
+
+    def test_events_logged_with_bytes_and_step(self):
+        comm = SimComm(2)
+        comm.set_step(5)
+        comm.send(0, 1, np.zeros(10))
+        event = comm.log.events[-1]
+        assert event.nbytes == 80
+        assert event.step == 5
+        assert (event.src, event.dst) == (0, 1)
+
+    def test_pending_count(self):
+        comm = SimComm(3)
+        comm.send(0, 1, np.zeros(1))
+        comm.send(0, 2, np.zeros(1))
+        assert comm.pending_messages == 2
+        comm.recv(1, 0)
+        assert comm.pending_messages == 1
+
+    def test_allreduce_sum(self):
+        comm = SimComm(4)
+        assert comm.allreduce([1.0, 2.0, 3.0, 4.0]) == 10.0
+
+    def test_allreduce_custom_op(self):
+        comm = SimComm(3)
+        assert comm.allreduce([3.0, 1.0, 2.0], op=np.max) == 3.0
+
+    def test_allreduce_wrong_arity(self):
+        comm = SimComm(3)
+        with pytest.raises(RuntimeSimError, match="contributions"):
+            comm.allreduce([1.0, 2.0])
+
+    def test_gather(self):
+        comm = SimComm(2)
+        out = comm.gather([np.array([1.0]), np.array([2.0])])
+        assert out[1][0] == 2.0
+
+    def test_barrier_counter(self):
+        comm = SimComm(2)
+        comm.barrier()
+        comm.barrier()
+        assert comm.barriers == 2
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(RuntimeSimError):
+            SimComm(0)
+
+
+class TestEventLog:
+    def test_aggregation(self):
+        log = EventLog()
+        log.record(CommEvent(0, 1, 100))
+        log.record(CommEvent(0, 1, 50))
+        log.record(CommEvent(1, 0, 25))
+        assert log.total_bytes() == 175
+        assert log.bytes_by_pair() == {(0, 1): 150, (1, 0): 25}
+        assert log.bytes_received(1) == 150
+        assert log.bytes_sent(1) == 25
+
+    def test_step_filter(self):
+        log = EventLog()
+        log.record(CommEvent(0, 1, 8, step=1))
+        log.record(CommEvent(0, 1, 8, step=2))
+        assert len(list(log.for_step(2))) == 1
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(CommEvent(0, 1, 8))
+        log.clear()
+        assert len(log) == 0
+
+
+class TestLockstepExecutor:
+    def test_phases_run_in_rank_order(self):
+        ex = LockstepExecutor(3)
+        order = []
+        ex.run_phase(order.append)
+        assert order == [0, 1, 2]
+
+    def test_run_step_sequences_phases(self):
+        ex = LockstepExecutor(2)
+        trace = []
+        ex.run_step(
+            [lambda r: trace.append(("a", r)), lambda r: trace.append(("b", r))]
+        )
+        assert trace == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_subset_of_ranks(self):
+        ex = LockstepExecutor(4)
+        seen = []
+        ex.run_phase(seen.append, ranks=[2, 0])
+        assert seen == [2, 0]
+
+    def test_bad_rank_rejected(self):
+        ex = LockstepExecutor(2)
+        with pytest.raises(RuntimeSimError):
+            ex.run_phase(lambda r: None, ranks=[5])
