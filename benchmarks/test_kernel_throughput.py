@@ -73,6 +73,78 @@ def test_distributed_step_throughput(benchmark, grid, config):
         )
 
 
+def _bare_step(solver):
+    """The uninstrumented seed step loop, inlined as the baseline the
+    telemetry-disabled executor path is guarded against."""
+    import numpy as np
+
+    from repro.runtime.requests import irecv, isend, waitall
+
+    solver.comm.set_step(solver.time)
+    for st in solver.ranks:
+        idx = np.arange(st.num_owned, dtype=np.int64)
+        solver.collision.apply(solver.lattice, st.f, idx)
+    recv_reqs = []
+    for st in solver.ranks:
+        for src in st.recv_slots:
+            recv_reqs.append(
+                (st, src, irecv(solver.comm, st.rank, src, tag=1))
+            )
+    send_reqs = []
+    for st in solver.ranks:
+        for dst, ids in st.send_ids.items():
+            send_reqs.append(
+                isend(solver.comm, st.rank, dst, st.f[:, ids], tag=1)
+            )
+    waitall(send_reqs)
+    for st, src, req in recv_reqs:
+        st.f[:, st.recv_slots[src]] = req.wait()
+    for st in solver.ranks:
+        for qi, qi_opp, dst, src, bounce in st.plans:
+            st.f_tmp[qi, dst] = st.f[qi, src]
+            if bounce.size:
+                st.f_tmp[qi, bounce] = st.f[qi_opp, bounce]
+        st.f, st.f_tmp = st.f_tmp, st.f
+    solver.time += 1
+    for st in solver.ranks:
+        if st.inlet is not None:
+            st.inlet.apply(solver.lattice, st.f, solver.time)
+        if st.outlet is not None:
+            st.outlet.apply(solver.lattice, st.f, solver.time)
+        solver.fluid_updates += st.num_owned
+
+
+def test_disabled_telemetry_overhead(grid, config):
+    """Microbench guard: with telemetry off (the default null tracer),
+    the instrumented phase loop stays within 5% of the bare seed loop."""
+    import time
+
+    partition = axis_decompose(grid, 4)
+    instrumented = DistributedSolver(partition, config)
+    bare = DistributedSolver(partition, config)
+    assert not instrumented.tracer.enabled
+
+    def min_time(fn, repeats):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    # warm both paths (allocations, caches) before timing
+    instrumented.step(2)
+    _bare_step(bare)
+    _bare_step(bare)
+    t_instrumented = min_time(lambda: instrumented.step(1), repeats=7)
+    t_bare = min_time(lambda: _bare_step(bare), repeats=7)
+    # 5% relative budget with a small absolute floor for timer noise
+    assert t_instrumented <= t_bare * 1.05 + 5e-4, (
+        f"disabled-telemetry step {t_instrumented * 1e3:.2f} ms vs "
+        f"bare {t_bare * 1e3:.2f} ms"
+    )
+
+
 def test_host_stream_bandwidth(benchmark):
     result = benchmark.pedantic(
         run_host_stream, kwargs={"elements": 1 << 21, "ntimes": 3},

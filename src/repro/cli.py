@@ -26,6 +26,13 @@ Commands
     Roofline placement of the stream-collide kernel per device.
 ``report``
     Regenerate the full reproduction report (all tables and figures).
+``telemetry``
+    Inspect telemetry artefacts (``summarize`` a ``--trace-out`` file).
+
+The functional run commands (``proxy``, ``harvey``) accept
+``--trace-out PATH`` (Chrome ``trace_event`` JSON, loadable in
+``chrome://tracing`` / Perfetto) and ``--metrics-out PATH`` (JSON, or CSV
+when the path ends in ``.csv``).
 """
 
 from __future__ import annotations
@@ -71,10 +78,34 @@ def _cmd_systems(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_telemetry(args: argparse.Namespace):
+    """A :class:`~repro.telemetry.hooks.Telemetry` bundle when the run
+    requested any telemetry output, else None (the zero-overhead path)."""
+    if not (args.trace_out or args.metrics_out):
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _finish_telemetry(telemetry, report, args: argparse.Namespace) -> None:
+    if telemetry is None:
+        return
+    telemetry.record_report(report)
+    for path in telemetry.write(args.trace_out, args.metrics_out):
+        print(f"  telemetry written to {path}")
+
+
 def _cmd_proxy(args: argparse.Namespace) -> int:
     from .proxy import ProxyApp, ProxyConfig
 
-    app = ProxyApp(ProxyConfig(scale=args.scale, num_ranks=args.ranks))
+    telemetry = _make_telemetry(args)
+    app = ProxyApp(
+        ProxyConfig(scale=args.scale, num_ranks=args.ranks),
+        tracer=telemetry.tracer if telemetry else None,
+    )
+    if telemetry:
+        telemetry.attach_app(app)
     report = app.run(args.steps)
     print(
         f"proxy: scale={report.scale:g} ranks={report.num_ranks} "
@@ -84,19 +115,24 @@ def _cmd_proxy(args: argparse.Namespace) -> int:
         f"  wall MFLUPS={report.mflups:.3f}  mass drift={report.mass_drift:.2e}  "
         f"Poiseuille agreement={report.poiseuille_agreement:.3f}"
     )
+    _finish_telemetry(telemetry, report, args)
     return 0
 
 
 def _cmd_harvey(args: argparse.Namespace) -> int:
     from .harvey import HarveyApp, HarveyConfig
 
+    telemetry = _make_telemetry(args)
     app = HarveyApp(
         HarveyConfig(
             workload=args.workload,
             resolution=args.resolution,
             num_ranks=args.ranks,
-        )
+        ),
+        tracer=telemetry.tracer if telemetry else None,
     )
+    if telemetry:
+        telemetry.attach_app(app)
     report = app.run(args.steps)
     lb = app.load_balance()
     print(
@@ -107,6 +143,19 @@ def _cmd_harvey(args: argparse.Namespace) -> int:
         f"  wall MFLUPS={report.mflups:.3f}  mass drift={report.mass_drift:.2e}  "
         f"max |u|={report.max_velocity:.4f}  imbalance={lb['imbalance']:.3f}"
     )
+    _finish_telemetry(telemetry, report, args)
+    return 0
+
+
+def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    from .core.errors import TelemetryError
+    from .telemetry import summarize_trace_file
+
+    try:
+        print(summarize_trace_file(args.trace))
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -339,6 +388,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the run's spans",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="dump run metrics (JSON, or CSV if PATH ends in .csv)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -355,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--ranks", type=int, default=4)
     p.add_argument("--steps", type=int, default=200)
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_proxy)
 
     p = sub.add_parser("harvey", help="run HARVEY functionally")
@@ -364,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resolution", type=float, default=1.5)
     p.add_argument("--ranks", type=int, default=4)
     p.add_argument("--steps", type=int, default=100)
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_harvey)
 
     p = sub.add_parser("scaling", help="piecewise scaling (Figs. 3/4)")
@@ -419,6 +485,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-backend efficiency sections",
     )
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "telemetry", help="inspect telemetry artefacts"
+    )
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    ps = tsub.add_parser(
+        "summarize",
+        help="Fig.-7-style phase-composition table from a trace file",
+    )
+    ps.add_argument("trace", help="path to a --trace-out JSON file")
+    ps.set_defaults(func=_cmd_telemetry_summarize)
 
     return parser
 

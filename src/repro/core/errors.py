@@ -49,3 +49,8 @@ class PortingError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid application configuration."""
+
+
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry usage (span nesting, metric types,
+    malformed trace files)."""

@@ -25,6 +25,7 @@ from ..lbm.distributed import DistributedSolver
 from ..lbm.solver import SolverConfig
 from ..perf.simulate import RunCost, price_run
 from ..perf.trace import aorta_trace, cylinder_trace
+from ..telemetry.spans import get_tracer
 from .config import HarveyConfig
 from .pulsatile import PulsatileWaveform
 
@@ -54,11 +55,13 @@ class HarveyRunReport:
 class HarveyApp:
     """A configured HARVEY instance."""
 
-    def __init__(self, config: HarveyConfig) -> None:
+    def __init__(self, config: HarveyConfig, tracer=None) -> None:
         self.config = config
-        self.grid = self._build_grid()
-        self.partition = self._decompose()
-        self.solver = self._build_solver()
+        self.tracer = get_tracer() if tracer is None else tracer
+        with self.tracer.span("harvey.setup", workload=config.workload):
+            self.grid = self._build_grid()
+            self.partition = self._decompose()
+            self.solver = self._build_solver()
 
     # -- setup ----------------------------------------------------------------
     def _build_grid(self) -> VoxelGrid:
@@ -87,7 +90,7 @@ class HarveyApp:
             inlet_velocity=self._inlet_velocity(),
             periodic=(False, False, False),
         )
-        return DistributedSolver(self.partition, solver_cfg)
+        return DistributedSolver(self.partition, solver_cfg, tracer=self.tracer)
 
     # -- execution ---------------------------------------------------------------
     def run(self, steps: int) -> HarveyRunReport:
@@ -96,7 +99,10 @@ class HarveyApp:
             raise ConfigError("steps must be >= 1")
         mass_before = self.solver.mass()
         t0 = time.perf_counter()
-        self.solver.step(steps)
+        with self.tracer.span(
+            "harvey.run", steps=steps, ranks=self.config.num_ranks
+        ):
+            self.solver.step(steps)
         wall = time.perf_counter() - t0
         mass_after = self.solver.mass()
         import numpy as np

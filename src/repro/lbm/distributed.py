@@ -28,8 +28,10 @@ from ..decomp.partition import Partition
 from ..geometry.flags import INLET, OUTLET
 from .boundary import PressureOutlet, VelocityInlet
 from .solver import SolverConfig
-from ..runtime.requests import irecv, isend, waitall
+from ..runtime.executor import LockstepExecutor
+from ..runtime.requests import Request, irecv, isend, waitall
 from ..runtime.simmpi import SimComm
+from ..telemetry.spans import get_tracer
 
 __all__ = ["RankState", "DistributedSolver"]
 
@@ -62,6 +64,7 @@ class DistributedSolver:
         partition: Partition,
         config: SolverConfig,
         comm: Optional[SimComm] = None,
+        tracer=None,
     ) -> None:
         self.partition = partition
         self.grid = partition.grid
@@ -73,6 +76,13 @@ class DistributedSolver:
             raise RuntimeSimError(
                 "communicator size does not match partition rank count"
             )
+        self.tracer = get_tracer() if tracer is None else tracer
+        self.executor = LockstepExecutor(
+            partition.num_ranks, tracer=self.tracer
+        )
+        self._pending: Dict[
+            int, Tuple[List[Request], Dict[int, Request]]
+        ] = {}
         self.time = 0
         self.fluid_updates = 0
         self._build()
@@ -219,43 +229,71 @@ class DistributedSolver:
                 state_r.recv_slots[j] = slots.astype(np.int64)
 
     # -- stepping ----------------------------------------------------------
+    # Each phase body is a per-rank function dispatched through the
+    # lockstep executor, which emits one span per rank per phase when a
+    # tracer is attached (the functional source of the Fig. 7 breakdown).
+
+    def _phase_collide(self, rank: int) -> None:
+        st = self.ranks[rank]
+        idx = np.arange(st.num_owned, dtype=np.int64)
+        self.collision.apply(self.lattice, st.f, idx)
+
+    def _phase_exchange_post(self, rank: int) -> None:
+        # the MPI_Isend/Irecv pattern production codes use to overlap;
+        # the simulated transport captures send payloads eagerly, so
+        # posting per rank in lockstep preserves exact message matching
+        st = self.ranks[rank]
+        recvs = {
+            src: irecv(self.comm, st.rank, src, tag=1)
+            for src in st.recv_slots
+        }
+        sends = [
+            isend(self.comm, st.rank, dst, st.f[:, ids], tag=1)
+            for dst, ids in st.send_ids.items()
+        ]
+        self._pending[rank] = (sends, recvs)
+
+    def _phase_exchange_complete(self, rank: int) -> None:
+        st = self.ranks[rank]
+        sends, recvs = self._pending.pop(rank)
+        waitall(sends)
+        for src, req in recvs.items():
+            st.f[:, st.recv_slots[src]] = req.wait()
+
+    def _phase_stream(self, rank: int) -> None:
+        st = self.ranks[rank]
+        for qi, qi_opp, dst, src, bounce in st.plans:
+            st.f_tmp[qi, dst] = st.f[qi, src]
+            if bounce.size:
+                st.f_tmp[qi, bounce] = st.f[qi_opp, bounce]
+        st.f, st.f_tmp = st.f_tmp, st.f
+
+    def _phase_boundary(self, rank: int) -> None:
+        st = self.ranks[rank]
+        if st.inlet is not None:
+            st.inlet.apply(self.lattice, st.f, self.time)
+        if st.outlet is not None:
+            st.outlet.apply(self.lattice, st.f, self.time)
+        self.fluid_updates += st.num_owned
+
     def step(self, num_steps: int = 1) -> None:
+        ex = self.executor
         for _ in range(num_steps):
             self.comm.set_step(self.time)
-            # phase 1: collide on owned nodes
-            for st in self.ranks:
-                idx = np.arange(st.num_owned, dtype=np.int64)
-                self.collision.apply(self.lattice, st.f, idx)
-            # phase 2: halo exchange with non-blocking requests (the
-            # MPI_Isend/Irecv pattern production codes use to overlap)
-            recv_reqs = []
-            for st in self.ranks:
-                for src in st.recv_slots:
-                    recv_reqs.append((st, src, irecv(self.comm, st.rank, src, tag=1)))
-            send_reqs = []
-            for st in self.ranks:
-                for dst, ids in st.send_ids.items():
-                    send_reqs.append(
-                        isend(self.comm, st.rank, dst, st.f[:, ids], tag=1)
-                    )
-            waitall(send_reqs)
-            for st, src, req in recv_reqs:
-                st.f[:, st.recv_slots[src]] = req.wait()
-            # phase 3: pull-stream into owned nodes
-            for st in self.ranks:
-                for qi, qi_opp, dst, src, bounce in st.plans:
-                    st.f_tmp[qi, dst] = st.f[qi, src]
-                    if bounce.size:
-                        st.f_tmp[qi, bounce] = st.f[qi_opp, bounce]
-                st.f, st.f_tmp = st.f_tmp, st.f
-            self.time += 1
-            # phase 4: boundary conditions
-            for st in self.ranks:
-                if st.inlet is not None:
-                    st.inlet.apply(self.lattice, st.f, self.time)
-                if st.outlet is not None:
-                    st.outlet.apply(self.lattice, st.f, self.time)
-                self.fluid_updates += st.num_owned
+            with self.tracer.span("step", step=self.time):
+                # phase 1: collide on owned nodes
+                ex.run_phase(self._phase_collide, name="collide")
+                # phase 2: halo exchange (post, then complete — both
+                # halves categorize as communication time)
+                ex.run_phase(self._phase_exchange_post, name="exchange")
+                ex.run_phase(
+                    self._phase_exchange_complete, name="exchange"
+                )
+                # phase 3: pull-stream into owned nodes
+                ex.run_phase(self._phase_stream, name="stream")
+                self.time += 1
+                # phase 4: boundary conditions
+                ex.run_phase(self._phase_boundary, name="boundary")
 
     # -- observables -----------------------------------------------------------
     @property

@@ -25,6 +25,8 @@ from ..core.errors import PerfModelError
 from ..hardware.interconnect import LinkTier
 from ..hardware.machine import Machine
 from ..models.registry import ModelVariant, variant_for
+from ..telemetry.metrics import get_registry
+from ..telemetry.spans import get_tracer
 from .calibrate import (
     Calibration,
     bytes_per_update,
@@ -240,12 +242,14 @@ def price_run(
     app: str,
     variant: Optional[ModelVariant] = None,
     overrides: Optional[PricingOverrides] = None,
+    tracer=None,
 ) -> RunCost:
     """Price one scaling point.
 
     ``app`` is ``"harvey"`` or ``"proxy"``; the model/system pair must be
     one the study ported (checked through the registry unless an explicit
-    ``variant`` is supplied).
+    ``variant`` is supplied).  Pricing passes are traced (span
+    ``perf.price_run``) and counted in the process metrics registry.
     """
     if trace.n_ranks > machine.max_ranks:
         raise PerfModelError(
@@ -256,16 +260,28 @@ def price_run(
         variant = variant_for(model_name, machine)
     if overrides is None:
         overrides = _DEFAULT_OVERRIDES
-    cal = get_calibration(machine.name, model_name, app)
-    gpu = machine.node.gpu
-    oom = any(
-        r.fluid * STORAGE_BYTES_PER_SITE > gpu.memory_bytes
-        for r in trace.ranks
-    )
-    ranks = tuple(
-        _rank_cost(trace, machine, variant, cal, app, rt, overrides)
-        for rt in trace.ranks
-    )
+    if tracer is None:
+        tracer = get_tracer()
+    registry = get_registry()
+    with tracer.span(
+        "perf.price_run",
+        machine=machine.name,
+        model=model_name,
+        app=app,
+        n_gpus=trace.n_ranks,
+    ):
+        cal = get_calibration(machine.name, model_name, app)
+        gpu = machine.node.gpu
+        oom = any(
+            r.fluid * STORAGE_BYTES_PER_SITE > gpu.memory_bytes
+            for r in trace.ranks
+        )
+        ranks = tuple(
+            _rank_cost(trace, machine, variant, cal, app, rt, overrides)
+            for rt in trace.ranks
+        )
+    registry.counter("perf.runs_priced").inc()
+    registry.counter("perf.ranks_priced").inc(trace.n_ranks)
     return RunCost(
         machine=machine.name,
         model=model_name,

@@ -25,6 +25,7 @@ from ..lbm.bgk import viscosity_from_tau
 from ..lbm.solver import SolverConfig
 from ..perf.simulate import RunCost, price_run
 from ..perf.trace import cylinder_trace
+from ..telemetry.spans import get_tracer
 
 __all__ = ["ProxyConfig", "ProxyRunReport", "ProxyApp"]
 
@@ -78,24 +79,33 @@ class ProxyRunReport:
 class ProxyApp:
     """A configured proxy-app instance."""
 
-    def __init__(self, config: ProxyConfig) -> None:
+    def __init__(self, config: ProxyConfig, tracer=None) -> None:
         self.config = config
+        self.tracer = get_tracer() if tracer is None else tracer
         self.spec = CylinderSpec(scale=config.scale, periodic=True)
-        self.grid = make_cylinder(self.spec)
-        self.partition = quadrant_decompose(self.grid, config.num_ranks, axis=0)
-        solver_cfg = SolverConfig(
-            tau=config.tau,
-            force=(config.body_force, 0.0, 0.0),
-            periodic=(True, False, False),
-        )
-        self.solver = DistributedSolver(self.partition, solver_cfg)
+        with self.tracer.span("proxy.setup", scale=config.scale):
+            self.grid = make_cylinder(self.spec)
+            self.partition = quadrant_decompose(
+                self.grid, config.num_ranks, axis=0
+            )
+            solver_cfg = SolverConfig(
+                tau=config.tau,
+                force=(config.body_force, 0.0, 0.0),
+                periodic=(True, False, False),
+            )
+            self.solver = DistributedSolver(
+                self.partition, solver_cfg, tracer=self.tracer
+            )
 
     def run(self, steps: int) -> ProxyRunReport:
         if steps < 1:
             raise ConfigError("steps must be >= 1")
         mass_before = self.solver.mass()
         t0 = time.perf_counter()
-        self.solver.step(steps)
+        with self.tracer.span(
+            "proxy.run", steps=steps, ranks=self.config.num_ranks
+        ):
+            self.solver.step(steps)
         wall = time.perf_counter() - t0
         mass_after = self.solver.mass()
         u = self.solver.velocity()

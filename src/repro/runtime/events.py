@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Tuple
 
 __all__ = ["CommEvent", "EventLog"]
 
@@ -33,9 +33,20 @@ class EventLog:
 
     def __init__(self) -> None:
         self.events: List[CommEvent] = []
+        self._listeners: List[Callable[[CommEvent], None]] = []
 
     def record(self, event: CommEvent) -> None:
         self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener: Callable[[CommEvent], None]) -> None:
+        """Call ``listener(event)`` on every subsequent :meth:`record`
+        (how the telemetry comm hooks observe traffic)."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[CommEvent], None]) -> None:
+        self._listeners.remove(listener)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -57,6 +68,17 @@ class EventLog:
 
     def for_step(self, step: int) -> Iterable[CommEvent]:
         return (e for e in self.events if e.step == step)
+
+    def by_step(self, step: int) -> List[CommEvent]:
+        """All events tagged with iteration ``step``, in record order."""
+        return [e for e in self.events if e.step == step]
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        """Traffic volume aggregated by event kind."""
+        out: Dict[str, int] = defaultdict(int)
+        for e in self.events:
+            out[e.kind] += e.nbytes
+        return dict(out)
 
     def clear(self) -> None:
         self.events.clear()

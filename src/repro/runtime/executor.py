@@ -5,13 +5,19 @@ exchange-post, exchange-complete, stream, boundaries) and every rank
 finishes a phase before any rank starts the next — the bulk-synchronous
 structure of a distributed LBM step.  The executor exists so application
 code reads like rank-parallel code and so tests can interpose on phases.
+
+Passing a :class:`~repro.telemetry.spans.Tracer` (and a ``name`` to
+:meth:`LockstepExecutor.run_phase`) emits one span per rank per phase —
+the raw material of the Fig. 7 runtime-composition breakdown.  With the
+default null tracer the instrumentation is a single attribute check.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..core.errors import RuntimeSimError
+from ..telemetry.spans import get_tracer
 
 __all__ = ["LockstepExecutor"]
 
@@ -21,21 +27,37 @@ PhaseFn = Callable[[int], None]
 class LockstepExecutor:
     """Runs per-rank phase functions in lockstep."""
 
-    def __init__(self, num_ranks: int) -> None:
+    def __init__(self, num_ranks: int, tracer=None) -> None:
         if num_ranks < 1:
             raise RuntimeSimError("executor needs at least one rank")
         self.num_ranks = num_ranks
         self.phases_run = 0
+        self.tracer = get_tracer() if tracer is None else tracer
 
-    def run_phase(self, fn: PhaseFn, ranks: Sequence[int] = None) -> None:
-        """Invoke ``fn(rank)`` for every rank (or a subset, in order)."""
+    def run_phase(
+        self,
+        fn: PhaseFn,
+        ranks: Optional[Sequence[int]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        """Invoke ``fn(rank)`` for every rank (or a subset, in order).
+
+        With an enabled tracer and a ``name``, each rank's call is
+        wrapped in a span of that name tagged with the rank.
+        """
         targets: Iterable[int] = (
             range(self.num_ranks) if ranks is None else ranks
         )
+        tracer = self.tracer
+        traced = name is not None and tracer.enabled
         for rank in targets:
             if not 0 <= rank < self.num_ranks:
                 raise RuntimeSimError(f"phase rank {rank} out of range")
-            fn(rank)
+            if traced:
+                with tracer.span(name, rank=rank):
+                    fn(rank)
+            else:
+                fn(rank)
         self.phases_run += 1
 
     def run_step(self, phases: List[PhaseFn]) -> None:

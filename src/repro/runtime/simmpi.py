@@ -15,7 +15,7 @@ what the validation ladder must catch.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -100,7 +100,9 @@ class SimComm:
         return self._barriers
 
     def allreduce(
-        self, values: List[float], op: Callable[[np.ndarray], float] = None
+        self,
+        values: List[float],
+        op: Optional[Callable[[np.ndarray], float]] = None,
     ) -> float:
         """Reduce one contribution per rank to a single value.
 

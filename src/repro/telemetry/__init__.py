@@ -1,0 +1,72 @@
+"""Telemetry: span tracing, a metrics registry, and trace exporters.
+
+The instrumentation substrate behind every performance claim the repo
+makes: the runtime's phase loop, the apps' step loops, the simulated MPI
+layer, and the perf simulator all emit spans/metrics through this package
+(disabled by default, zero-overhead no-op when off).  See
+``repro telemetry summarize`` for the Fig.-7-style composition view of a
+captured trace.
+"""
+
+from .export import (
+    chrome_trace,
+    load_chrome_trace,
+    metrics_csv,
+    write_chrome_trace,
+    write_metrics,
+)
+from .hooks import Telemetry, attach_comm_metrics
+from .metrics import (
+    Counter,
+    DEFAULT_BYTE_EDGES,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .spans import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from .summary import (
+    CATEGORIES,
+    categorize,
+    phase_composition,
+    render_composition,
+    summarize_trace_file,
+)
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BYTE_EDGES",
+    "get_registry",
+    "set_registry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "metrics_csv",
+    "write_metrics",
+    "Telemetry",
+    "attach_comm_metrics",
+    "CATEGORIES",
+    "categorize",
+    "phase_composition",
+    "render_composition",
+    "summarize_trace_file",
+]

@@ -1,0 +1,208 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics addressed by
+dotted names (``comm.bytes_sent``, ``lbm.sites_updated``,
+``perf.runs_priced``).  Instruments are created lazily on first access —
+``registry.counter("comm.messages").inc()`` — so instrumentation code
+never has to pre-declare what it measures.
+
+Histograms use fixed, ascending bucket edges (Prometheus-style upper
+bounds): a value ``v`` lands in the first bucket whose edge satisfies
+``v <= edge``, with one overflow bucket past the last edge.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BYTE_EDGES",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default histogram edges for message/payload sizes in bytes
+#: (64 B .. 16 MiB, roughly one decade per bucket).
+DEFAULT_BYTE_EDGES = (
+    64.0,
+    512.0,
+    4096.0,
+    32768.0,
+    262144.0,
+    2097152.0,
+    16777216.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with ascending upper-bound edges."""
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        if not edges:
+            raise TelemetryError(f"histogram {name!r} needs bucket edges")
+        edge_list = [float(e) for e in edges]
+        if any(b <= a for a, b in zip(edge_list, edge_list[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} edges must be strictly ascending"
+            )
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(edge_list)
+        #: counts[i] observes v <= edges[i]; counts[-1] is the overflow.
+        self.counts: List[int] = [0] * (len(edge_list) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Bucket label → count, labels being the upper edges (+inf last)."""
+        labels = [f"le_{e:g}" for e in self.edges] + ["le_inf"]
+        return dict(zip(labels, self.counts))
+
+
+_Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A flat, typed namespace of lazily created metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, name: str, cls, *args) -> _Metric:
+        if not name:
+            raise TelemetryError("metric name must be non-empty")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TelemetryError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return existing
+        metric = cls(name, *args)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if isinstance(existing, Histogram) and edges is not None:
+            if existing.edges != tuple(float(e) for e in edges):
+                raise TelemetryError(
+                    f"histogram {name!r} already exists with different edges"
+                )
+        return self._get_or_create(
+            name, Histogram, DEFAULT_BYTE_EDGES if edges is None else edges
+        )
+
+    def get(self, name: str) -> _Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise TelemetryError(f"no metric named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Export-ready snapshot, grouped by instrument kind."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Counter):
+                out["counters"][name] = m.value
+            elif isinstance(m, Gauge):
+                out["gauges"][name] = m.value
+            else:
+                out["histograms"][name] = {
+                    "edges": list(m.edges),
+                    "buckets": m.bucket_counts(),
+                    "count": m.count,
+                    "sum": m.total,
+                    "mean": m.mean,
+                }
+        return out
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (always a real, writable registry)."""
+    return _global_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install a process-wide registry (None installs a fresh one)."""
+    global _global_registry
+    _global_registry = (
+        MetricsRegistry() if registry is None else registry
+    )
+    return _global_registry

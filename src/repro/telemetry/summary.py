@@ -1,0 +1,141 @@
+"""Phase-composition summaries of trace files (the Fig. 7 view).
+
+Maps the functional runtime's phase spans onto the paper's Fig. 7
+runtime-composition categories and renders a per-rank share table from a
+Chrome trace produced by ``--trace-out``:
+
+========================  =========================================
+span name                 Fig. 7 category
+========================  =========================================
+``collide``, ``stream``   streamcollide (the fused kernel's work)
+``exchange*``             communication (halo exchange, Eq. 2)
+``h2d*`` / ``d2h*``       H2D / D2H staging transfers
+``boundary``              other (inlet/outlet kernels; folded into
+                          streamcollide on real GPUs, kept separate
+                          here so the split stays visible)
+========================  =========================================
+
+Container spans (``step``, ``harvey.run``, ``proxy.run``, …) are not
+phases and are excluded, so category shares always sum to 100% of the
+phase time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..analysis.tables import render_table
+from ..core.errors import TelemetryError
+from .export import load_chrome_trace
+
+__all__ = [
+    "CATEGORIES",
+    "categorize",
+    "phase_composition",
+    "render_composition",
+    "summarize_trace_file",
+]
+
+#: Fig. 7 categories (plus "other" for phases the paper folds elsewhere).
+CATEGORIES = ("streamcollide", "communication", "h2d", "d2h", "other")
+
+_EXACT = {
+    "collide": "streamcollide",
+    "stream": "streamcollide",
+    "boundary": "other",
+}
+
+_PREFIXES = (
+    ("exchange", "communication"),
+    ("comm", "communication"),
+    ("halo", "communication"),
+    ("h2d", "h2d"),
+    ("d2h", "d2h"),
+)
+
+
+def categorize(name: str) -> Optional[str]:
+    """Fig. 7 category for a span name, or None for non-phase spans."""
+    if name in _EXACT:
+        return _EXACT[name]
+    for prefix, category in _PREFIXES:
+        if name.startswith(prefix):
+            return category
+    return None
+
+
+def phase_composition(
+    events: List[Dict[str, Any]]
+) -> Dict[Any, Dict[str, float]]:
+    """Per-rank phase-time shares from Chrome trace events.
+
+    Only complete (``"ph": "X"``) events whose name categorizes as a
+    phase contribute; events without a ``rank`` arg are pooled under the
+    ``"all"`` key alongside the cross-rank total.  Each rank's shares sum
+    to 1.0.
+    """
+    durations: Dict[Any, Dict[str, float]] = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        category = categorize(ev["name"])
+        if category is None:
+            continue
+        rank = ev.get("args", {}).get("rank")
+        per_rank = durations.setdefault(
+            rank, {c: 0.0 for c in CATEGORIES}
+        )
+        per_rank[category] += float(ev["dur"])
+    if not durations:
+        raise TelemetryError("trace contains no phase spans to summarize")
+    totals = {c: 0.0 for c in CATEGORIES}
+    for per_rank in durations.values():
+        for c in CATEGORIES:
+            totals[c] += per_rank[c]
+    # unranked phase spans contribute only to the pooled total
+    durations.pop(None, None)
+    durations["all"] = totals
+    out: Dict[Any, Dict[str, float]] = {}
+    for rank, per_cat in durations.items():
+        total = sum(per_cat.values())
+        if total <= 0:
+            continue
+        shares = {c: per_cat[c] / total for c in CATEGORIES}
+        shares["total_us"] = total
+        out[rank] = shares
+    return out
+
+
+def render_composition(
+    events: List[Dict[str, Any]], title: str = "phase composition"
+) -> str:
+    """Fig.-7-style table: one row per rank plus the pooled total."""
+    comp = phase_composition(events)
+    headers = [
+        "Rank", "Streamcollide", "Communication", "H2D", "D2H", "Other",
+        "Phase ms",
+    ]
+    ranked = sorted(k for k in comp if k != "all")
+    rows = []
+    for key in ranked + ["all"]:
+        shares = comp[key]
+        rows.append(
+            [
+                str(key),
+                f"{100 * shares['streamcollide']:.1f}%",
+                f"{100 * shares['communication']:.1f}%",
+                f"{100 * shares['h2d']:.1f}%",
+                f"{100 * shares['d2h']:.1f}%",
+                f"{100 * shares['other']:.1f}%",
+                f"{shares['total_us'] / 1e3:.2f}",
+            ]
+        )
+    return render_table(headers, rows, title)
+
+
+def summarize_trace_file(path) -> str:
+    """Load a ``--trace-out`` file and render its composition table."""
+    events = load_chrome_trace(path)
+    return render_composition(
+        events, title=f"phase composition of {path} (span wall time)"
+    )

@@ -130,6 +130,36 @@ class TestEventLog:
         log.record(CommEvent(0, 1, 8, step=2))
         assert len(list(log.for_step(2))) == 1
 
+    def test_by_step_returns_events_in_record_order(self):
+        log = EventLog()
+        first = CommEvent(0, 1, 8, step=3)
+        second = CommEvent(1, 0, 16, step=3)
+        log.record(first)
+        log.record(CommEvent(0, 1, 8, step=4))
+        log.record(second)
+        assert log.by_step(3) == [first, second]
+        assert log.by_step(99) == []
+
+    def test_total_bytes_empty_log(self):
+        assert EventLog().total_bytes() == 0
+
+    def test_bytes_by_kind(self):
+        log = EventLog()
+        log.record(CommEvent(0, 1, 100))
+        log.record(CommEvent(0, 0, 8, kind="allreduce"))
+        log.record(CommEvent(1, 0, 50))
+        assert log.bytes_by_kind() == {"p2p": 150, "allreduce": 8}
+
+    def test_subscribe_sees_every_record(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        event = CommEvent(0, 1, 8)
+        log.record(event)
+        log.unsubscribe(seen.append)
+        log.record(CommEvent(1, 0, 8))
+        assert seen == [event]
+
     def test_clear(self):
         log = EventLog()
         log.record(CommEvent(0, 1, 8))
@@ -162,3 +192,25 @@ class TestLockstepExecutor:
         ex = LockstepExecutor(2)
         with pytest.raises(RuntimeSimError):
             ex.run_phase(lambda r: None, ranks=[5])
+
+    def test_named_phase_emits_one_span_per_rank(self):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        ex = LockstepExecutor(3, tracer=tracer)
+        ex.run_phase(lambda r: None, name="collide")
+        spans = [s for s in tracer.spans if s.name == "collide"]
+        assert [s.rank for s in spans] == [0, 1, 2]
+
+    def test_unnamed_phase_emits_no_spans(self):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+        ex = LockstepExecutor(2, tracer=tracer)
+        ex.run_phase(lambda r: None)
+        assert tracer.spans == []
+
+    def test_default_tracer_is_process_global(self):
+        from repro.telemetry import NULL_TRACER
+
+        assert LockstepExecutor(1).tracer is NULL_TRACER

@@ -1,0 +1,108 @@
+"""Exporters: Chrome trace round-trip, metrics JSON/CSV dumps."""
+
+import json
+
+import pytest
+
+from repro.core.errors import TelemetryError
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    load_chrome_trace,
+    metrics_csv,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+def make_tracer() -> Tracer:
+    clock_values = iter([0.0, 0.001, 0.002, 0.010])
+
+    tracer = Tracer(clock=lambda: next(clock_values))
+    with tracer.span("step", step=0):
+        with tracer.span("collide", rank=0):
+            pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json_load(self, tmp_path):
+        path = write_chrome_trace(make_tracer(), tmp_path / "trace.json")
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert isinstance(doc["traceEvents"], list)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"step", "collide"}
+        for event in complete:
+            assert {"ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_microsecond_timestamps_and_rank_args(self):
+        doc = chrome_trace(make_tracer())
+        collide = next(
+            e for e in doc["traceEvents"] if e["name"] == "collide"
+        )
+        assert collide["ts"] == pytest.approx(1000.0)  # 0.001 s → µs
+        assert collide["dur"] == pytest.approx(1000.0)
+        assert collide["args"]["rank"] == 0
+        assert collide["tid"] == 1  # rank r lives on tid r+1
+
+    def test_thread_name_metadata_per_rank(self):
+        doc = chrome_trace(make_tracer(), process_name="test")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"test", "control", "rank 0"} <= names
+
+    def test_load_validates_required_keys(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+        with pytest.raises(TelemetryError):
+            load_chrome_trace(bad)
+        bad.write_text(json.dumps({"traceEvents": [{"name": "a", "ph": "X"}]}))
+        with pytest.raises(TelemetryError):
+            load_chrome_trace(bad)
+
+    def test_load_accepts_bare_array_form(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(
+            json.dumps([{"name": "a", "ph": "X", "ts": 0, "dur": 1}])
+        )
+        assert len(load_chrome_trace(path)) == 1
+
+    def test_load_rejects_non_trace_documents(self, tmp_path):
+        path = tmp_path / "not.json"
+        path.write_text(json.dumps({"spans": []}))
+        with pytest.raises(TelemetryError):
+            load_chrome_trace(path)
+        with pytest.raises(TelemetryError):
+            load_chrome_trace(tmp_path / "missing.json")
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("comm.messages").inc(4)
+    reg.gauge("run.mflups").set(12.5)
+    reg.histogram("comm.message_bytes", edges=(64,)).observe(10)
+    return reg
+
+
+class TestMetricsExport:
+    def test_json_dump(self, tmp_path):
+        path = write_metrics(make_registry(), tmp_path / "metrics.json")
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["counters"]["comm.messages"] == 4
+        assert doc["gauges"]["run.mflups"] == 12.5
+        assert doc["histograms"]["comm.message_bytes"]["count"] == 1
+
+    def test_csv_dump_selected_by_extension(self, tmp_path):
+        path = write_metrics(make_registry(), tmp_path / "metrics.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "name,kind,value"
+        assert "comm.messages,counter,4" in lines
+        assert "run.mflups,gauge,12.5" in lines
+        assert "comm.message_bytes.le_64,histogram_bucket,1" in lines
+        assert "comm.message_bytes.count,histogram_count,1" in lines
+
+    def test_csv_matches_writer(self):
+        assert metrics_csv(make_registry()).startswith("name,kind,value\n")

@@ -1,0 +1,119 @@
+"""Hooks: comm-metrics subscription and the summary categorization."""
+
+import pytest
+
+from repro.core.errors import TelemetryError
+from repro.runtime import CommEvent, EventLog
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    attach_comm_metrics,
+    categorize,
+    phase_composition,
+    render_composition,
+)
+
+
+class TestCommMetrics:
+    def test_counters_follow_recorded_events(self):
+        log = EventLog()
+        reg = MetricsRegistry()
+        attach_comm_metrics(log, reg)
+        log.record(CommEvent(0, 1, 100))
+        log.record(CommEvent(1, 0, 50))
+        log.record(CommEvent(0, 0, 8, kind="allreduce"))
+        assert reg.counter("comm.messages").value == 3
+        assert reg.counter("comm.bytes_sent").value == 158
+        assert reg.counter("comm.bytes.p2p").value == 150
+        assert reg.counter("comm.bytes.allreduce").value == 8
+        assert reg.get("comm.message_bytes").count == 3
+
+    def test_listener_detaches_cleanly(self):
+        log = EventLog()
+        reg = MetricsRegistry()
+        listener = attach_comm_metrics(log, reg)
+        log.record(CommEvent(0, 1, 10))
+        log.unsubscribe(listener)
+        log.record(CommEvent(0, 1, 10))
+        assert reg.counter("comm.messages").value == 1
+        assert len(log) == 2  # the log itself still records everything
+
+
+class TestTelemetryBundle:
+    def test_creates_tracer_and_registry(self):
+        bundle = Telemetry()
+        assert bundle.tracer.enabled
+        assert len(bundle.metrics) == 0
+
+    def test_write_emits_requested_artefacts(self, tmp_path):
+        bundle = Telemetry()
+        with bundle.tracer.span("collide", rank=0):
+            pass
+        paths = bundle.write(
+            trace_out=str(tmp_path / "t.json"),
+            metrics_out=str(tmp_path / "m.csv"),
+        )
+        assert [p.name for p in paths] == ["t.json", "m.csv"]
+        assert all(p.exists() for p in paths)
+        assert bundle.write() == []
+
+
+class TestCategorize:
+    @pytest.mark.parametrize(
+        "name,category",
+        [
+            ("collide", "streamcollide"),
+            ("stream", "streamcollide"),
+            ("exchange", "communication"),
+            ("exchange-post", "communication"),
+            ("halo", "communication"),
+            ("h2d", "h2d"),
+            ("d2h", "d2h"),
+            ("boundary", "other"),
+            ("step", None),
+            ("harvey.run", None),
+            ("perf.price_run", None),
+        ],
+    )
+    def test_phase_names_map_to_fig7_categories(self, name, category):
+        assert categorize(name) == category
+
+
+def _event(name, dur, rank=None):
+    ev = {"name": name, "ph": "X", "ts": 0.0, "dur": dur, "args": {}}
+    if rank is not None:
+        ev["args"]["rank"] = rank
+    return ev
+
+
+class TestPhaseComposition:
+    def test_shares_sum_to_one_per_rank(self):
+        events = [
+            _event("collide", 60.0, rank=0),
+            _event("stream", 20.0, rank=0),
+            _event("exchange", 20.0, rank=0),
+            _event("collide", 50.0, rank=1),
+            _event("exchange", 50.0, rank=1),
+            _event("step", 999.0),  # container: excluded
+        ]
+        comp = phase_composition(events)
+        assert set(comp) == {0, 1, "all"}
+        for shares in comp.values():
+            total = sum(
+                shares[c]
+                for c in ("streamcollide", "communication", "h2d", "d2h",
+                          "other")
+            )
+            assert total == pytest.approx(1.0)
+        assert comp[0]["streamcollide"] == pytest.approx(0.8)
+        assert comp[1]["communication"] == pytest.approx(0.5)
+        assert comp["all"]["total_us"] == pytest.approx(200.0)
+
+    def test_rejects_traces_without_phase_spans(self):
+        with pytest.raises(TelemetryError):
+            phase_composition([_event("step", 1.0)])
+
+    def test_render_contains_fig7_columns(self):
+        table = render_composition([_event("collide", 10.0, rank=0)])
+        for column in ("Streamcollide", "Communication", "H2D", "D2H"):
+            assert column in table

@@ -1,0 +1,108 @@
+"""Metrics registry: counters, gauges, histogram bucket edges."""
+
+import pytest
+
+from repro.core.errors import TelemetryError
+from repro.telemetry import MetricsRegistry, get_registry, set_registry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("comm.messages")
+        c.inc()
+        c.inc(41)
+        assert reg.counter("comm.messages").value == 42
+
+    def test_rejects_decrease(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("run.mflups")
+        g.set(10.0)
+        g.set(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = MetricsRegistry().histogram("sizes", edges=(10, 100))
+        for v in (0, 10, 11, 100, 101):
+            h.observe(v)
+        # v <= 10 → bucket 0; 10 < v <= 100 → bucket 1; else overflow
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(222.0)
+        assert h.mean == pytest.approx(44.4)
+
+    def test_bucket_labels(self):
+        h = MetricsRegistry().histogram("sizes", edges=(64, 512))
+        h.observe(64)
+        assert h.bucket_counts() == {"le_64": 1, "le_512": 0, "le_inf": 0}
+
+    def test_rejects_unsorted_or_empty_edges(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.histogram("bad", edges=(10, 10))
+        with pytest.raises(TelemetryError):
+            reg.histogram("worse", edges=())
+
+    def test_conflicting_edges_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1, 2))
+        assert reg.histogram("h").edges == (1.0, 2.0)  # re-fetch ok
+        with pytest.raises(TelemetryError):
+            reg.histogram("h", edges=(1, 3))
+
+
+class TestRegistry:
+    def test_type_conflicts_are_errors(self):
+        reg = MetricsRegistry()
+        reg.counter("metric")
+        with pytest.raises(TelemetryError):
+            reg.gauge("metric")
+        with pytest.raises(TelemetryError):
+            reg.histogram("metric")
+
+    def test_get_unknown_is_an_error(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().get("nope")
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", edges=(10,)).observe(4)
+        snap = reg.as_dict()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["buckets"] == {
+            "le_10": 1,
+            "le_inf": 0,
+        }
+
+    def test_names_contains_len_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "z" not in reg
+        assert len(reg) == 2
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestGlobalRegistry:
+    def test_process_registry_is_writable_and_replaceable(self):
+        original = get_registry()
+        try:
+            fresh = set_registry(None)
+            assert get_registry() is fresh
+            fresh.counter("x").inc()
+            assert fresh.counter("x").value == 1
+        finally:
+            set_registry(original)
