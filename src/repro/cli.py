@@ -28,6 +28,9 @@ Commands
     Regenerate the full reproduction report (all tables and figures).
 ``telemetry``
     Inspect telemetry artefacts (``summarize`` a ``--trace-out`` file).
+``lint``
+    Static-analysis gate: backend-conformance, hot-path purity, and
+    communication-schedule rules over the source tree.
 
 The functional run commands (``proxy``, ``harvey``) accept
 ``--trace-out PATH`` (Chrome ``trace_event`` JSON, loadable in
@@ -157,6 +160,35 @@ def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .lint import LintEngine, load_baseline, write_baseline
+
+    paths = [pathlib.Path(p) for p in args.paths]
+    if not paths:
+        # default target: the installed repro package itself
+        paths = [pathlib.Path(__file__).resolve().parent]
+    engine = LintEngine()
+    if args.select:
+        rule_ids = [r.strip() for r in args.select.split(",") if r.strip()]
+        engine = engine.select(rule_ids)
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = engine.run(paths, baseline=baseline)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report.violations)
+        print(
+            f"baseline with {len(report.violations)} fingerprint(s) "
+            f"written to {args.write_baseline}"
+        )
+        return 0
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
@@ -496,6 +528,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("trace", help="path to a --trace-out JSON file")
     ps.set_defaults(func=_cmd_telemetry_summarize)
+
+    p = sub.add_parser(
+        "lint", help="run the static-analysis rules over the source tree"
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to check (default: the repro package)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress violations whose fingerprints appear in FILE",
+    )
+    p.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="record current violations as the accepted baseline and exit 0",
+    )
+    p.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (e.g. C101,P202)",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

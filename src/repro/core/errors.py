@@ -54,3 +54,13 @@ class ConfigError(ReproError):
 class TelemetryError(ReproError):
     """Raised for invalid telemetry usage (span nesting, metric types,
     malformed trace files)."""
+
+
+class LintError(ReproError):
+    """Raised by the static-analysis engine (unknown rules, bad baselines,
+    unparseable schedule files)."""
+
+
+class CommScheduleError(ReproError):
+    """Raised when a communication schedule fails static verification
+    (unmatched messages, tag collisions, blocking deadlock)."""

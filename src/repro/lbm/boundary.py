@@ -47,6 +47,8 @@ class VelocityInlet:
             if vel.shape != (3,):
                 raise ConfigError("inlet velocity must be a 3-vector")
             self.velocity = vel
+        # hoisted out of apply(): the equilibrium density is constant
+        self._rho = np.full(self.nodes.size, float(self.rho0))
 
     def velocity_at(self, time: float) -> np.ndarray:
         if callable(self.velocity):
@@ -64,8 +66,7 @@ class VelocityInlet:
         u = np.broadcast_to(
             self.velocity_at(time), (self.nodes.size, 3)
         )
-        rho = np.full(self.nodes.size, self.rho0)
-        f[:, self.nodes] = lattice.equilibrium(rho, u)
+        f[:, self.nodes] = lattice.equilibrium(self._rho, u)
 
 
 @dataclass
@@ -83,6 +84,8 @@ class PressureOutlet:
         self.nodes = np.asarray(self.nodes, dtype=np.int64)
         if self.rho0 <= 0:
             raise ConfigError("outlet reference density must be positive")
+        # hoisted out of apply(): the reference density is constant
+        self._rho = np.full(self.nodes.size, float(self.rho0))
 
     def apply(self, lattice: Lattice, f: np.ndarray, time: float) -> None:
         if self.nodes.size == 0:
@@ -92,6 +95,4 @@ class PressureOutlet:
         u = np.tensordot(
             lattice.c.astype(np.float64), fi, axes=(0, 0)
         ).T / rho[:, None]
-        f[:, self.nodes] = lattice.equilibrium(
-            np.full(self.nodes.size, self.rho0), u
-        )
+        f[:, self.nodes] = lattice.equilibrium(self._rho, u)

@@ -18,7 +18,7 @@ log captures the halo-exchange traffic the performance layer prices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -50,6 +50,9 @@ class RankState:
     recv_slots: Dict[int, np.ndarray]  # src rank -> local ghost slots
     inlet: Optional[VelocityInlet]
     outlet: Optional[PressureOutlet]
+    owned_ids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )  # local ids [0, num_owned), preallocated for the collide phase
 
     @property
     def num_owned(self) -> int:
@@ -65,6 +68,7 @@ class DistributedSolver:
         config: SolverConfig,
         comm: Optional[SimComm] = None,
         tracer=None,
+        validate_schedule: bool = True,
     ) -> None:
         self.partition = partition
         self.grid = partition.grid
@@ -86,6 +90,21 @@ class DistributedSolver:
         self.time = 0
         self.fluid_updates = 0
         self._build()
+        if validate_schedule:
+            # pre-flight: statically verify the halo-exchange plan the
+            # decomposition produced before any step executes (opt out
+            # with validate_schedule=False)
+            from ..lint.commcheck import (
+                schedule_from_rank_states,
+                verify_schedule,
+            )
+
+            verify_schedule(
+                schedule_from_rank_states(
+                    self.ranks, partition.num_ranks, tag=1
+                ),
+                context=f"partition over {partition.num_ranks} rank(s)",
+            )
 
     # -- setup ---------------------------------------------------------------
     def _upstream_global(self, coords: np.ndarray, qi: int) -> np.ndarray:
@@ -207,6 +226,7 @@ class DistributedSolver:
                     recv_slots={},
                     inlet=inlet,
                     outlet=outlet,
+                    owned_ids=owned_local,
                 )
             )
 
@@ -235,8 +255,7 @@ class DistributedSolver:
 
     def _phase_collide(self, rank: int) -> None:
         st = self.ranks[rank]
-        idx = np.arange(st.num_owned, dtype=np.int64)
-        self.collision.apply(self.lattice, st.f, idx)
+        self.collision.apply(self.lattice, st.f, st.owned_ids)
 
     def _phase_exchange_post(self, rank: int) -> None:
         # the MPI_Isend/Irecv pattern production codes use to overlap;

@@ -1,0 +1,65 @@
+"""repro.lint — repo-aware static analysis for the reproduction.
+
+The paper's porting study *is* static analysis (DPCT's 133 categorised
+warnings, Table 2); this package gives the reproduction the same
+pre-flight scrutiny.  Three rule families guard the three invariants
+the code base lives or dies by: backend-surface conformance (one
+algorithm, five identical surfaces), hot-path purity (the vectorised,
+allocation-free stream-collide premise of the performance model), and
+communication-schedule soundness (matched, unambiguous, deadlock-free
+halo exchange).
+
+Entry points: ``repro lint`` on the command line,
+:class:`LintEngine` programmatically, and
+:func:`verify_schedule`/:func:`check_schedule` for schedule checks
+(run automatically as :class:`~repro.lbm.distributed.DistributedSolver`
+pre-flight).
+"""
+
+from .commcheck import (
+    CommOp,
+    CommSchedule,
+    ScheduleIssue,
+    check_schedule,
+    check_schedule_file,
+    schedule_from_rank_states,
+    verify_schedule,
+)
+from .engine import (
+    LintEngine,
+    LintReport,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    Violation,
+    load_baseline,
+    write_baseline,
+)
+from .rules import (
+    DPCT_CATEGORY_BY_RULE,
+    RULE_FAMILIES,
+    breakdown_by_category,
+    default_rules,
+)
+
+__all__ = [
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "ProjectRule",
+    "SourceFile",
+    "Violation",
+    "load_baseline",
+    "write_baseline",
+    "CommOp",
+    "CommSchedule",
+    "ScheduleIssue",
+    "check_schedule",
+    "check_schedule_file",
+    "schedule_from_rank_states",
+    "verify_schedule",
+    "default_rules",
+    "RULE_FAMILIES",
+    "DPCT_CATEGORY_BY_RULE",
+    "breakdown_by_category",
+]

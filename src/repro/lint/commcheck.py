@@ -1,0 +1,393 @@
+"""Static verification of communication schedules.
+
+A mismatched halo exchange — a send with no matching receive, a reused
+tag, a cycle of blocking sends — deadlocks or corrupts a distributed LBM
+run, and both miniLB and the HemeLB GPU port report catching exactly this
+class of bug only at scale.  This module checks the *plan* instead of the
+execution: given the per-rank program order of sends and receives for one
+lockstep iteration, it verifies
+
+* **matching** — every ``(src → dst, tag)`` send has a matching receive
+  and vice versa (S301/S302), with element counts agreeing side to side
+  (S304);
+* **tag uniqueness** — no ``(src, dst)`` pair reuses a tag within the
+  step, which would make message identity ambiguous (S303);
+* **progress** — under blocking semantics the schedule reaches
+  completion; a stalled fixed point is reported as a deadlock with the
+  stuck head operations (S305).
+
+:class:`~repro.lbm.distributed.DistributedSolver` runs this as an
+opt-out pre-flight over the schedule derived from its decomposition, and
+:class:`~repro.runtime.simmpi.SimComm` enforces the tag rule as a debug
+assertion.  ``repro lint`` checks any ``*.commsched.json`` file it finds
+(see :func:`check_schedule_file` for the format).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..core.errors import CommScheduleError
+from .engine import Violation
+
+__all__ = [
+    "CommOp",
+    "CommSchedule",
+    "ScheduleIssue",
+    "check_schedule",
+    "verify_schedule",
+    "schedule_from_rank_states",
+    "check_schedule_file",
+    "SCHEDULE_RULES",
+]
+
+#: Rule ids emitted by the checker, by failure kind.
+SCHEDULE_RULES = {
+    "unmatched-recv": "S301",
+    "unmatched-send": "S302",
+    "tag-collision": "S303",
+    "count-mismatch": "S304",
+    "deadlock": "S305",
+}
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One point-to-point operation in a rank's program order.
+
+    ``count`` is the number of payload elements per message (0 when
+    unknown — count checks are skipped for that message).  ``blocking``
+    models MPI semantics in the progress check: a blocking send
+    completes only by rendezvous with a matching receive at the peer's
+    head; a blocking receive stalls its rank until the message is
+    available.  Non-blocking operations (``MPI_Isend``/``MPI_Irecv``
+    posts) never stall.
+    """
+
+    kind: str  # "send" | "recv"
+    rank: int  # executing rank
+    peer: int  # destination (send) or source (recv)
+    tag: int
+    count: int = 0
+    blocking: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("send", "recv"):
+            raise CommScheduleError(f"unknown op kind {self.kind!r}")
+
+    def describe(self) -> str:
+        arrow = "->" if self.kind == "send" else "<-"
+        return (
+            f"{self.kind}(rank {self.rank} {arrow} rank {self.peer}, "
+            f"tag {self.tag})"
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleIssue:
+    """One verification failure."""
+
+    kind: str  # key into SCHEDULE_RULES
+    message: str
+
+    @property
+    def rule(self) -> str:
+        return SCHEDULE_RULES[self.kind]
+
+
+class CommSchedule:
+    """The per-rank program order of one iteration's messages."""
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise CommScheduleError("schedule needs at least one rank")
+        self.num_ranks = num_ranks
+        self.ops: List[List[CommOp]] = [[] for _ in range(num_ranks)]
+
+    def _check_rank(self, rank: int, role: str) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise CommScheduleError(
+                f"{role} rank {rank} out of range [0, {self.num_ranks})"
+            )
+
+    def _add(self, op: CommOp) -> None:
+        self._check_rank(op.rank, "executing")
+        self._check_rank(op.peer, "peer")
+        if op.rank == op.peer:
+            raise CommScheduleError(
+                f"rank {op.rank} cannot message itself (tag {op.tag})"
+            )
+        self.ops[op.rank].append(op)
+
+    def add_send(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        count: int = 0,
+        blocking: bool = False,
+    ) -> None:
+        self._add(CommOp("send", src, dst, tag, count, blocking))
+
+    def add_recv(
+        self,
+        dst: int,
+        src: int,
+        tag: int,
+        count: int = 0,
+        blocking: bool = False,
+    ) -> None:
+        self._add(CommOp("recv", dst, src, tag, count, blocking))
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(rank_ops) for rank_ops in self.ops)
+
+    # -- (de)serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_ranks": self.num_ranks,
+            "ops": [
+                [
+                    {
+                        "kind": op.kind,
+                        "peer": op.peer,
+                        "tag": op.tag,
+                        "count": op.count,
+                        "blocking": op.blocking,
+                    }
+                    for op in rank_ops
+                ]
+                for rank_ops in self.ops
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CommSchedule":
+        try:
+            num_ranks = int(data["num_ranks"])  # type: ignore[arg-type]
+            rank_ops = data["ops"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CommScheduleError(
+                f"schedule needs 'num_ranks' and 'ops': {exc}"
+            ) from exc
+        if not isinstance(rank_ops, list) or len(rank_ops) != num_ranks:
+            raise CommScheduleError(
+                "'ops' must list one program order per rank"
+            )
+        sched = cls(num_ranks)
+        for rank, ops in enumerate(rank_ops):
+            for op in ops:
+                try:
+                    sched._add(
+                        CommOp(
+                            kind=str(op["kind"]),
+                            rank=rank,
+                            peer=int(op["peer"]),
+                            tag=int(op.get("tag", 0)),
+                            count=int(op.get("count", 0)),
+                            blocking=bool(op.get("blocking", False)),
+                        )
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CommScheduleError(
+                        f"bad op for rank {rank}: {op!r} ({exc})"
+                    ) from exc
+        return sched
+
+
+def _matching_issues(sched: CommSchedule) -> List[ScheduleIssue]:
+    issues: List[ScheduleIssue] = []
+    sends: Dict[Tuple[int, int, int], List[CommOp]] = {}
+    recvs: Dict[Tuple[int, int, int], List[CommOp]] = {}
+    for rank_ops in sched.ops:
+        for op in rank_ops:
+            if op.kind == "send":
+                sends.setdefault((op.rank, op.peer, op.tag), []).append(op)
+            else:
+                recvs.setdefault((op.peer, op.rank, op.tag), []).append(op)
+
+    for key in sorted(set(sends) | set(recvs)):
+        src, dst, tag = key
+        s = sends.get(key, [])
+        r = recvs.get(key, [])
+        if len(r) > len(s):
+            issues.append(
+                ScheduleIssue(
+                    "unmatched-recv",
+                    f"rank {dst} posts {len(r)} recv(s) from rank {src} "
+                    f"tag {tag} but only {len(s)} send(s) are scheduled",
+                )
+            )
+        elif len(s) > len(r):
+            issues.append(
+                ScheduleIssue(
+                    "unmatched-send",
+                    f"rank {src} sends {len(s)} message(s) to rank {dst} "
+                    f"tag {tag} but only {len(r)} recv(s) are posted",
+                )
+            )
+        # FIFO pairing of counts for the matched prefix
+        for i, (sop, rop) in enumerate(zip(s, r)):
+            if sop.count and rop.count and sop.count != rop.count:
+                issues.append(
+                    ScheduleIssue(
+                        "count-mismatch",
+                        f"message {i} rank {src} -> rank {dst} tag {tag}: "
+                        f"send carries {sop.count} element(s) but the recv "
+                        f"expects {rop.count}",
+                    )
+                )
+
+    # tag uniqueness per (src, dst) pair within the step
+    by_pair: Dict[Tuple[int, int], Dict[int, int]] = {}
+    for (src, dst, tag), ops in sends.items():
+        by_pair.setdefault((src, dst), {})[tag] = len(ops)
+    for (src, dst), tags in sorted(by_pair.items()):
+        for tag, n in sorted(tags.items()):
+            if n > 1:
+                issues.append(
+                    ScheduleIssue(
+                        "tag-collision",
+                        f"rank {src} -> rank {dst}: tag {tag} is used by "
+                        f"{n} sends in one step; message identity is "
+                        "ambiguous",
+                    )
+                )
+    return issues
+
+
+def _progress_issues(sched: CommSchedule) -> List[ScheduleIssue]:
+    """Fixed-point simulation under blocking semantics."""
+    ptr = [0] * sched.num_ranks
+    delivered: Dict[Tuple[int, int, int], int] = {}
+    progress = True
+    while progress:
+        progress = False
+        for r in range(sched.num_ranks):
+            while ptr[r] < len(sched.ops[r]):
+                op = sched.ops[r][ptr[r]]
+                if op.kind == "send":
+                    if op.blocking:
+                        # rendezvous: the peer's head op must be the
+                        # matching receive
+                        dp = ptr[op.peer]
+                        peer_ops = sched.ops[op.peer]
+                        head = (
+                            peer_ops[dp] if dp < len(peer_ops) else None
+                        )
+                        if not (
+                            head is not None
+                            and head.kind == "recv"
+                            and head.peer == r
+                            and head.tag == op.tag
+                        ):
+                            break
+                    key = (r, op.peer, op.tag)
+                    delivered[key] = delivered.get(key, 0) + 1
+                else:
+                    if op.blocking:
+                        key = (op.peer, r, op.tag)
+                        if delivered.get(key, 0) < 1:
+                            break
+                        delivered[key] -= 1
+                ptr[r] += 1
+                progress = True
+    stuck = [
+        (r, sched.ops[r][ptr[r]])
+        for r in range(sched.num_ranks)
+        if ptr[r] < len(sched.ops[r])
+    ]
+    if not stuck:
+        return []
+    heads = "; ".join(f"rank {r} blocked at {op.describe()}" for r, op in stuck)
+    return [
+        ScheduleIssue(
+            "deadlock",
+            f"schedule cannot complete under blocking semantics: {heads}",
+        )
+    ]
+
+
+def check_schedule(sched: CommSchedule) -> List[ScheduleIssue]:
+    """All verification failures of ``sched`` (empty when valid)."""
+    return _matching_issues(sched) + _progress_issues(sched)
+
+
+def verify_schedule(sched: CommSchedule, context: str = "") -> None:
+    """Raise :class:`CommScheduleError` when ``sched`` is invalid."""
+    issues = check_schedule(sched)
+    if issues:
+        prefix = f"{context}: " if context else ""
+        detail = "\n".join(
+            f"  [{i.rule}] {i.message}" for i in issues
+        )
+        raise CommScheduleError(
+            f"{prefix}communication schedule failed static verification "
+            f"({len(issues)} issue(s)):\n{detail}"
+        )
+
+
+def schedule_from_rank_states(
+    ranks: Sequence[object], num_ranks: int, tag: int = 1
+) -> CommSchedule:
+    """Build the halo-exchange schedule of one lockstep iteration.
+
+    ``ranks`` are objects with the wiring the distributed solvers carry:
+    ``send_ids`` (dst rank -> node-id array) and ``recv_slots``
+    (src rank -> ghost-slot array).  Receives are posted first, then
+    sends, all non-blocking — the ``MPI_Irecv``/``MPI_Isend`` order of
+    :meth:`DistributedSolver._phase_exchange_post`.  Counts are node
+    counts per message, so a send/recv size disagreement between two
+    ranks' wiring surfaces as S304 before any data moves.
+    """
+    sched = CommSchedule(num_ranks)
+    for st in ranks:
+        rank = int(getattr(st, "rank"))
+        recv_slots: Dict[int, object] = getattr(st, "recv_slots")
+        send_ids: Dict[int, object] = getattr(st, "send_ids")
+        for src in sorted(recv_slots):
+            slots = recv_slots[src]
+            sched.add_recv(rank, int(src), tag, count=int(len(slots)))
+        for dst in sorted(send_ids):
+            ids = send_ids[dst]
+            sched.add_send(rank, int(dst), tag, count=int(len(ids)))
+    return sched
+
+
+def check_schedule_file(path: Union[str, Path]) -> List[Violation]:
+    """Check a serialized schedule, returning engine violations.
+
+    The format is the JSON of :meth:`CommSchedule.to_dict`::
+
+        {"num_ranks": 2,
+         "ops": [[{"kind": "send", "peer": 1, "tag": 1, "count": 8}],
+                 [{"kind": "recv", "peer": 0, "tag": 1, "count": 8}]]}
+    """
+    p = Path(path)
+    try:
+        data = json.loads(p.read_text())
+        sched = CommSchedule.from_dict(data)
+    except (OSError, ValueError, CommScheduleError) as exc:
+        return [
+            Violation(
+                rule="S300",
+                path=str(p),
+                line=1,
+                col=0,
+                message=f"malformed schedule: {exc}",
+            )
+        ]
+    return [
+        Violation(
+            rule=issue.rule,
+            path=str(p),
+            line=1,
+            col=0,
+            message=issue.message,
+        )
+        for issue in check_schedule(sched)
+    ]

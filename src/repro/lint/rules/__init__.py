@@ -1,0 +1,107 @@
+"""Rule registry for ``repro lint``.
+
+Three families, each guarding a paper invariant:
+
+* **conformance (C1xx)** — one algorithm, five identical programming
+  surfaces (Sections 5/7; the DPCT warning audit of Table 2 in Python
+  form);
+* **hot-path purity (P2xx)** — the stream-collide loop stays vectorised
+  and allocation-free, the premise of the bandwidth-bound performance
+  model (Eq. 1);
+* **comm-schedule (S3xx)** — the halo-exchange plan is matched,
+  unambiguous, and deadlock-free before a step executes (the class of
+  bug miniLB and the HemeLB GPU port hit only at scale).  S-rules are
+  emitted by :mod:`repro.lint.commcheck` rather than by AST visitors.
+
+:data:`DPCT_CATEGORY_BY_RULE` cross-links every rule id to the Table 2
+warning taxonomy of :mod:`repro.porting.dpct`, so lint findings can be
+accounted the way the paper accounts porting diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..commcheck import SCHEDULE_RULES
+from ..engine import Rule
+from .conformance import (
+    DtypeDefaultDriftRule,
+    MissingIdentityRule,
+    MissingSurfaceMethodRule,
+    SignatureDriftRule,
+)
+from .purity import DtypeMixRule, HotAllocationRule, HotLoopRule
+
+__all__ = [
+    "default_rules",
+    "RULE_FAMILIES",
+    "DPCT_CATEGORY_BY_RULE",
+    "breakdown_by_category",
+    "MissingSurfaceMethodRule",
+    "SignatureDriftRule",
+    "DtypeDefaultDriftRule",
+    "MissingIdentityRule",
+    "HotLoopRule",
+    "HotAllocationRule",
+    "DtypeMixRule",
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every AST rule, in id order."""
+    return [
+        MissingSurfaceMethodRule(),
+        SignatureDriftRule(),
+        DtypeDefaultDriftRule(),
+        MissingIdentityRule(),
+        HotLoopRule(),
+        HotAllocationRule(),
+        DtypeMixRule(),
+    ]
+
+
+#: Rule ids by family; the S3xx ids come from the schedule checker.
+RULE_FAMILIES: Dict[str, List[str]] = {
+    "conformance": ["C101", "C102", "C103", "C104"],
+    "purity": ["P201", "P202", "P203"],
+    "commsched": sorted(SCHEDULE_RULES.values()),
+}
+
+#: Table 2 category for each rule id — the same taxonomy
+#: :data:`repro.porting.dpct.WARNING_CATEGORIES` uses for DPCT output.
+DPCT_CATEGORY_BY_RULE: Dict[str, str] = {
+    # a missing surface method is a feature the port does not support
+    "C101": "Unsupported feature",
+    # drifted signatures/dtypes compile but compute something subtly
+    # different — DPCT's "not an exact equivalent" case
+    "C102": "Functional equivalence",
+    "C103": "Functional equivalence",
+    # an anonymous backend cannot attribute its errors or results
+    "C104": "Error handling",
+    # scalar loops and per-step allocations are performance findings
+    "P201": "Performance improvement",
+    "P202": "Performance improvement",
+    "P203": "Functional equivalence",
+    # schedule failures surface at runtime as errors/hangs
+    "S301": "Error handling",
+    "S302": "Error handling",
+    "S303": "Functional equivalence",
+    "S304": "Error handling",
+    "S305": "Error handling",
+}
+
+
+def breakdown_by_category(violations) -> Dict[str, int]:
+    """Table-2-style accounting: violation counts per DPCT category.
+
+    Mirrors :meth:`repro.porting.dpct.DPCTResult.warning_counts` so a
+    lint run over a ported tree reads like a DPCT warning table.
+    """
+    from ...porting.dpct import WARNING_CATEGORIES
+
+    counts = {cat: 0 for cat in WARNING_CATEGORIES}
+    for v in violations:
+        category = DPCT_CATEGORY_BY_RULE.get(v.rule)
+        if category is not None:
+            counts[category] += 1
+    return counts

@@ -1,0 +1,385 @@
+"""Backend-conformance rules (C1xx).
+
+The paper's central invariant is "one algorithm, five programming
+surfaces": every backend must expose the :class:`ProgrammingModel`
+surface identically, or the physics silently diverges between ports.
+These rules enforce that invariant statically, the way DPCT's warning
+pass audits a port (Table 2), by parsing the backend modules and
+comparing every concrete subclass against the abstract reference:
+
+======  =====================================================
+C101    a surface method is missing from the class hierarchy
+C102    an override's parameters drift from the reference
+C103    a ``dtype`` default drifts from the float64 reference
+C104    a backend lacks ``name``/``display_name`` identity
+======  =====================================================
+
+The analysis is purely syntactic — no imports are executed — and spans
+the whole fileset, so inheritance across modules (``HIPModel ->
+CUDAModel -> ProgrammingModel``) resolves correctly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..engine import ProjectRule, SourceFile, Violation
+
+__all__ = [
+    "ClassInfo",
+    "build_class_table",
+    "reference_surface",
+    "conforming_subclasses",
+    "MissingSurfaceMethodRule",
+    "SignatureDriftRule",
+    "DtypeDefaultDriftRule",
+    "MissingIdentityRule",
+]
+
+REFERENCE_CLASS = "ProgrammingModel"
+
+#: Identity attributes every backend must carry (class attribute or
+#: ``self.<attr> = ...`` in a method body).
+IDENTITY_ATTRS = ("name", "display_name")
+
+
+@dataclass
+class Param:
+    """One formal parameter: name plus default expression source."""
+
+    name: str
+    default: Optional[str]  # ast.unparse of the default, or None
+
+
+@dataclass
+class MethodInfo:
+    name: str
+    params: List[Param]  # excluding self
+    node: ast.FunctionDef
+    is_abstract: bool
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    src: SourceFile
+    node: ast.ClassDef
+    bases: List[str]
+    methods: Dict[str, MethodInfo] = field(default_factory=dict)
+    class_attrs: Set[str] = field(default_factory=set)
+    self_attrs: Set[str] = field(default_factory=set)
+
+    @property
+    def is_abstract(self) -> bool:
+        return any(m.is_abstract for m in self.methods.values())
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _decorator_name(node.func)
+    return ""
+
+
+def _method_info(fn: ast.FunctionDef) -> MethodInfo:
+    args = fn.args
+    params: List[Param] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults: List[Optional[ast.expr]] = [None] * (
+        len(positional) - len(args.defaults)
+    ) + list(args.defaults)
+    for arg, default in zip(positional, defaults):
+        params.append(
+            Param(
+                arg.arg,
+                None if default is None else ast.unparse(default),
+            )
+        )
+    if params and params[0].name in ("self", "cls"):
+        params = params[1:]
+    is_abstract = any(
+        _decorator_name(d) == "abstractmethod" for d in fn.decorator_list
+    )
+    return MethodInfo(fn.name, params, fn, is_abstract)
+
+
+def _class_info(src: SourceFile, node: ast.ClassDef) -> ClassInfo:
+    info = ClassInfo(
+        name=node.name,
+        src=src,
+        node=node,
+        bases=[b for b in map(_base_name, node.bases) if b],
+    )
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef):
+            info.methods[stmt.name] = _method_info(stmt)
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Assign)
+                    or isinstance(sub, ast.AnnAssign)
+                ):
+                    targets = (
+                        sub.targets
+                        if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    for tgt in targets:
+                        if (
+                            isinstance(tgt, ast.Attribute)
+                            and isinstance(tgt.value, ast.Name)
+                            and tgt.value.id == "self"
+                        ):
+                            info.self_attrs.add(tgt.attr)
+        elif isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    info.class_attrs.add(tgt.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if stmt.value is not None:
+                info.class_attrs.add(stmt.target.id)
+    return info
+
+
+def build_class_table(
+    files: Sequence[SourceFile],
+) -> Dict[str, ClassInfo]:
+    """Every class definition in the fileset, keyed by class name.
+
+    Module-level classes and nested classes are both collected; a later
+    definition with the same name shadows an earlier one (class names
+    are unique in this code base, and fixtures are small).
+    """
+    table: Dict[str, ClassInfo] = {}
+    for src in files:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                table[node.name] = _class_info(src, node)
+    return table
+
+
+def _is_subclass(
+    table: Dict[str, ClassInfo], name: str, ancestor: str
+) -> bool:
+    if name not in table:
+        return False
+    seen: Set[str] = set()
+    stack = list(table[name].bases)
+    while stack:
+        current = stack.pop()
+        if current == ancestor:
+            return True
+        if current in seen or current not in table:
+            continue
+        seen.add(current)
+        stack.extend(table[current].bases)
+    return False
+
+
+def reference_surface(
+    table: Dict[str, ClassInfo], reference: str = REFERENCE_CLASS
+) -> Dict[str, MethodInfo]:
+    """The abstract surface methods of the reference class."""
+    info = table.get(reference)
+    if info is None:
+        return {}
+    return {
+        name: m for name, m in info.methods.items() if m.is_abstract
+    }
+
+
+def conforming_subclasses(
+    table: Dict[str, ClassInfo], reference: str = REFERENCE_CLASS
+) -> List[ClassInfo]:
+    """Concrete subclasses of the reference, in definition order."""
+    out = []
+    for name, info in table.items():
+        if name == reference:
+            continue
+        if not _is_subclass(table, name, reference):
+            continue
+        if info.is_abstract:
+            continue
+        out.append(info)
+    return out
+
+
+def _resolve_method(
+    table: Dict[str, ClassInfo], cls: ClassInfo, method: str
+) -> Optional[Tuple[ClassInfo, MethodInfo]]:
+    """First definition of ``method`` along the base chain (MRO-ish)."""
+    seen: Set[str] = set()
+    stack = [cls.name]
+    while stack:
+        current = stack.pop(0)
+        if current in seen or current not in table:
+            continue
+        seen.add(current)
+        info = table[current]
+        if method in info.methods:
+            return info, info.methods[method]
+        stack.extend(info.bases)
+    return None
+
+
+class _ConformanceRule(ProjectRule):
+    """Shared fileset analysis for the C1xx family."""
+
+    reference = REFERENCE_CLASS
+
+    def check_project(
+        self, files: Sequence[SourceFile]
+    ) -> Iterator[Violation]:
+        table = build_class_table(files)
+        surface = reference_surface(table, self.reference)
+        if not surface:
+            return
+        for cls in conforming_subclasses(table, self.reference):
+            yield from self.check_class(table, surface, cls)
+
+    def check_class(
+        self,
+        table: Dict[str, ClassInfo],
+        surface: Dict[str, MethodInfo],
+        cls: ClassInfo,
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+class MissingSurfaceMethodRule(_ConformanceRule):
+    rule_id = "C101"
+    description = (
+        "every backend must implement the full ProgrammingModel surface "
+        "(the paper's one-algorithm-N-surfaces invariant)"
+    )
+
+    def check_class(self, table, surface, cls):
+        for name in surface:
+            resolved = _resolve_method(table, cls, name)
+            # resolving to an @abstractmethod declaration (usually the
+            # reference's own) means no concrete implementation exists
+            if resolved is None or resolved[1].is_abstract:
+                yield self.violation(
+                    cls.src,
+                    cls.node,
+                    f"backend {cls.name!r} does not implement surface "
+                    f"method {name!r} (required by {self.reference})",
+                )
+
+
+class SignatureDriftRule(_ConformanceRule):
+    rule_id = "C102"
+    description = (
+        "surface-method overrides must keep the reference parameter "
+        "list; drift breaks the engine running one kernel on N backends"
+    )
+
+    def check_class(self, table, surface, cls):
+        for name, ref in surface.items():
+            resolved = _resolve_method(table, cls, name)
+            if resolved is None:
+                continue  # C101's problem
+            owner, impl = resolved
+            if owner.name != cls.name:
+                continue  # report drift once, on the defining class
+            ref_names = [p.name for p in ref.params]
+            impl_names = [p.name for p in impl.params]
+            if impl_names[: len(ref_names)] != ref_names:
+                yield self.violation(
+                    cls.src,
+                    impl.node,
+                    f"{cls.name}.{name} parameters {impl_names} drift "
+                    f"from the {self.reference} surface {ref_names}",
+                )
+                continue
+            for extra in impl.params[len(ref_names):]:
+                if extra.default is None:
+                    yield self.violation(
+                        cls.src,
+                        impl.node,
+                        f"{cls.name}.{name} adds required parameter "
+                        f"{extra.name!r}; extensions to the surface must "
+                        "be optional",
+                    )
+
+
+class DtypeDefaultDriftRule(_ConformanceRule):
+    rule_id = "C103"
+    description = (
+        "dtype defaults must match the float64 reference; silent "
+        "precision drift between backends breaks bitwise validation"
+    )
+
+    def check_class(self, table, surface, cls):
+        for name, ref in surface.items():
+            resolved = _resolve_method(table, cls, name)
+            if resolved is None:
+                continue
+            owner, impl = resolved
+            if owner.name != cls.name:
+                continue
+            ref_defaults = {
+                p.name: p.default for p in ref.params if p.default
+            }
+            for param in impl.params:
+                want = ref_defaults.get(param.name)
+                if want is None:
+                    continue
+                if param.default != want:
+                    yield self.violation(
+                        cls.src,
+                        impl.node,
+                        f"{cls.name}.{name} defaults {param.name}="
+                        f"{param.default or '<required>'}, reference "
+                        f"uses {want}",
+                    )
+
+
+class MissingIdentityRule(_ConformanceRule):
+    rule_id = "C104"
+    description = (
+        "backends must declare name/display_name so reports and the "
+        "registry can attribute results (Figs. 5-6 legends)"
+    )
+
+    def check_class(self, table, surface, cls):
+        for attr in IDENTITY_ATTRS:
+            seen: Set[str] = set()
+            stack = [cls.name]
+            found = False
+            while stack and not found:
+                current = stack.pop(0)
+                if current in seen or current not in table:
+                    continue
+                seen.add(current)
+                info = table[current]
+                # the reference's own placeholder does not count as an
+                # identity; a backend must override it somewhere
+                if current == self.reference:
+                    continue
+                if attr in info.class_attrs or attr in info.self_attrs:
+                    found = True
+                    break
+                stack.extend(info.bases)
+            if not found:
+                yield self.violation(
+                    cls.src,
+                    cls.node,
+                    f"backend {cls.name!r} never sets {attr!r} (class "
+                    "attribute or self-assignment); it would report as "
+                    "'abstract'",
+                )

@@ -1,0 +1,260 @@
+"""Hot-path purity rules (P2xx).
+
+The reproduction's performance claim rests on the same premise as the
+paper's Eq. 1: the stream-collide inner loop is memory-bandwidth-bound
+vectorised code.  One Python-level scalar loop or one per-step array
+allocation in a kernel body regresses MFLUPS by orders of magnitude
+without failing a single physics test.  These rules freeze that
+property:
+
+======  ======================================================
+P201    Python ``for``/``while`` loop ranging over lattice
+        arrays in a hot path (or any loop in a kernel body)
+P202    array allocation (``np.zeros``/``empty``/``full``/...)
+        inside a ``step()``/phase/kernel body
+P203    float32 mixed into the float64 lattice hot path
+======  ======================================================
+
+"Hot" is a name contract, not a profile: functions named ``step``,
+``apply``, ``stream``, ``*_kernel``, ``_phase_*``/``*_phase``, and the
+per-rank phase helpers (``_collide``, ``_stream``, ``_boundaries``,
+``_pack_and_send``, ``_recv_and_unpack``), plus every function nested
+inside one (launch closures *are* kernel bodies).  The simulated launch
+machinery (``ExecutionSpace.launch``, SYCL ``parallel_for``) is outside
+the contract by design — emulating grid/block structure requires a
+block loop; kernel *bodies* must not.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from ..engine import Rule, SourceFile, Violation
+
+__all__ = [
+    "HOT_NAME_PATTERNS",
+    "BANNED_ALLOC_CALLS",
+    "hot_functions",
+    "HotLoopRule",
+    "HotAllocationRule",
+    "DtypeMixRule",
+]
+
+#: A function with one of these names is a hot path.
+HOT_NAME_PATTERNS = (
+    r"_kernel$",
+    r"^step$",
+    r"^apply$",
+    r"^stream$",
+    r"^_phase_",
+    r"_phase$",
+    r"^_(collide|stream|boundaries|pack_and_send|recv_and_unpack)$",
+)
+
+_HOT_RE = re.compile("|".join(f"(?:{p})" for p in HOT_NAME_PATTERNS))
+
+#: numpy constructors that allocate a fresh array every call.  Inside a
+#: per-step body these are hidden O(steps) allocation churn; hoist them
+#: to setup (``__init__``/plan building) or reuse a preallocated buffer.
+BANNED_ALLOC_CALLS = frozenset(
+    {
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "zeros_like",
+        "ones_like",
+        "empty_like",
+        "full_like",
+        "arange",
+        "concatenate",
+        "stack",
+        "vstack",
+        "hstack",
+        "tile",
+        "repeat",
+        "copy",
+        "array",
+    }
+)
+
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+_REDUCED_PRECISION = frozenset({"float32", "float16", "half", "single"})
+
+_FuncDef = ast.FunctionDef
+
+
+def _is_hot_name(name: str) -> bool:
+    return bool(_HOT_RE.search(name))
+
+
+def hot_functions(tree: ast.Module) -> List[Tuple[_FuncDef, bool]]:
+    """All hot functions in a module as ``(node, is_kernel_body)``.
+
+    Functions nested inside a hot function are themselves hot *kernel
+    bodies* (they run once per launch chunk).  Each function appears at
+    most once; rules scan a function's own statements only (nested
+    ``def`` subtrees are reported on their own entry).
+    """
+    out: List[Tuple[_FuncDef, bool]] = []
+
+    def visit(node: ast.AST, enclosing_hot: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.FunctionDef):
+                kernel_body = enclosing_hot or child.name.endswith(
+                    "_kernel"
+                )
+                hot = enclosing_hot or _is_hot_name(child.name)
+                if hot:
+                    out.append((child, kernel_body))
+                visit(child, hot)
+            else:
+                visit(child, enclosing_hot)
+
+    visit(tree, False)
+    return out
+
+
+def _own_statements(fn: _FuncDef) -> Iterator[ast.AST]:
+    """Walk ``fn`` without descending into nested function definitions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _numpy_call_name(node: ast.Call) -> str:
+    """``'zeros'`` for ``np.zeros(...)``/``numpy.zeros(...)``, else ''."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in _NUMPY_ALIASES
+    ):
+        return func.attr
+    return ""
+
+
+def _ranges_over_array(iter_node: ast.expr) -> bool:
+    """True when a loop iterable walks a lattice-sized array element by
+    element: ``range(len(x))``, ``range(x.size)``, ``range(x.shape[i])``,
+    or iterating ``np.arange(...)``/``np.nditer(...)`` directly."""
+    if isinstance(iter_node, ast.Call):
+        name = _numpy_call_name(iter_node)
+        if name in ("arange", "nditer", "ndindex"):
+            return True
+        func = iter_node.func
+        if isinstance(func, ast.Name) and func.id in ("range", "enumerate"):
+            for sub in ast.walk(iter_node):
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Name
+                ):
+                    if sub.func.id == "len":
+                        return True
+                if isinstance(sub, ast.Attribute) and sub.attr in (
+                    "size",
+                    "shape",
+                ):
+                    return True
+    return False
+
+
+class HotLoopRule(Rule):
+    rule_id = "P201"
+    description = (
+        "hot paths must stay vectorised; a Python loop over lattice "
+        "arrays turns the bandwidth-bound kernel into interpreter time"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for fn, kernel_body in hot_functions(src.tree):
+            for node in _own_statements(fn):
+                if isinstance(node, (ast.For, ast.While)):
+                    if kernel_body:
+                        kind = (
+                            "for" if isinstance(node, ast.For) else "while"
+                        )
+                        yield self.violation(
+                            src,
+                            node,
+                            f"Python {kind} loop in kernel body "
+                            f"{fn.name!r}; kernel bodies must be "
+                            "straight-line vectorised code",
+                        )
+                    elif isinstance(
+                        node, ast.For
+                    ) and _ranges_over_array(node.iter):
+                        yield self.violation(
+                            src,
+                            node,
+                            f"hot path {fn.name!r} loops element-wise "
+                            "over an array; vectorise with index arrays "
+                            "instead",
+                        )
+
+
+class HotAllocationRule(Rule):
+    rule_id = "P202"
+    description = (
+        "per-step array allocation in a hot path; hoist to setup or "
+        "reuse a preallocated buffer (the paper's kernels allocate "
+        "nothing per iteration)"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for fn, _ in hot_functions(src.tree):
+            for node in _own_statements(fn):
+                if isinstance(node, ast.Call):
+                    name = _numpy_call_name(node)
+                    if name in BANNED_ALLOC_CALLS:
+                        yield self.violation(
+                            src,
+                            node,
+                            f"np.{name} allocates inside hot path "
+                            f"{fn.name!r}; hoist the allocation out of "
+                            "the per-step body",
+                        )
+
+
+class DtypeMixRule(Rule):
+    rule_id = "P203"
+    description = (
+        "the lattice state is float64 end to end; mixing float32 into "
+        "a hot path silently degrades the bitwise cross-backend "
+        "validation"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for fn, _ in hot_functions(src.tree):
+            for node in _own_statements(fn):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in _NUMPY_ALIASES
+                    and node.attr in _REDUCED_PRECISION
+                ):
+                    yield self.violation(
+                        src,
+                        node,
+                        f"np.{node.attr} in hot path {fn.name!r} mixes "
+                        "reduced precision into the float64 lattice "
+                        "state",
+                    )
+                elif (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value in _REDUCED_PRECISION
+                ):
+                    yield self.violation(
+                        src,
+                        node,
+                        f"dtype string {node.value!r} in hot path "
+                        f"{fn.name!r} mixes reduced precision into the "
+                        "float64 lattice state",
+                    )

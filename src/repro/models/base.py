@@ -134,6 +134,11 @@ class ModelEngine:
             )
         if outlet_nodes.size:
             self.outlet = PressureOutlet(outlet_nodes, config.rho0)
+        # constant-density vectors for the open-boundary kernels,
+        # hoisted out of the per-step launch bodies
+        self._rho_open = np.full(
+            max(inlet_nodes.size, outlet_nodes.size, 1), config.rho0
+        )
 
         # device state: distributions (double buffered) + plan indices
         host_f = self.lattice.equilibrium(
@@ -189,24 +194,21 @@ class ModelEngine:
 
     def _boundary_phase(self) -> None:
         f = self.d_f.data()
+        rho_open = self._rho_open
         if self.inlet is not None:
             nodes = self.inlet.nodes
             u = np.broadcast_to(
                 self.inlet.velocity_at(self.time), (nodes.size, 3)
             )
-            rho0 = self.inlet.rho0
             lat = self.lattice
 
             def inlet_body(idx: np.ndarray) -> None:
                 sel = nodes[idx]
-                f[:, sel] = lat.equilibrium(
-                    np.full(idx.size, rho0), u[idx]
-                )
+                f[:, sel] = lat.equilibrium(rho_open[: idx.size], u[idx])
 
             self.model.launch("inlet", nodes.size, inlet_body)
         if self.outlet is not None:
             nodes = self.outlet.nodes
-            rho0 = self.outlet.rho0
             lat = self.lattice
 
             def outlet_body(idx: np.ndarray) -> None:
@@ -216,7 +218,7 @@ class ModelEngine:
                 u_loc = np.tensordot(
                     lat.c.astype(np.float64), fi, axes=(0, 0)
                 ).T / rho[:, None]
-                f[:, sel] = lat.equilibrium(np.full(idx.size, rho0), u_loc)
+                f[:, sel] = lat.equilibrium(rho_open[: idx.size], u_loc)
 
             self.model.launch("outlet", nodes.size, outlet_body)
 

@@ -147,8 +147,9 @@ class DistributedModelEngine:
         for dst, ids in er.send_ids.items():
             payload = er.d_f.data()[:, ids]
             if not self.gpu_aware:
-                # explicit download before handing the buffer to MPI
-                host = np.empty_like(payload)
+                # explicit download before handing the buffer to MPI;
+                # the per-step staging buffer IS the modelled D2H cost
+                host = np.empty_like(payload)  # repro: noqa[P202] host staging is what this path measures
                 staging = er.model.alloc(
                     f"stage_out_{er.rank}_{dst}", payload.shape, payload.dtype
                 )

@@ -30,11 +30,16 @@ _Key = Tuple[int, int, int]  # (src, dst, tag)
 class SimComm:
     """A simulated communicator over ``num_ranks`` in-process ranks."""
 
-    def __init__(self, num_ranks: int) -> None:
+    def __init__(self, num_ranks: int, debug: bool = False) -> None:
         if num_ranks < 1:
             raise RuntimeSimError("communicator needs at least one rank")
         self.num_ranks = num_ranks
+        #: when True, sends assert the static-schedule tag rule (one
+        #: message per (src, dst, tag) per step) the comm checker
+        #: verifies pre-flight — see :mod:`repro.lint.commcheck`
+        self.debug = debug
         self._queues: Dict[_Key, Deque[np.ndarray]] = {}
+        self._sent_this_step: set = set()
         self.log = EventLog()
         self.step = -1
         self._barriers = 0
@@ -49,6 +54,7 @@ class SimComm:
     def set_step(self, step: int) -> None:
         """Tag subsequent events with an iteration number."""
         self.step = step
+        self._sent_this_step.clear()
 
     # -- point to point ------------------------------------------------------
     def send(self, src: int, dst: int, buf: np.ndarray, tag: int = 0) -> None:
@@ -57,6 +63,15 @@ class SimComm:
         self._check_rank(dst, "destination")
         if src == dst:
             raise RuntimeSimError("rank cannot send to itself")
+        if self.debug:
+            key = (src, dst, tag)
+            if key in self._sent_this_step:
+                raise RuntimeSimError(
+                    f"tag collision: rank {src} -> rank {dst} tag {tag} "
+                    f"already carried a message in step {self.step}; "
+                    "message identity is ambiguous (S303)"
+                )
+            self._sent_this_step.add(key)
         data = np.array(buf, copy=True)
         self._queues.setdefault((src, dst, tag), deque()).append(data)
         self.log.record(

@@ -1,0 +1,195 @@
+"""Communication-schedule verification, including the solver pre-flight."""
+
+import json
+
+import pytest
+
+from repro.core.errors import CommScheduleError
+from repro.decomp import axis_decompose, bisection_decompose
+from repro.geometry import CylinderSpec, make_cylinder
+from repro.lbm import DistributedSolver, SolverConfig
+from repro.lint import (
+    CommSchedule,
+    check_schedule,
+    check_schedule_file,
+    schedule_from_rank_states,
+    verify_schedule,
+)
+
+CYL_CONFIG = dict(
+    tau=0.8, force=(1e-6, 0.0, 0.0), periodic=(True, False, False)
+)
+
+
+def _kinds(issues):
+    return sorted(i.kind for i in issues)
+
+
+class TestMatching:
+    def test_valid_pairwise_exchange(self):
+        sched = CommSchedule(2)
+        sched.add_recv(0, 1, tag=1, count=8)
+        sched.add_recv(1, 0, tag=1, count=8)
+        sched.add_send(0, 1, tag=1, count=8)
+        sched.add_send(1, 0, tag=1, count=8)
+        assert check_schedule(sched) == []
+        verify_schedule(sched)  # should not raise
+
+    def test_unmatched_recv(self):
+        # acceptance criterion: a hand-built schedule with an unmatched
+        # recv is rejected
+        sched = CommSchedule(2)
+        sched.add_recv(1, 0, tag=1, count=8)
+        issues = check_schedule(sched)
+        assert "unmatched-recv" in _kinds(issues)
+        with pytest.raises(CommScheduleError, match="S301"):
+            verify_schedule(sched)
+
+    def test_unmatched_send(self):
+        sched = CommSchedule(2)
+        sched.add_send(0, 1, tag=1, count=8)
+        assert "unmatched-send" in _kinds(check_schedule(sched))
+
+    def test_tag_collision(self):
+        sched = CommSchedule(2)
+        sched.add_recv(1, 0, tag=1)
+        sched.add_recv(1, 0, tag=1)
+        sched.add_send(0, 1, tag=1)
+        sched.add_send(0, 1, tag=1)
+        assert "tag-collision" in _kinds(check_schedule(sched))
+
+    def test_count_mismatch(self):
+        sched = CommSchedule(2)
+        sched.add_recv(1, 0, tag=1, count=16)
+        sched.add_send(0, 1, tag=1, count=8)
+        assert "count-mismatch" in _kinds(check_schedule(sched))
+
+    def test_zero_count_skips_count_check(self):
+        sched = CommSchedule(2)
+        sched.add_recv(1, 0, tag=1, count=0)
+        sched.add_send(0, 1, tag=1, count=8)
+        assert check_schedule(sched) == []
+
+    def test_self_message_rejected(self):
+        sched = CommSchedule(2)
+        with pytest.raises(CommScheduleError):
+            sched.add_send(0, 0, tag=1)
+
+    def test_out_of_range_rank_rejected(self):
+        sched = CommSchedule(2)
+        with pytest.raises(CommScheduleError):
+            sched.add_recv(0, 5, tag=1)
+
+
+class TestProgress:
+    def test_blocking_send_cycle_deadlocks(self):
+        # classic head-to-head: both ranks send (rendezvous) before
+        # either posts its receive
+        sched = CommSchedule(2)
+        sched.add_send(0, 1, tag=1, blocking=True)
+        sched.add_recv(0, 1, tag=2, blocking=True)
+        sched.add_send(1, 0, tag=2, blocking=True)
+        sched.add_recv(1, 0, tag=1, blocking=True)
+        assert "deadlock" in _kinds(check_schedule(sched))
+
+    def test_ordered_blocking_exchange_progresses(self):
+        # one rank receives first: rendezvous can interleave
+        sched = CommSchedule(2)
+        sched.add_send(0, 1, tag=1, blocking=True)
+        sched.add_recv(0, 1, tag=2, blocking=True)
+        sched.add_recv(1, 0, tag=1, blocking=True)
+        sched.add_send(1, 0, tag=2, blocking=True)
+        assert check_schedule(sched) == []
+
+    def test_nonblocking_order_is_deadlock_free(self):
+        # Isend/Irecv in any order complete (the solvers' pattern)
+        sched = CommSchedule(2)
+        sched.add_send(0, 1, tag=1)
+        sched.add_recv(0, 1, tag=2)
+        sched.add_send(1, 0, tag=2)
+        sched.add_recv(1, 0, tag=1)
+        assert check_schedule(sched) == []
+
+    def test_blocking_recv_before_any_send_deadlocks(self):
+        sched = CommSchedule(2)
+        sched.add_recv(0, 1, tag=1, blocking=True)
+        sched.add_send(0, 1, tag=2)
+        sched.add_recv(1, 0, tag=2, blocking=True)
+        sched.add_send(1, 0, tag=1)
+        issues = check_schedule(sched)
+        assert "deadlock" in _kinds(issues)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        sched = CommSchedule(2)
+        sched.add_recv(1, 0, tag=3, count=4)
+        sched.add_send(0, 1, tag=3, count=4, blocking=True)
+        clone = CommSchedule.from_dict(
+            json.loads(json.dumps(sched.to_dict()))
+        )
+        assert clone.num_ranks == 2
+        assert clone.ops == sched.ops
+
+    def test_schedule_file_reports_issues(self, tmp_path):
+        p = tmp_path / "halo.commsched.json"
+        sched = CommSchedule(2)
+        sched.add_recv(1, 0, tag=1, count=8)
+        p.write_text(json.dumps(sched.to_dict()))
+        violations = check_schedule_file(p)
+        assert [v.rule for v in violations] == ["S301"]
+
+    def test_malformed_schedule_file_is_s300(self, tmp_path):
+        p = tmp_path / "bad.commsched.json"
+        p.write_text("{not json")
+        assert [v.rule for v in check_schedule_file(p)] == ["S300"]
+
+    def test_wrong_shape_is_s300(self, tmp_path):
+        p = tmp_path / "bad.commsched.json"
+        p.write_text(json.dumps({"num_ranks": 3, "ops": [[]]}))
+        assert [v.rule for v in check_schedule_file(p)] == ["S300"]
+
+
+class TestSolverPreflight:
+    @pytest.fixture(scope="class")
+    def cylinder(self):
+        return make_cylinder(CylinderSpec(scale=0.5))
+
+    def test_real_decomposition_passes(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = axis_decompose(cylinder, 4)
+        solver = DistributedSolver(part, cfg)  # validates by default
+        sched = schedule_from_rank_states(solver.ranks, part.num_ranks)
+        assert check_schedule(sched) == []
+        assert sched.num_ops > 0
+
+    def test_bisection_decomposition_passes(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = bisection_decompose(cylinder, 3)
+        solver = DistributedSolver(part, cfg)
+        sched = schedule_from_rank_states(solver.ranks, part.num_ranks)
+        assert check_schedule(sched) == []
+
+    def test_corrupted_wiring_caught_preflight(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = axis_decompose(cylinder, 2)
+        solver = DistributedSolver(part, cfg, validate_schedule=False)
+        # sabotage: rank 1 forgets its receive from rank 0
+        solver.ranks[1].recv_slots.pop(0)
+        sched = schedule_from_rank_states(solver.ranks, part.num_ranks)
+        assert "unmatched-send" in _kinds(check_schedule(sched))
+
+    def test_count_disagreement_caught_preflight(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = axis_decompose(cylinder, 2)
+        solver = DistributedSolver(part, cfg, validate_schedule=False)
+        slots = solver.ranks[1].recv_slots[0]
+        solver.ranks[1].recv_slots[0] = slots[:-1]  # one ghost short
+        sched = schedule_from_rank_states(solver.ranks, part.num_ranks)
+        assert "count-mismatch" in _kinds(check_schedule(sched))
+
+    def test_opt_out_skips_validation(self, cylinder):
+        cfg = SolverConfig(**CYL_CONFIG)
+        part = axis_decompose(cylinder, 2)
+        solver = DistributedSolver(part, cfg, validate_schedule=False)
+        solver.step(2)  # still runs fine; only the pre-flight was skipped

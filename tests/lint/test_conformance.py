@@ -1,0 +1,208 @@
+"""Backend-conformance rules (C1xx) against small fixture hierarchies."""
+
+import pytest
+
+from repro.lint import LintEngine
+
+REFERENCE = '''\
+import abc
+
+import numpy as np
+
+
+class ProgrammingModel(abc.ABC):
+    name = "abstract"
+    display_name = "abstract"
+
+    @abc.abstractmethod
+    def alloc(self, label, shape, dtype=np.float64):
+        ...
+
+    @abc.abstractmethod
+    def launch(self, label, n, body):
+        ...
+
+    @abc.abstractmethod
+    def synchronize(self):
+        ...
+'''
+
+GOOD_BACKEND = '''\
+import numpy as np
+
+from base import ProgrammingModel
+
+
+class GoodModel(ProgrammingModel):
+    name = "good"
+    display_name = "Good"
+
+    def alloc(self, label, shape, dtype=np.float64):
+        return None
+
+    def launch(self, label, n, body):
+        pass
+
+    def synchronize(self):
+        pass
+'''
+
+
+def _run(tmp_path, rules, **files):
+    (tmp_path / "base.py").write_text(REFERENCE)
+    for name, text in files.items():
+        (tmp_path / f"{name}.py").write_text(text)
+    return LintEngine().select(rules).run([tmp_path])
+
+
+def _rules(report):
+    return sorted({v.rule for v in report.violations})
+
+
+class TestC101MissingSurface:
+    def test_clean_backend_passes(self, tmp_path):
+        report = _run(tmp_path, ["C101"], good=GOOD_BACKEND)
+        assert report.ok
+
+    def test_missing_method_flagged(self, tmp_path):
+        broken = GOOD_BACKEND.replace(
+            "    def synchronize(self):\n        pass\n", ""
+        )
+        report = _run(tmp_path, ["C101"], broken=broken)
+        assert _rules(report) == ["C101"]
+        assert "synchronize" in report.violations[0].message
+
+    def test_inherited_method_counts(self, tmp_path):
+        # method provided by an intermediate base in another file
+        child = (
+            "from good import GoodModel\n\n\n"
+            "class ChildModel(GoodModel):\n"
+            "    name = 'child'\n"
+            "    display_name = 'Child'\n"
+        )
+        report = _run(
+            tmp_path, ["C101"], good=GOOD_BACKEND, child=child
+        )
+        assert report.ok
+
+    def test_abstract_intermediate_not_flagged(self, tmp_path):
+        # an abstract partial implementation is not a conforming backend
+        partial = (
+            "import abc\n\nfrom base import ProgrammingModel\n\n\n"
+            "class PartialModel(ProgrammingModel):\n"
+            "    @abc.abstractmethod\n"
+            "    def extra(self):\n"
+            "        ...\n"
+        )
+        report = _run(tmp_path, ["C101"], partial=partial)
+        assert report.ok
+
+
+class TestC102SignatureDrift:
+    def test_renamed_parameter_flagged(self, tmp_path):
+        drifted = GOOD_BACKEND.replace(
+            "def launch(self, label, n, body):",
+            "def launch(self, label, count, body):",
+        )
+        report = _run(tmp_path, ["C102"], drifted=drifted)
+        assert _rules(report) == ["C102"]
+
+    def test_required_extension_flagged(self, tmp_path):
+        drifted = GOOD_BACKEND.replace(
+            "def launch(self, label, n, body):",
+            "def launch(self, label, n, body, stream):",
+        )
+        report = _run(tmp_path, ["C102"], drifted=drifted)
+        assert _rules(report) == ["C102"]
+        assert "stream" in report.violations[0].message
+
+    def test_optional_extension_allowed(self, tmp_path):
+        extended = GOOD_BACKEND.replace(
+            "def launch(self, label, n, body):",
+            "def launch(self, label, n, body, stream=None):",
+        )
+        report = _run(tmp_path, ["C102"], extended=extended)
+        assert report.ok
+
+    def test_drift_reported_once_for_subclasses(self, tmp_path):
+        # the defining class carries the violation, not every descendant
+        drifted = GOOD_BACKEND.replace(
+            "def launch(self, label, n, body):",
+            "def launch(self, label, count, body):",
+        )
+        child = (
+            "from drifted import GoodModel\n\n\n"
+            "class ChildModel(GoodModel):\n"
+            "    name = 'child'\n"
+            "    display_name = 'Child'\n"
+        )
+        report = _run(tmp_path, ["C102"], drifted=drifted, child=child)
+        assert len(report.violations) == 1
+
+
+class TestC103DtypeDrift:
+    def test_float32_default_flagged(self, tmp_path):
+        drifted = GOOD_BACKEND.replace(
+            "def alloc(self, label, shape, dtype=np.float64):",
+            "def alloc(self, label, shape, dtype=np.float32):",
+        )
+        report = _run(tmp_path, ["C103"], drifted=drifted)
+        assert _rules(report) == ["C103"]
+        assert "np.float64" in report.violations[0].message
+
+    def test_dropped_default_flagged(self, tmp_path):
+        drifted = GOOD_BACKEND.replace(
+            "def alloc(self, label, shape, dtype=np.float64):",
+            "def alloc(self, label, shape, dtype):",
+        )
+        report = _run(tmp_path, ["C103"], drifted=drifted)
+        assert _rules(report) == ["C103"]
+
+    def test_matching_default_passes(self, tmp_path):
+        report = _run(tmp_path, ["C103"], good=GOOD_BACKEND)
+        assert report.ok
+
+
+class TestC104Identity:
+    def test_missing_identity_flagged(self, tmp_path):
+        anonymous = GOOD_BACKEND.replace(
+            '    name = "good"\n    display_name = "Good"\n', ""
+        )
+        report = _run(tmp_path, ["C104"], anonymous=anonymous)
+        assert _rules(report) == ["C104"]
+        attrs = {v.message.split("'")[3] for v in report.violations}
+        assert attrs == {"name", "display_name"}
+
+    def test_self_assignment_counts(self, tmp_path):
+        via_init = GOOD_BACKEND.replace(
+            '    name = "good"\n    display_name = "Good"\n',
+            "    def __init__(self):\n"
+            "        self.name = 'good'\n"
+            "        self.display_name = 'Good'\n",
+        )
+        report = _run(tmp_path, ["C104"], via_init=via_init)
+        assert report.ok
+
+    def test_inherited_identity_counts(self, tmp_path):
+        child = (
+            "from good import GoodModel\n\n\n"
+            "class ChildModel(GoodModel):\n"
+            "    pass\n"
+        )
+        report = _run(tmp_path, ["C104"], good=GOOD_BACKEND, child=child)
+        assert report.ok
+
+
+class TestAgainstRealTree:
+    def test_repo_backends_conform(self):
+        import pathlib
+
+        import repro
+
+        pkg = pathlib.Path(repro.__file__).parent / "models"
+        report = (
+            LintEngine()
+            .select(["C101", "C102", "C103", "C104"])
+            .run([pkg])
+        )
+        assert report.ok, report.format_text()

@@ -1,0 +1,184 @@
+"""Engine mechanics: discovery, noqa, baselines, reporters, selection."""
+
+import json
+
+import pytest
+
+from repro.core.errors import LintError
+from repro.lint import (
+    LintEngine,
+    Rule,
+    SourceFile,
+    Violation,
+    default_rules,
+    load_baseline,
+    write_baseline,
+)
+
+
+class _AlwaysFlag(Rule):
+    """Test rule: one violation per module docstring-free file."""
+
+    rule_id = "T901"
+    severity = "error"
+    description = "flags every function definition"
+
+    def check_file(self, src):
+        import ast
+
+        out = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.FunctionDef):
+                out.append(self.violation(src, node, f"function {node.name}"))
+        return out
+
+
+def _write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+class TestDiscoveryAndRun:
+    def test_flags_function(self, tmp_path):
+        _write(tmp_path, "a.py", "def f():\n    return 1\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert len(report.violations) == 1
+        assert report.violations[0].rule == "T901"
+        assert report.exit_code == 1
+        assert not report.ok
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        _write(tmp_path, "a.py", "x = 1\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert report.ok and report.exit_code == 0
+        assert report.files_checked == 1
+
+    def test_skips_pycache(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        _write(cache, "a.py", "def f():\n    pass\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert report.files_checked == 0
+
+    def test_single_file_path(self, tmp_path):
+        p = _write(tmp_path, "a.py", "def f():\n    pass\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([p])
+        assert len(report.violations) == 1
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        _write(tmp_path, "bad.py", "def f(:\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert any(v.rule == "E000" for v in report.violations)
+
+    def test_violations_sorted(self, tmp_path):
+        _write(tmp_path, "b.py", "def z():\n    pass\n\n\ndef a():\n    pass\n")
+        _write(tmp_path, "a.py", "def m():\n    pass\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        keys = [(v.path, v.line) for v in report.violations]
+        assert keys == sorted(keys)
+
+
+class TestNoqa:
+    def test_blanket_noqa(self, tmp_path):
+        _write(tmp_path, "a.py", "def f():  # repro: noqa\n    pass\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert not report.violations
+        assert report.suppressed == 1
+
+    def test_rule_scoped_noqa(self, tmp_path):
+        _write(
+            tmp_path, "a.py",
+            "def f():  # repro: noqa[T901] intentional\n    pass\n",
+        )
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert not report.violations
+
+    def test_wrong_rule_noqa_does_not_suppress(self, tmp_path):
+        _write(
+            tmp_path, "a.py", "def f():  # repro: noqa[C101]\n    pass\n"
+        )
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert len(report.violations) == 1
+
+
+class TestBaseline:
+    def test_baseline_roundtrip(self, tmp_path):
+        _write(tmp_path, "a.py", "def f():\n    pass\n")
+        engine = LintEngine(rules=[_AlwaysFlag()])
+        first = engine.run([tmp_path])
+        assert first.violations
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.violations)
+        baseline = load_baseline(baseline_file)
+        second = engine.run([tmp_path], baseline=baseline)
+        assert not second.violations
+        assert second.baselined == 1
+        assert second.exit_code == 0
+
+    def test_new_violation_escapes_baseline(self, tmp_path):
+        _write(tmp_path, "a.py", "def f():\n    pass\n")
+        engine = LintEngine(rules=[_AlwaysFlag()])
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, engine.run([tmp_path]).violations)
+        _write(tmp_path, "a.py", "def f():\n    pass\n\n\ndef g():\n    pass\n")
+        report = engine.run(
+            [tmp_path], baseline=load_baseline(baseline_file)
+        )
+        assert [v.message for v in report.violations] == ["function g"]
+
+    def test_fingerprint_ignores_line(self):
+        a = Violation("T1", "x.py", 3, 0, "msg")
+        b = Violation("T1", "x.py", 99, 4, "msg")
+        assert a.fingerprint == b.fingerprint
+
+
+class TestReporters:
+    def test_text_format(self, tmp_path):
+        _write(tmp_path, "a.py", "def f():\n    pass\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        text = report.format_text()
+        assert "T901" in text and "a.py" in text
+
+    def test_json_format(self, tmp_path):
+        _write(tmp_path, "a.py", "def f():\n    pass\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        payload = json.loads(report.to_json())
+        assert payload["violations"][0]["rule"] == "T901"
+        assert payload["counts_by_rule"] == {"T901": 1}
+        assert payload["ok"] is False
+
+    def test_counts_by_rule(self, tmp_path):
+        _write(tmp_path, "a.py", "def f():\n    pass\n\n\ndef g():\n    pass\n")
+        report = LintEngine(rules=[_AlwaysFlag()]).run([tmp_path])
+        assert report.counts_by_rule() == {"T901": 2}
+
+
+class TestSelection:
+    def test_select_subset(self):
+        engine = LintEngine().select(["P202"])
+        assert [r.rule_id for r in engine.rules] == ["P202"]
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(LintError):
+            LintEngine().select(["Z999"])
+
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(LintError):
+            LintEngine(rules=[_AlwaysFlag(), _AlwaysFlag()])
+
+    def test_default_rules_have_unique_ids(self):
+        ids = [r.rule_id for r in default_rules()]
+        assert len(ids) == len(set(ids))
+
+
+class TestSourceFile:
+    def test_noqa_parsing(self, tmp_path):
+        p = _write(
+            tmp_path, "a.py",
+            "x = 1  # repro: noqa[P201, P202] two rules\n"
+            "y = 2  # repro: noqa\n",
+        )
+        src = SourceFile.read(p)
+        assert src.noqa[1] == {"P201", "P202"}
+        assert src.noqa[2] is None  # blanket

@@ -1,0 +1,230 @@
+"""Hot-path purity rules (P2xx) on fixture kernels and the real tree."""
+
+import ast
+
+from repro.lint import LintEngine
+from repro.lint.rules.purity import hot_functions
+
+
+def _run(tmp_path, rules, text):
+    (tmp_path / "mod.py").write_text(text)
+    return LintEngine().select(rules).run([tmp_path])
+
+
+def _rules(report):
+    return sorted({v.rule for v in report.violations})
+
+
+class TestHotDetection:
+    def test_name_contract(self):
+        tree = ast.parse(
+            "def step(): pass\n"
+            "def apply(): pass\n"
+            "def bgk_collide_kernel(): pass\n"
+            "def _phase_collide(): pass\n"
+            "def _pack_and_send(): pass\n"
+            "def helper(): pass\n"
+            "def setup(): pass\n"
+        )
+        names = {fn.name for fn, _ in hot_functions(tree)}
+        assert names == {
+            "step",
+            "apply",
+            "bgk_collide_kernel",
+            "_phase_collide",
+            "_pack_and_send",
+        }
+
+    def test_nested_closures_are_kernel_bodies(self):
+        tree = ast.parse(
+            "def step():\n"
+            "    def body(idx):\n"
+            "        pass\n"
+            "def helper():\n"
+            "    def inner():\n"
+            "        pass\n"
+        )
+        kernel_bodies = {
+            fn.name for fn, is_kb in hot_functions(tree) if is_kb
+        }
+        assert kernel_bodies == {"body"}
+
+
+class TestP201HotLoop:
+    def test_loop_over_array_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P201"],
+            "def step(f):\n"
+            "    for i in range(len(f)):\n"
+            "        f[i] += 1\n",
+        )
+        assert _rules(report) == ["P201"]
+
+    def test_loop_over_size_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P201"],
+            "def apply(f):\n"
+            "    for i in range(f.size):\n"
+            "        f[i] += 1\n",
+        )
+        assert _rules(report) == ["P201"]
+
+    def test_small_fixed_loop_allowed_outside_kernel(self, tmp_path):
+        # O(q) plan loops and step-count loops are fine in phase drivers
+        report = _run(
+            tmp_path,
+            ["P201"],
+            "def step(plans, num_steps):\n"
+            "    for _ in range(num_steps):\n"
+            "        for plan in plans:\n"
+            "            plan.run()\n",
+        )
+        assert report.ok
+
+    def test_any_loop_in_kernel_body_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P201"],
+            "def step(f):\n"
+            "    def body(idx):\n"
+            "        for q in range(19):\n"
+            "            f[q] += 1\n"
+            "    return body\n",
+        )
+        assert _rules(report) == ["P201"]
+        assert "kernel body" in report.violations[0].message
+
+    def test_while_in_kernel_body_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P201"],
+            "def bgk_collide_kernel(f):\n"
+            "    while f.any():\n"
+            "        f *= 0.5\n",
+        )
+        assert _rules(report) == ["P201"]
+
+    def test_cold_function_ignored(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P201"],
+            "def build(f):\n"
+            "    for i in range(len(f)):\n"
+            "        f[i] += 1\n",
+        )
+        assert report.ok
+
+
+class TestP202HotAllocation:
+    def test_np_zeros_in_step_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P202"],
+            "import numpy as np\n\n"
+            "def step(f):\n"
+            "    tmp = np.zeros(f.shape)\n"
+            "    return tmp\n",
+        )
+        assert _rules(report) == ["P202"]
+
+    def test_numpy_alias_spelled_out(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P202"],
+            "import numpy\n\n"
+            "def apply(f):\n"
+            "    return numpy.concatenate([f, f])\n",
+        )
+        assert _rules(report) == ["P202"]
+
+    def test_noqa_suppresses_with_reason(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P202"],
+            "import numpy as np\n\n"
+            "def _pack_and_send(buf):\n"
+            "    host = np.empty_like(buf)"
+            "  # repro: noqa[P202] staging is the measurement\n"
+            "    return host\n",
+        )
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_allocation_in_setup_allowed(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P202"],
+            "import numpy as np\n\n"
+            "def __init__(self, n):\n"
+            "    self.buf = np.zeros(n)\n",
+        )
+        assert report.ok
+
+    def test_allocation_in_launch_closure_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P202"],
+            "import numpy as np\n\n"
+            "def _collide_phase(self):\n"
+            "    def body(idx):\n"
+            "        rho = np.empty(idx.size)\n"
+            "    self.launch(body)\n",
+        )
+        assert _rules(report) == ["P202"]
+
+
+class TestP203DtypeMix:
+    def test_np_float32_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P203"],
+            "import numpy as np\n\n"
+            "def step(f):\n"
+            "    return f.astype(np.float32)\n",
+        )
+        assert _rules(report) == ["P203"]
+
+    def test_dtype_string_flagged(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P203"],
+            "def apply(f):\n"
+            "    return f.astype('float32')\n",
+        )
+        assert _rules(report) == ["P203"]
+
+    def test_float64_passes(self, tmp_path):
+        report = _run(
+            tmp_path,
+            ["P203"],
+            "import numpy as np\n\n"
+            "def step(f):\n"
+            "    return f.astype(np.float64)\n",
+        )
+        assert report.ok
+
+    def test_float32_outside_hot_path_allowed(self, tmp_path):
+        # fieldio-style narrowing on the output path is legitimate
+        report = _run(
+            tmp_path,
+            ["P203"],
+            "import numpy as np\n\n"
+            "def write_snapshot(f):\n"
+            "    return f.astype(np.float32)\n",
+        )
+        assert report.ok
+
+
+class TestAgainstRealTree:
+    def test_repo_hot_paths_clean(self):
+        import pathlib
+
+        import repro
+
+        pkg = pathlib.Path(repro.__file__).parent
+        report = (
+            LintEngine().select(["P201", "P202", "P203"]).run([pkg])
+        )
+        assert report.ok, report.format_text()

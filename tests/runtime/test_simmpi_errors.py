@@ -1,0 +1,79 @@
+"""SimComm error paths: tag collisions and unmatched receives.
+
+The debug tag assertion is the dynamic counterpart of the static S303
+rule in :mod:`repro.lint.commcheck`; the unmatched-recv strictness is
+the dynamic counterpart of S301.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RuntimeSimError
+from repro.runtime import SimComm
+
+
+class TestTagCollision:
+    def test_debug_flags_same_step_duplicate(self):
+        comm = SimComm(2, debug=True)
+        comm.set_step(0)
+        comm.send(0, 1, np.ones(3), tag=1)
+        with pytest.raises(RuntimeSimError, match="tag collision"):
+            comm.send(0, 1, np.ones(3), tag=1)
+
+    def test_debug_allows_distinct_tags(self):
+        comm = SimComm(2, debug=True)
+        comm.set_step(0)
+        comm.send(0, 1, np.ones(3), tag=1)
+        comm.send(0, 1, np.ones(3), tag=2)  # different tag: fine
+        comm.send(1, 0, np.ones(3), tag=1)  # different pair: fine
+
+    def test_debug_resets_each_step(self):
+        comm = SimComm(2, debug=True)
+        comm.set_step(0)
+        comm.send(0, 1, np.ones(3), tag=1)
+        comm.recv(1, 0, tag=1)
+        comm.set_step(1)
+        comm.send(0, 1, np.ones(3), tag=1)  # new step: fine
+
+    def test_default_keeps_fifo_reuse(self):
+        # FIFO tag reuse within a step stays legal without debug — the
+        # existing event-log tests rely on it
+        comm = SimComm(2)
+        comm.set_step(0)
+        comm.send(0, 1, np.full(3, 1.0), tag=1)
+        comm.send(0, 1, np.full(3, 2.0), tag=1)
+        assert comm.recv(1, 0, tag=1)[0] == 1.0
+        assert comm.recv(1, 0, tag=1)[0] == 2.0
+
+
+class TestUnmatchedRecv:
+    def test_recv_without_send_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeSimError, match="no message pending"):
+            comm.recv(1, 0, tag=1)
+
+    def test_recv_wrong_tag_raises(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.ones(3), tag=1)
+        with pytest.raises(RuntimeSimError, match="no message pending"):
+            comm.recv(1, 0, tag=2)
+
+    def test_recv_wrong_direction_raises(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.ones(3), tag=1)
+        with pytest.raises(RuntimeSimError, match="no message pending"):
+            comm.recv(0, 1, tag=1)
+
+    def test_queue_drains_then_raises(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.ones(3), tag=1)
+        comm.recv(1, 0, tag=1)
+        with pytest.raises(RuntimeSimError, match="no message pending"):
+            comm.recv(1, 0, tag=1)
+
+    def test_recv_into_shape_mismatch_raises(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.ones(3), tag=1)
+        out = np.empty(4)
+        with pytest.raises(RuntimeSimError, match="recv_into mismatch"):
+            comm.recv_into(1, 0, out, tag=1)
