@@ -162,6 +162,32 @@ def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from .microbench import run_kernel_bench
+
+    scale = 0.5 if args.quick else args.scale
+    steps = 5 if args.quick else args.steps
+    reps = 2 if args.quick else args.reps
+    result = run_kernel_bench(scale=scale, steps=steps, reps=reps)
+    print(result.format_text())
+    if args.output:
+        result.write(args.output)
+        print(f"written to {args.output}")
+    if args.assert_speedup is not None:
+        if result.step_speedup < args.assert_speedup:
+            print(
+                f"error: step speedup {result.step_speedup:.2f}x below "
+                f"required {args.assert_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"step speedup {result.step_speedup:.2f}x >= "
+            f"{args.assert_speedup:.2f}x"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -528,6 +554,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("trace", help="path to a --trace-out JSON file")
     ps.set_defaults(func=_cmd_telemetry_summarize)
+
+    p = sub.add_parser(
+        "bench", help="wall-clock microbenchmarks of the functional kernels"
+    )
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bsub.add_parser(
+        "kernels",
+        help="MFLUPS of collide/stream/step, legacy vs fused step plan",
+    )
+    pb.add_argument(
+        "--scale", type=float, default=1.0,
+        help="cylinder geometry scale factor (default: 1.0)",
+    )
+    pb.add_argument(
+        "--steps", type=int, default=20,
+        help="timed iterations per repetition (default: 20)",
+    )
+    pb.add_argument(
+        "--reps", type=int, default=3,
+        help="repetitions per kernel, best-of (default: 3)",
+    )
+    pb.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: scale 0.5, 5 steps, 2 reps",
+    )
+    pb.add_argument(
+        "--output", default="BENCH_kernels.json",
+        help="JSON result path (default: BENCH_kernels.json)",
+    )
+    pb.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="MIN",
+        help="exit 1 unless full-step fused speedup is at least MIN",
+    )
+    pb.set_defaults(func=_cmd_bench_kernels)
 
     p = sub.add_parser(
         "lint", help="run the static-analysis rules over the source tree"

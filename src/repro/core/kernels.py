@@ -9,24 +9,193 @@ backend in :mod:`repro.models` wraps them in its own launch machinery.
 All kernels operate on distributions stored structure-of-arrays as
 ``f[q, n]`` over the ``n`` compact fluid nodes (indirect addressing for
 complex geometries, following ref. [12] of the paper).
+
+Allocation discipline
+---------------------
+The collide/moments kernels accept an optional :class:`Workspace` of
+preallocated scratch buffers.  With a workspace the hot path performs no
+array allocation at all: moments, equilibrium, and Guo source terms are
+computed with ``out=``/in-place ufuncs into reused buffers, and when
+``idx`` covers every node the kernels skip the gather copy ``fi = f[:,
+idx]`` entirely and collide directly in ``f``.  Without a workspace a
+throwaway one is created per call, which reproduces the legacy
+allocate-per-step behaviour bit for bit (the arithmetic is identical; only
+buffer reuse differs).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .lattice import Lattice
 
 __all__ = [
+    "Workspace",
     "moments_kernel",
     "equilibrium_kernel",
     "bgk_collide_kernel",
     "stream_pull_kernel",
     "bounce_back_kernel",
+    "fused_stream_kernel",
+    "fused_stream_body_kernel",
     "apply_body_force_kernel",
+    "partition_range",
 ]
+
+
+class Workspace:
+    """Reusable scratch buffers for the allocation-free kernel paths.
+
+    Buffers are keyed by ``(name, shape)`` so the same workspace serves
+    chunked backend launches (full blocks and the tail block allocate
+    distinct buffers once each and reuse them every step).  Per-force
+    Guo constants (the half-force velocity shift and the projections
+    ``c . F``) are cached so they are computed once per run rather than
+    once per kernel invocation.
+    """
+
+    __slots__ = ("_bufs", "_guo")
+
+    def __init__(self) -> None:
+        self._bufs: Dict[Tuple[str, Tuple[int, ...]], np.ndarray] = {}
+        self._guo: Dict[int, Tuple[np.ndarray, ...]] = {}
+
+    def get(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        """Return a float64 buffer of ``shape``, reused across calls."""
+        key = (name, shape)
+        buf = self._bufs.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.float64)
+            self._bufs[key] = buf
+        return buf
+
+    def guo_constants(
+        self, lat: Lattice, force: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(F/2, c.F, c.F/cs^2)`` for Guo forcing with ``force``.
+
+        The cache key holds a reference to the force array itself, so the
+        id() key cannot be recycled while the entry is alive.
+        """
+        entry = self._guo.get(id(force))
+        if entry is None or entry[0] is not force:
+            fvec = np.asarray(force, dtype=np.float64)
+            cfq = lat.cf @ fvec
+            entry = (force, 0.5 * fvec, cfq, (1.0 / lat.cs2) * cfq)
+            self._guo[id(force)] = entry
+        return entry[1], entry[2], entry[3]
+
+    def num_buffers(self) -> int:
+        return len(self._bufs)
+
+
+def _gather_fi(
+    f: np.ndarray, idx: np.ndarray, ws: Workspace, allow_inplace: bool
+) -> Tuple[np.ndarray, bool]:
+    """Gather ``f[:, idx]`` into a workspace buffer.
+
+    Fast path (``allow_inplace``, i.e. a caller-owned workspace is in
+    play): when ``idx`` covers every column (the single-domain solver
+    passes ``arange(n)``), no copy is made and ``f`` itself is returned —
+    the collide kernels then read and write ``f`` directly.  The legacy
+    path always gathers, reproducing the historical full-array copy
+    (same values either way; the gather lands in C order and the ops are
+    elementwise, so the two paths agree bit for bit).
+    """
+    if allow_inplace and idx.size == f.shape[1]:
+        return f, True
+    fi = ws.get("fi", (f.shape[0], idx.size))
+    np.take(f, idx, axis=1, out=fi)
+    return fi, False
+
+
+def _moments_into(
+    lat: Lattice,
+    fi: np.ndarray,
+    force: Optional[np.ndarray],
+    ws: Workspace,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Density and (force-shifted) velocity of ``fi`` into workspace buffers.
+
+    Returns ``(rho, u)`` with ``u`` of shape ``(m, 3)``.  ``u`` is a
+    transposed view of a C-ordered ``(3, m)`` buffer, i.e. F-ordered —
+    the same memory layout the legacy expression ``tensordot(...).T /
+    rho[:, None]`` produced, which keeps the downstream ``einsum``
+    reduction bitwise identical.
+    """
+    m = fi.shape[1]
+    rho = ws.get("rho", (m,))
+    mom_t = ws.get("mom_t", (3, m))
+    u_t = ws.get("u_t", (3, m))
+    np.sum(fi, axis=0, out=rho)
+    np.matmul(lat.cf.T, fi, out=mom_t)  # (3, m): same bits as tensordot
+    mom = mom_t.T
+    if force is not None:
+        half_force, _, _ = ws.guo_constants(lat, force)
+        mom += half_force[None, :]
+    u = u_t.T
+    np.divide(mom, rho[:, None], out=u)
+    return rho, u
+
+
+def _equilibrium_into(
+    lat: Lattice,
+    rho: np.ndarray,
+    u: np.ndarray,
+    out: np.ndarray,
+    ws: Workspace,
+) -> np.ndarray:
+    """Second-order equilibrium into ``out``; returns the ``c . u`` buffer.
+
+    Mirrors :meth:`Lattice.equilibrium` operation by operation (only
+    reassociating commutative factors), so the result is bit-identical.
+    """
+    q, m = out.shape
+    inv_cs2 = 1.0 / lat.cs2
+    cu = ws.get("cu", (q, m))
+    np.matmul(lat.cf, u.T, out=cu)
+    usq = ws.get("usq", (m,))
+    np.einsum("nd,nd->n", u, u, out=usq)
+    scratch = ws.get("eq_scratch", (q, m))
+    np.multiply(cu, inv_cs2, out=out)
+    out += 1.0
+    np.multiply(cu, 0.5 * inv_cs2 * inv_cs2, out=scratch)
+    scratch *= cu
+    out += scratch
+    usq_scaled = ws.get("usq_scaled", (m,))
+    np.multiply(usq, 0.5 * inv_cs2, out=usq_scaled)
+    out -= usq_scaled[None, :]
+    np.multiply(lat.w[:, None], rho[None, :], out=scratch)
+    out *= scratch
+    return cu
+
+
+def _guo_source_into(
+    lat: Lattice,
+    u: np.ndarray,
+    cu: np.ndarray,
+    force: np.ndarray,
+    out: np.ndarray,
+    ws: Workspace,
+) -> None:
+    """Unscaled Guo source term ``w_q (c.F/cs2 + (c.u)(c.F)/cs4 - u.F/cs2)``.
+
+    The relaxation-dependent prefactor is applied by the caller (BGK uses
+    ``1 - omega/2``; TRT splits the term into even/odd parts first).
+    """
+    q, m = out.shape
+    inv_cs2 = 1.0 / lat.cs2
+    _, cfq, cfq_cs2 = ws.guo_constants(lat, force)
+    np.multiply(cu, inv_cs2 * inv_cs2, out=out)
+    out *= cfq[:, None]
+    out += cfq_cs2[:, None]
+    uf = ws.get("uf", (m,))
+    np.matmul(u, force, out=uf)
+    uf *= inv_cs2
+    out -= uf[None, :]
+    out *= lat.w[:, None]
 
 
 def moments_kernel(
@@ -36,19 +205,18 @@ def moments_kernel(
     rho_out: np.ndarray,
     u_out: np.ndarray,
     force: Optional[np.ndarray] = None,
+    workspace: Optional[Workspace] = None,
 ) -> None:
     """Compute density and velocity moments for the nodes in ``idx``.
 
     With Guo forcing, velocity is shifted by half the body force:
     ``u = (sum_q c_q f_q + F/2) / rho``.
     """
-    fi = f[:, idx]  # (q, m)
-    rho = fi.sum(axis=0)
-    mom = np.tensordot(lat.c.astype(np.float64), fi, axes=(0, 0)).T  # (m, 3)
-    if force is not None:
-        mom = mom + 0.5 * force[None, :]
+    ws = workspace if workspace is not None else Workspace()
+    fi, _ = _gather_fi(f, idx, ws, workspace is not None)
+    rho, u = _moments_into(lat, fi, force, ws)
     rho_out[idx] = rho
-    u_out[idx] = mom / rho[:, None]
+    u_out[idx] = u
 
 
 def equilibrium_kernel(
@@ -64,6 +232,7 @@ def bgk_collide_kernel(
     idx: np.ndarray,
     omega: float,
     force: Optional[np.ndarray] = None,
+    workspace: Optional[Workspace] = None,
 ) -> None:
     """BGK relaxation toward equilibrium, in place, on nodes ``idx``.
 
@@ -72,26 +241,24 @@ def bgk_collide_kernel(
     equilibrium is force-shifted and a source term weighted by
     ``(1 - omega/2)`` is added.
     """
-    fi = f[:, idx]
-    rho = fi.sum(axis=0)
-    mom = np.tensordot(lat.c.astype(np.float64), fi, axes=(0, 0)).T  # (m, 3)
+    ws = workspace if workspace is not None else Workspace()
+    fi, full = _gather_fi(f, idx, ws, workspace is not None)
+    q, m = fi.shape
+    rho, u = _moments_into(lat, fi, force, ws)
+    feq = ws.get("feq", (q, m))
+    cu = _equilibrium_into(lat, rho, u, feq, ws)
+    delta = ws.get("delta", (q, m))
+    np.subtract(feq, fi, out=delta)
+    delta *= omega
+    out = f if full else ws.get("out", (q, m))
+    np.add(fi, delta, out=out)
     if force is not None:
-        mom = mom + 0.5 * force[None, :]
-    u = mom / rho[:, None]
-    feq = lat.equilibrium(rho, u)
-    out = fi + omega * (feq - fi)
-    if force is not None:
-        inv_cs2 = 1.0 / lat.cs2
-        cf = lat.c.astype(np.float64) @ force  # (q,)
-        cu = lat.c.astype(np.float64) @ u.T  # (q, m)
-        uf = u @ force  # (m,)
-        src = lat.w[:, None] * (
-            inv_cs2 * cf[:, None]
-            + inv_cs2 * inv_cs2 * cu * cf[:, None]
-            - inv_cs2 * uf[None, :]
-        )
-        out = out + (1.0 - 0.5 * omega) * src
-    f[:, idx] = out
+        src = ws.get("src", (q, m))
+        _guo_source_into(lat, u, cu, force, src, ws)
+        src *= 1.0 - 0.5 * omega
+        out += src
+    if not full:
+        f[:, idx] = out
 
 
 def stream_pull_kernel(
@@ -121,6 +288,47 @@ def bounce_back_kernel(
     f_dst[qi, node_idx] = f_src[qi_opp, node_idx]
 
 
+def fused_stream_kernel(
+    f_src: np.ndarray,
+    f_dst_region: np.ndarray,
+    flat_src: np.ndarray,
+) -> None:
+    """Fused streaming + bounce-back: one gather over all populations.
+
+    ``flat_src`` holds flat indices ``src_q * n + src_node`` into
+    ``f_src.reshape(-1)`` — bounce-back links simply point at the
+    opposite population of the same node, so walls cost nothing extra.
+    The whole step is a single ``np.take`` into the (possibly strided)
+    destination region: exactly one read and one write per population,
+    the one-pass traffic the paper's perf model prices (Eq. 1).
+
+    Indices are in range by construction; ``mode="clip"`` only bypasses
+    NumPy's bounds-checking buffer so the gather can write a non-
+    contiguous ``out=`` view directly.
+    """
+    np.take(f_src.reshape(-1), flat_src, out=f_dst_region, mode="clip")
+
+
+def fused_stream_body_kernel(
+    f_src_flat: np.ndarray,
+    f_dst_flat: np.ndarray,
+    src_flat: np.ndarray,
+    idx: np.ndarray,
+    dst_flat: Optional[np.ndarray] = None,
+) -> None:
+    """Chunked form of the fused gather for programming-model backends.
+
+    Backends launch this body over ``idx`` blocks of the flat link range.
+    When the update set is a prefix of the local numbering (single-domain
+    engines) ``dst_flat`` is None and links land at their own flat index;
+    distributed engines pass an explicit destination map.
+    """
+    if dst_flat is None:
+        f_dst_flat[idx] = f_src_flat[src_flat[idx]]
+    else:
+        f_dst_flat[dst_flat[idx]] = f_src_flat[src_flat[idx]]
+
+
 def apply_body_force_kernel(
     lat: Lattice,
     f: np.ndarray,
@@ -129,10 +337,10 @@ def apply_body_force_kernel(
 ) -> None:
     """First-order body-force kick (used by the proxy app's simple driver).
 
-    Adds ``w_q c_q . F / cs^2`` to each population — adequate when the
-    forcing is weak and uniform.
+    Adds ``w_q c_q . F / cs^2`` to each population, in place — adequate
+    when the forcing is weak and uniform.
     """
-    cf = lat.c.astype(np.float64) @ np.asarray(force, dtype=np.float64)
+    cf = lat.cf @ np.asarray(force, dtype=np.float64)
     f[:, idx] += (lat.w * cf / lat.cs2)[:, None]
 
 

@@ -37,6 +37,10 @@ class Lattice:
         Conventional name, e.g. ``"D3Q19"``.
     c:
         Integer velocity set, shape ``(q, 3)``.
+    cf:
+        The velocity set pre-cast to float64 (immutable).  Kernels use
+        this cached copy instead of ``c.astype(np.float64)``, which
+        re-allocates a cast array on every invocation.
     w:
         Quadrature weights, shape ``(q,)``; sums to 1.
     opposite:
@@ -50,6 +54,7 @@ class Lattice:
     w: np.ndarray
     opposite: np.ndarray
     cs2: float = 1.0 / 3.0
+    cf: np.ndarray = field(init=False, repr=False, compare=False)
     _velocity_index: Dict[Tuple[int, int, int], int] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -61,6 +66,7 @@ class Lattice:
         object.__setattr__(self, "c", c)
         object.__setattr__(self, "w", w)
         object.__setattr__(self, "opposite", opp)
+        object.__setattr__(self, "cf", _freeze(c.astype(np.float64)))
         if c.ndim != 2 or c.shape[1] != 3:
             raise LatticeError(f"velocity set must have shape (q, 3), got {c.shape}")
         q = c.shape[0]
@@ -129,7 +135,7 @@ class Lattice:
             raise LatticeError(f"u must have shape (n, 3), got {u.shape}")
         if rho.shape != (u.shape[0],):
             raise LatticeError("rho and u length mismatch")
-        cu = self.c.astype(np.float64) @ u.T  # (q, n)
+        cu = self.cf @ u.T  # (q, n)
         usq = np.einsum("nd,nd->n", u, u)  # (n,)
         inv_cs2 = 1.0 / self.cs2
         feq = self.w[:, None] * rho[None, :] * (

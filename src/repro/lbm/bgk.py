@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.errors import ConfigError
-from ..core.kernels import bgk_collide_kernel
+from ..core.kernels import Workspace, bgk_collide_kernel
 from ..core.lattice import Lattice
 
 __all__ = ["BGKCollision", "viscosity_from_tau", "tau_from_viscosity"]
@@ -70,7 +70,13 @@ class BGKCollision:
         return viscosity_from_tau(self.tau)
 
     def apply(
-        self, lattice: Lattice, f: np.ndarray, idx: np.ndarray
+        self,
+        lattice: Lattice,
+        f: np.ndarray,
+        idx: np.ndarray,
+        workspace: Optional[Workspace] = None,
     ) -> None:
         """Collide in place on the compact nodes ``idx``."""
-        bgk_collide_kernel(lattice, f, idx, self.omega, self.force)
+        bgk_collide_kernel(
+            lattice, f, idx, self.omega, self.force, workspace=workspace
+        )

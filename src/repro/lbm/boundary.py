@@ -93,6 +93,6 @@ class PressureOutlet:
         fi = f[:, self.nodes]
         rho = fi.sum(axis=0)
         u = np.tensordot(
-            lattice.c.astype(np.float64), fi, axes=(0, 0)
+            lattice.cf, fi, axes=(0, 0)
         ).T / rho[:, None]
         f[:, self.nodes] = lattice.equilibrium(self._rho, u)

@@ -24,13 +24,16 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.errors import DecompositionError, RuntimeSimError
+from ..core.kernels import Workspace
 from ..decomp.partition import Partition
 from ..geometry.flags import INLET, OUTLET
 from .boundary import PressureOutlet, VelocityInlet
 from .solver import SolverConfig
+from .stream import StepPlan
 from ..runtime.executor import LockstepExecutor
 from ..runtime.requests import Request, irecv, isend, waitall
 from ..runtime.simmpi import SimComm
+from ..telemetry.metrics import get_registry
 from ..telemetry.spans import get_tracer
 
 __all__ = ["RankState", "DistributedSolver"]
@@ -53,6 +56,12 @@ class RankState:
     owned_ids: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )  # local ids [0, num_owned), preallocated for the collide phase
+    # fused-path state (None / empty when running the legacy path)
+    step_plan: Optional[StepPlan] = None
+    workspace: Optional[Workspace] = None
+    send_flat: Dict[int, np.ndarray] = field(default_factory=dict)
+    send_bufs: Dict[int, np.ndarray] = field(default_factory=dict)
+    recv_bufs: Dict[int, np.ndarray] = field(default_factory=dict)
 
     @property
     def num_owned(self) -> int:
@@ -89,6 +98,10 @@ class DistributedSolver:
         ] = {}
         self.time = 0
         self.fluid_updates = 0
+        self._fused = bool(config.fused)
+        registry = get_registry()
+        self._halo_packed = registry.counter("lbm.halo.bytes_packed")
+        self._halo_unpacked = registry.counter("lbm.halo.bytes_unpacked")
         self._build()
         if validate_schedule:
             # pre-flight: statically verify the halo-exchange plan the
@@ -248,6 +261,27 @@ class DistributedSolver:
                 slots = base + np.searchsorted(state_r.ghost_global, needed)
                 state_r.recv_slots[j] = slots.astype(np.int64)
 
+        if self._fused:
+            # compile the fused step plan and preallocate the halo
+            # pack/unpack buffers (the simulated transport copies send
+            # payloads eagerly, so the send buffers are safe to reuse)
+            for st in self.ranks:
+                n_local = st.f.shape[1]
+                st.step_plan = StepPlan(
+                    self.lattice, st.plans, n_local, st.owned_ids
+                )
+                st.workspace = Workspace()
+                q_off = np.arange(q, dtype=np.int64)[:, None] * n_local
+                for dst, ids in st.send_ids.items():
+                    st.send_flat[dst] = q_off + ids[None, :]
+                    st.send_bufs[dst] = np.empty(
+                        (q, ids.size), dtype=np.float64
+                    )
+                for src, slots in st.recv_slots.items():
+                    st.recv_bufs[src] = np.empty(
+                        (q, slots.size), dtype=np.float64
+                    )
+
     # -- stepping ----------------------------------------------------------
     # Each phase body is a per-rank function dispatched through the
     # lockstep executor, which emits one span per rank per phase when a
@@ -255,7 +289,9 @@ class DistributedSolver:
 
     def _phase_collide(self, rank: int) -> None:
         st = self.ranks[rank]
-        self.collision.apply(self.lattice, st.f, st.owned_ids)
+        self.collision.apply(
+            self.lattice, st.f, st.owned_ids, workspace=st.workspace
+        )
 
     def _phase_exchange_post(self, rank: int) -> None:
         # the MPI_Isend/Irecv pattern production codes use to overlap;
@@ -263,13 +299,33 @@ class DistributedSolver:
         # posting per rank in lockstep preserves exact message matching
         st = self.ranks[rank]
         recvs = {
-            src: irecv(self.comm, st.rank, src, tag=1)
+            src: irecv(
+                self.comm, st.rank, src, tag=1, buf=st.recv_bufs.get(src)
+            )
             for src in st.recv_slots
         }
-        sends = [
-            isend(self.comm, st.rank, dst, st.f[:, ids], tag=1)
-            for dst, ids in st.send_ids.items()
-        ]
+        if self._fused:
+            # allocation-free pack: gather boundary columns into the
+            # preallocated per-neighbour send buffers
+            sends = []
+            for dst in st.send_ids:
+                buf = st.send_bufs[dst]
+                np.take(
+                    st.f.reshape(-1),
+                    st.send_flat[dst],
+                    out=buf,
+                    mode="clip",
+                )
+                sends.append(isend(self.comm, st.rank, dst, buf, tag=1))
+                self._halo_packed.inc(buf.nbytes)
+        else:
+            sends = []
+            for dst, ids in st.send_ids.items():
+                payload = st.f[:, ids]
+                sends.append(
+                    isend(self.comm, st.rank, dst, payload, tag=1)
+                )
+                self._halo_packed.inc(payload.nbytes)
         self._pending[rank] = (sends, recvs)
 
     def _phase_exchange_complete(self, rank: int) -> None:
@@ -277,14 +333,19 @@ class DistributedSolver:
         sends, recvs = self._pending.pop(rank)
         waitall(sends)
         for src, req in recvs.items():
-            st.f[:, st.recv_slots[src]] = req.wait()
+            payload = req.wait()
+            st.f[:, st.recv_slots[src]] = payload
+            self._halo_unpacked.inc(payload.nbytes)
 
     def _phase_stream(self, rank: int) -> None:
         st = self.ranks[rank]
-        for qi, qi_opp, dst, src, bounce in st.plans:
-            st.f_tmp[qi, dst] = st.f[qi, src]
-            if bounce.size:
-                st.f_tmp[qi, bounce] = st.f[qi_opp, bounce]
+        if st.step_plan is not None:
+            st.step_plan.apply(st.f, st.f_tmp)
+        else:
+            for qi, qi_opp, dst, src, bounce in st.plans:
+                st.f_tmp[qi, dst] = st.f[qi, src]
+                if bounce.size:
+                    st.f_tmp[qi, bounce] = st.f[qi_opp, bounce]
         st.f, st.f_tmp = st.f_tmp, st.f
 
     def _phase_boundary(self, rank: int) -> None:

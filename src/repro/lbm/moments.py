@@ -33,7 +33,7 @@ def velocity(
 ) -> np.ndarray:
     """Per-node velocity ``(n, 3)``; force-shifted under Guo forcing."""
     rho = f.sum(axis=0)
-    mom = np.tensordot(lattice.c.astype(np.float64), f, axes=(0, 0)).T
+    mom = np.tensordot(lattice.cf, f, axes=(0, 0)).T
     if force is not None:
         mom = mom + 0.5 * np.asarray(force, dtype=np.float64)[None, :]
     return mom / rho[:, None]
@@ -46,7 +46,7 @@ def total_mass(f: np.ndarray) -> float:
 
 def total_momentum(lattice: Lattice, f: np.ndarray) -> np.ndarray:
     """Domain momentum 3-vector (bare, without force shift)."""
-    return np.tensordot(lattice.c.astype(np.float64), f, axes=(0, 0)).sum(
+    return np.tensordot(lattice.cf, f, axes=(0, 0)).sum(
         axis=1
     )
 

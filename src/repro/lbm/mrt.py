@@ -20,6 +20,13 @@ from typing import Optional
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..core.kernels import (
+    Workspace,
+    _equilibrium_into,
+    _gather_fi,
+    _guo_source_into,
+    _moments_into,
+)
 from ..core.lattice import D3Q19, Lattice
 
 __all__ = ["MRTCollision", "build_moment_basis", "DEFAULT_GHOST_RATE"]
@@ -38,7 +45,7 @@ def build_moment_basis(lat: Lattice = D3Q19) -> np.ndarray:
     """
     if lat.q != 19:
         raise ConfigError("the MRT basis is defined for D3Q19")
-    c = lat.c.astype(np.float64)
+    c = lat.cf
     cx, cy, cz = c[:, 0], c[:, 1], c[:, 2]
     sq = cx**2 + cy**2 + cz**2
     rows = [
@@ -144,30 +151,39 @@ class MRTCollision:
         return (self.tau - 0.5) / 3.0
 
     def apply(
-        self, lat: Lattice, f: np.ndarray, idx: np.ndarray
+        self,
+        lat: Lattice,
+        f: np.ndarray,
+        idx: np.ndarray,
+        workspace: Optional[Workspace] = None,
     ) -> None:
-        """Collide in place in moment space on nodes ``idx``."""
-        fi = f[:, idx]
-        rho = fi.sum(axis=0)
-        mom = np.tensordot(lat.c.astype(np.float64), fi, axes=(0, 0)).T
+        """Collide in place in moment space on nodes ``idx``.
+
+        With a :class:`~repro.core.kernels.Workspace` both basis
+        projections run as ``matmul(..., out=)`` into reused buffers and
+        the moment relaxation is fully in place; when ``idx`` covers
+        every node the back-projection writes straight into ``f``.
+        """
+        ws = workspace if workspace is not None else Workspace()
+        fi, full = _gather_fi(f, idx, ws, workspace is not None)
+        q, num = fi.shape
+        rho, u = _moments_into(lat, fi, self.force, ws)
+        feq = ws.get("feq", (q, num))
+        cu = _equilibrium_into(lat, rho, u, feq, ws)
+        m = ws.get("m", (q, num))
+        np.matmul(self._M, fi, out=m)
+        meq = ws.get("meq", (q, num))
+        np.matmul(self._M, feq, out=meq)
+        np.subtract(m, meq, out=meq)
+        meq *= self._S[:, None]
+        m -= meq
+        out = f if full else ws.get("out", (q, num))
+        np.matmul(self._Minv, m, out=out)
         if self.force is not None:
-            mom = mom + 0.5 * self.force[None, :]
-        u = mom / rho[:, None]
-        feq = lat.equilibrium(rho, u)
-        m = self._M @ fi
-        meq = self._M @ feq
-        m -= self._S[:, None] * (m - meq)
-        out = self._Minv @ m
-        if self.force is not None:
-            inv_cs2 = 1.0 / lat.cs2
-            cf = lat.c.astype(np.float64) @ self.force
-            cu = lat.c.astype(np.float64) @ u.T
-            uf = u @ self.force
-            src = lat.w[:, None] * (
-                inv_cs2 * cf[:, None]
-                + inv_cs2 * inv_cs2 * cu * cf[:, None]
-                - inv_cs2 * uf[None, :]
-            )
+            src = ws.get("src", (q, num))
+            _guo_source_into(lat, u, cu, self.force, src, ws)
             # the source relaxes with the shear rate, as in Guo's MRT form
-            out = out + (1.0 - 0.5 / self.tau) * src
-        f[:, idx] = out
+            src *= 1.0 - 0.5 / self.tau
+            out += src
+        if not full:
+            f[:, idx] = out

@@ -16,6 +16,7 @@ from typing import Callable, Optional, Tuple, Union
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..core.kernels import Workspace
 from ..core.lattice import Lattice, get_lattice
 from ..geometry.flags import INLET, OUTLET
 from ..geometry.voxel import VoxelGrid
@@ -23,7 +24,7 @@ from .bgk import BGKCollision
 from .boundary import PressureOutlet, VelocityInlet
 from .moments import density as _density
 from .moments import velocity as _velocity
-from .stream import Connectivity
+from .stream import Connectivity, StepPlan
 
 __all__ = ["SolverConfig", "Solver"]
 
@@ -46,6 +47,10 @@ class SolverConfig:
         Per-axis periodicity of the lattice.
     lattice:
         Velocity-set name (default D3Q19, as in HARVEY).
+    fused:
+        Use the fused step-plan engine (single-gather streaming +
+        allocation-free collide).  Bit-identical to the legacy per-q
+        path; ``False`` is a one-release escape hatch.
     """
 
     tau: float = 0.8
@@ -58,6 +63,7 @@ class SolverConfig:
     lattice: str = "D3Q19"
     collision: str = "bgk"
     mrt_ghost_rate: float = 1.2
+    fused: bool = True
 
     def __post_init__(self) -> None:
         if self.collision not in ("bgk", "trt", "mrt"):
@@ -115,6 +121,12 @@ class Solver:
         rho = np.full(n, config.rho0)
         self.f = self.lattice.equilibrium(rho, u0)
         self._f_tmp = np.empty_like(self.f)
+        if config.fused:
+            self.step_plan: Optional[StepPlan] = self.connectivity.step_plan()
+            self._workspace: Optional[Workspace] = Workspace()
+        else:
+            self.step_plan = None
+            self._workspace = None
         self.time = 0
         self.fluid_updates = 0
 
@@ -144,8 +156,13 @@ class Solver:
         if num_steps < 0:
             raise ConfigError("num_steps must be non-negative")
         for _ in range(num_steps):
-            self.collision.apply(self.lattice, self.f, self.all_ids)
-            self.connectivity.stream(self.f, self._f_tmp)
+            self.collision.apply(
+                self.lattice, self.f, self.all_ids, workspace=self._workspace
+            )
+            if self.step_plan is not None:
+                self.step_plan.apply(self.f, self._f_tmp)
+            else:
+                self.connectivity.stream(self.f, self._f_tmp)
             self.f, self._f_tmp = self._f_tmp, self.f
             self.time += 1
             if self.inlet is not None:

@@ -20,11 +20,15 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.errors import GeometryError
-from ..core.kernels import bounce_back_kernel, stream_pull_kernel
+from ..core.kernels import (
+    bounce_back_kernel,
+    fused_stream_kernel,
+    stream_pull_kernel,
+)
 from ..core.lattice import Lattice
 from ..geometry.voxel import VoxelGrid
 
-__all__ = ["QPlan", "Connectivity"]
+__all__ = ["QPlan", "StepPlan", "Connectivity"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +40,111 @@ class QPlan:
     dst: np.ndarray  # interior destinations (compact ids)
     src: np.ndarray  # matching upstream sources (compact ids)
     bounce: np.ndarray  # nodes whose upstream voxel is solid
+
+
+class StepPlan:
+    """Precompiled fused streaming + bounce-back over all populations.
+
+    The per-q gather lists of :class:`QPlan` are folded into one flat
+    index table ``flat_src[qi, k] = src_q * n + src_node`` into the
+    flattened source array ``f_src.reshape(-1)``: interior links point at
+    the upstream neighbour in the same population, wall links point at
+    the *opposite* population of the same node (half-way bounce-back).
+    One ``np.take(..., out=)`` then executes the entire streaming step —
+    the single-pass stream kernel of the paper's perf model instead of a
+    19-iteration Python loop.
+
+    Parameters
+    ----------
+    lattice:
+        Velocity-set descriptor.
+    plans:
+        Per-population gather plans, either :class:`QPlan` objects or raw
+        ``(qi, qi_opp, dst, src, bounce)`` tuples (the distributed
+        solver's rank-local form).
+    num_local:
+        Width of the local distribution array ``f`` (owned + ghost nodes
+        in the distributed case).
+    update_ids:
+        Local node ids written by the step.  Every plan destination must
+        belong to this set; together the plans must cover it for every
+        population.
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        plans: List,
+        num_local: int,
+        update_ids: np.ndarray,
+    ) -> None:
+        self.lattice = lattice
+        self.num_local = int(num_local)
+        update_ids = np.asarray(update_ids, dtype=np.int64)
+        self.update_ids = update_ids
+        n_upd = int(update_ids.size)
+        self.num_update = n_upd
+        q = lattice.q
+        # position of each update node in the packed row
+        pos = np.full(self.num_local, -1, dtype=np.int64)
+        pos[update_ids] = np.arange(n_upd, dtype=np.int64)
+        flat = np.full((q, n_upd), -1, dtype=np.int64)
+        for plan in plans:
+            if isinstance(plan, QPlan):
+                qi, qi_opp = plan.qi, plan.qi_opp
+                dst, src, bounce = plan.dst, plan.src, plan.bounce
+            else:
+                qi, qi_opp, dst, src, bounce = plan
+            flat[qi, pos[dst]] = qi * self.num_local + src
+            if bounce.size:
+                flat[qi, pos[bounce]] = qi_opp * self.num_local + bounce
+        if flat.min() < 0:
+            raise GeometryError(
+                "streaming plans do not cover every (population, node) pair"
+            )
+        self.flat_src = flat
+        # When the update set is the prefix 0..n_upd-1 of the local
+        # numbering (true for both the single-domain solver and the
+        # distributed owned-before-ghost layout), the gather can write
+        # the destination columns directly with no scatter pass.
+        self._prefix = bool(
+            n_upd == 0
+            or (
+                int(update_ids[0]) == 0
+                and int(update_ids[-1]) == n_upd - 1
+                and np.array_equal(
+                    update_ids, np.arange(n_upd, dtype=np.int64)
+                )
+            )
+        )
+        if self._prefix:
+            self._gather_buf = None
+        else:
+            self._gather_buf = np.empty((q, n_upd), dtype=np.float64)
+
+    def flat_dst(self) -> np.ndarray:
+        """Flat destination indices matching ``flat_src`` row for row.
+
+        Used by programming-model backends that execute the fused gather
+        as chunked flat-to-flat launches.
+        """
+        q = self.lattice.q
+        off = np.arange(q, dtype=np.int64)[:, None] * self.num_local
+        return off + self.update_ids[None, :]
+
+    def apply(self, f_src: np.ndarray, f_dst: np.ndarray) -> None:
+        """Stream + bounce all populations from ``f_src`` into ``f_dst``.
+
+        Only update nodes are written; in the distributed case ghost
+        columns of ``f_dst`` are left untouched (refilled by exchange).
+        """
+        if self._prefix:
+            fused_stream_kernel(
+                f_src, f_dst[:, : self.num_update], self.flat_src
+            )
+        else:
+            fused_stream_kernel(f_src, self._gather_buf, self.flat_src)
+            f_dst[:, self.update_ids] = self._gather_buf
 
 
 class Connectivity:
@@ -121,6 +230,12 @@ class Connectivity:
                 )
             )
         return plans
+
+    def step_plan(self) -> StepPlan:
+        """Compile the per-q plans into a fused :class:`StepPlan`."""
+        return StepPlan(
+            self.lattice, self.plans, self.num_nodes, self.update_ids
+        )
 
     # -- execution -----------------------------------------------------------
     def stream(self, f_src: np.ndarray, f_dst: np.ndarray) -> None:

@@ -21,6 +21,13 @@ from typing import Optional
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..core.kernels import (
+    Workspace,
+    _equilibrium_into,
+    _gather_fi,
+    _guo_source_into,
+    _moments_into,
+)
 from ..core.lattice import Lattice
 
 __all__ = ["TRTCollision", "MAGIC_LAMBDA"]
@@ -86,42 +93,64 @@ class TRTCollision:
         return (self.tau - 0.5) / 3.0
 
     def apply(
-        self, lat: Lattice, f: np.ndarray, idx: np.ndarray
+        self,
+        lat: Lattice,
+        f: np.ndarray,
+        idx: np.ndarray,
+        workspace: Optional[Workspace] = None,
     ) -> None:
-        """Collide in place on nodes ``idx``."""
+        """Collide in place on nodes ``idx``.
+
+        With a :class:`~repro.core.kernels.Workspace` the even/odd
+        split, equilibrium, and Guo source are computed allocation-free
+        into reused buffers; when ``idx`` covers every node the result
+        is written straight into ``f``.
+        """
+        ws = workspace if workspace is not None else Workspace()
         opp = lat.opposite
-        fi = f[:, idx]
-        rho = fi.sum(axis=0)
-        mom = np.tensordot(lat.c.astype(np.float64), fi, axes=(0, 0)).T
-        if self.force is not None:
-            mom = mom + 0.5 * self.force[None, :]
-        u = mom / rho[:, None]
-        feq = lat.equilibrium(rho, u)
-        f_opp = fi[opp]
-        feq_opp = feq[opp]
-        even = 0.5 * (fi + f_opp)
-        odd = 0.5 * (fi - f_opp)
-        even_eq = 0.5 * (feq + feq_opp)
-        odd_eq = 0.5 * (feq - feq_opp)
+        fi, full = _gather_fi(f, idx, ws, workspace is not None)
+        q, m = fi.shape
+        rho, u = _moments_into(lat, fi, self.force, ws)
+        feq = ws.get("feq", (q, m))
+        cu = _equilibrium_into(lat, rho, u, feq, ws)
+        f_opp = ws.get("f_opp", (q, m))
+        np.take(fi, opp, axis=0, out=f_opp)
+        feq_opp = ws.get("feq_opp", (q, m))
+        np.take(feq, opp, axis=0, out=feq_opp)
+        even = ws.get("even", (q, m))
+        np.add(fi, f_opp, out=even)
+        even *= 0.5
+        odd = ws.get("odd", (q, m))
+        np.subtract(fi, f_opp, out=odd)
+        odd *= 0.5
+        even_eq = ws.get("even_eq", (q, m))
+        np.add(feq, feq_opp, out=even_eq)
+        even_eq *= 0.5
+        odd_eq = ws.get("odd_eq", (q, m))
+        np.subtract(feq, feq_opp, out=odd_eq)
+        odd_eq *= 0.5
         omega_p = 1.0 / self.tau
-        out = (
-            fi
-            - omega_p * (even - even_eq)
-            - self._omega_minus * (odd - odd_eq)
-        )
+        np.subtract(even, even_eq, out=even)
+        even *= omega_p
+        np.subtract(odd, odd_eq, out=odd)
+        odd *= self._omega_minus
+        out = f if full else ws.get("out", (q, m))
+        np.subtract(fi, even, out=out)
+        out -= odd
         if self.force is not None:
-            inv_cs2 = 1.0 / lat.cs2
-            cf = lat.c.astype(np.float64) @ self.force
-            cu = lat.c.astype(np.float64) @ u.T
-            uf = u @ self.force
-            src = lat.w[:, None] * (
-                inv_cs2 * cf[:, None]
-                + inv_cs2 * inv_cs2 * cu * cf[:, None]
-                - inv_cs2 * uf[None, :]
-            )
-            src_opp = src[opp]
-            src_even = 0.5 * (src + src_opp)
-            src_odd = 0.5 * (src - src_opp)
-            out = out + (1.0 - 0.5 * omega_p) * src_even
-            out = out + (1.0 - 0.5 * self._omega_minus) * src_odd
-        f[:, idx] = out
+            src = ws.get("src", (q, m))
+            _guo_source_into(lat, u, cu, self.force, src, ws)
+            src_opp = ws.get("src_opp", (q, m))
+            np.take(src, opp, axis=0, out=src_opp)
+            src_even = ws.get("src_even", (q, m))
+            np.add(src, src_opp, out=src_even)
+            src_even *= 0.5
+            src_odd = ws.get("src_odd", (q, m))
+            np.subtract(src, src_opp, out=src_odd)
+            src_odd *= 0.5
+            src_even *= 1.0 - 0.5 * omega_p
+            out += src_even
+            src_odd *= 1.0 - 0.5 * self._omega_minus
+            out += src_odd
+        if not full:
+            f[:, idx] = out

@@ -10,6 +10,7 @@ from .babelstream import (
 )
 from .collectives import AllreduceEstimate, allreduce_time
 from .hoststream import HostStreamResult, run_host_stream
+from .kernels import KernelBenchResult, KernelTiming, run_kernel_bench
 from .pingpong import (
     PingPongResult,
     PingPongSample,
@@ -33,4 +34,7 @@ __all__ = [
     "allreduce_time",
     "HostStreamResult",
     "run_host_stream",
+    "KernelBenchResult",
+    "KernelTiming",
+    "run_kernel_bench",
 ]

@@ -1,0 +1,208 @@
+"""Wall-clock kernel throughput benchmark: legacy vs fused step engine.
+
+Backs the ``repro bench kernels`` CLI subcommand.  Unlike the simulated
+BabelStream/PingPong microbenchmarks (which feed the *performance model*),
+this one times the *functional* kernels for real on the cylinder workload
+and reports MFLUPS — million fluid-lattice updates per second, the paper's
+headline metric — for three code paths:
+
+* ``collide`` — the collision operator alone (legacy allocate-per-call
+  vs workspace-backed allocation-free);
+* ``stream`` — the streaming pass alone (19-iteration per-q loop vs the
+  fused single-gather :class:`~repro.lbm.stream.StepPlan`);
+* ``step`` — the full solver iteration through ``Solver.step`` with
+  ``fused=False`` vs ``fused=True``.
+
+Alongside MFLUPS it records the perf model's one-pass byte accounting
+(``Lattice.bytes_per_update``) so throughput converts directly to the
+effective bandwidth the paper's Eq. 1 prices.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..core.errors import ConfigError
+from ..geometry.cylinder import CylinderSpec, make_cylinder
+from ..lbm.solver import Solver, SolverConfig
+
+__all__ = ["KernelTiming", "KernelBenchResult", "run_kernel_bench"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Throughput of one kernel under the legacy and fused paths."""
+
+    name: str
+    legacy_seconds: float
+    fused_seconds: float
+    legacy_mflups: float
+    fused_mflups: float
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.legacy_seconds / self.fused_seconds
+            if self.fused_seconds > 0
+            else float("inf")
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "legacy_seconds": self.legacy_seconds,
+            "fused_seconds": self.fused_seconds,
+            "legacy_mflups": self.legacy_mflups,
+            "fused_mflups": self.fused_mflups,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass(frozen=True)
+class KernelBenchResult:
+    """Full result of a ``repro bench kernels`` run."""
+
+    workload: str
+    scale: float
+    fluid_nodes: int
+    steps: int
+    reps: int
+    bytes_per_update: int
+    timings: Dict[str, KernelTiming]
+
+    @property
+    def step_speedup(self) -> float:
+        return self.timings["step"].speedup
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "kernels",
+            "workload": self.workload,
+            "scale": self.scale,
+            "fluid_nodes": self.fluid_nodes,
+            "steps": self.steps,
+            "reps": self.reps,
+            "bytes_per_update": self.bytes_per_update,
+            "kernels": {
+                name: t.to_dict() for name, t in self.timings.items()
+            },
+            "step_speedup": self.step_speedup,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def format_text(self) -> str:
+        lines = [
+            f"kernel throughput on cylinder scale={self.scale:g} "
+            f"({self.fluid_nodes} fluid nodes, {self.steps} steps x "
+            f"{self.reps} reps, best-of)",
+            f"bytes/update (perf-model one-pass accounting): "
+            f"{self.bytes_per_update}",
+            f"{'kernel':<10} {'legacy MFLUPS':>14} {'fused MFLUPS':>14} "
+            f"{'speedup':>8}",
+        ]
+        for name, t in self.timings.items():
+            lines.append(
+                f"{name:<10} {t.legacy_mflups:>14.3f} "
+                f"{t.fused_mflups:>14.3f} {t.speedup:>7.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def _best_seconds(fn: Callable[[], None], reps: int) -> float:
+    """Best-of-``reps`` wall time of ``fn`` (standard min-timing)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kernel_bench(
+    scale: float = 1.0,
+    steps: int = 20,
+    reps: int = 3,
+    tau: float = 0.8,
+    force_x: float = 1e-5,
+) -> KernelBenchResult:
+    """Time collide/stream/step on the periodic force-driven cylinder.
+
+    Both solvers advance ``steps`` warm iterations first so buffers and
+    caches are hot; each timed section then runs ``steps`` iterations,
+    ``reps`` times, keeping the best.
+    """
+    if steps < 1 or reps < 1:
+        raise ConfigError("steps and reps must be positive")
+    grid = make_cylinder(CylinderSpec(scale=scale, periodic=True))
+    common = dict(
+        tau=tau,
+        force=(force_x, 0.0, 0.0),
+        periodic=(True, False, False),
+    )
+    legacy = Solver(grid, SolverConfig(fused=False, **common))
+    fused = Solver(grid, SolverConfig(fused=True, **common))
+    legacy.step(2)
+    fused.step(2)
+    n = legacy.num_nodes
+    lat = legacy.lattice
+
+    def time_pair(
+        name: str,
+        legacy_fn: Callable[[], None],
+        fused_fn: Callable[[], None],
+    ) -> KernelTiming:
+        t_legacy = _best_seconds(legacy_fn, reps)
+        t_fused = _best_seconds(fused_fn, reps)
+        updates = n * steps / 1e6
+        return KernelTiming(
+            name=name,
+            legacy_seconds=t_legacy,
+            fused_seconds=t_fused,
+            legacy_mflups=updates / t_legacy,
+            fused_mflups=updates / t_fused,
+        )
+
+    timings: Dict[str, KernelTiming] = {}
+
+    def collide_legacy() -> None:
+        for _ in range(steps):
+            legacy.collision.apply(lat, legacy.f, legacy.all_ids)
+
+    def collide_fused() -> None:
+        for _ in range(steps):
+            fused.collision.apply(
+                lat, fused.f, fused.all_ids, workspace=fused._workspace
+            )
+
+    timings["collide"] = time_pair("collide", collide_legacy, collide_fused)
+
+    def stream_legacy() -> None:
+        for _ in range(steps):
+            legacy.connectivity.stream(legacy.f, legacy._f_tmp)
+
+    def stream_fused() -> None:
+        for _ in range(steps):
+            fused.step_plan.apply(fused.f, fused._f_tmp)
+
+    timings["stream"] = time_pair("stream", stream_legacy, stream_fused)
+    timings["step"] = time_pair(
+        "step", lambda: legacy.step(steps), lambda: fused.step(steps)
+    )
+
+    return KernelBenchResult(
+        workload="cylinder",
+        scale=float(scale),
+        fluid_nodes=n,
+        steps=int(steps),
+        reps=int(reps),
+        bytes_per_update=lat.bytes_per_update(),
+        timings=timings,
+    )

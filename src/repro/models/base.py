@@ -20,7 +20,11 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..core.errors import ConfigError, ModelError
-from ..core.kernels import bgk_collide_kernel
+from ..core.kernels import (
+    Workspace,
+    bgk_collide_kernel,
+    fused_stream_body_kernel,
+)
 from ..core.lattice import Lattice
 from ..core.views import View
 from ..geometry.voxel import VoxelGrid
@@ -146,17 +150,30 @@ class ModelEngine:
         )
         self.d_f = model.upload("f", host_f)
         self.d_f_tmp = model.alloc("f_tmp", host_f.shape, host_f.dtype)
+        self.fused = bool(config.fused)
         self.d_plans: List[Tuple[int, int, View, View, View]] = []
-        for plan in self.connectivity.plans:
-            self.d_plans.append(
-                (
-                    plan.qi,
-                    plan.qi_opp,
-                    model.upload(f"dst_q{plan.qi}", plan.dst),
-                    model.upload(f"src_q{plan.qi}", plan.src),
-                    model.upload(f"bb_q{plan.qi}", plan.bounce),
-                )
+        self.d_flat_src: Optional[View] = None
+        self._workspace: Optional[Workspace] = None
+        if self.fused:
+            # the fused step plan: every (population, node) link as one
+            # flat gather index — a single stream launch per step, the
+            # same body the reference solver executes
+            plan = self.connectivity.step_plan()
+            self.d_flat_src = model.upload(
+                "stream_flat_src", plan.flat_src.reshape(-1)
             )
+            self._workspace = Workspace()
+        else:
+            for qplan in self.connectivity.plans:
+                self.d_plans.append(
+                    (
+                        qplan.qi,
+                        qplan.qi_opp,
+                        model.upload(f"dst_q{qplan.qi}", qplan.dst),
+                        model.upload(f"src_q{qplan.qi}", qplan.src),
+                        model.upload(f"bb_q{qplan.qi}", qplan.bounce),
+                    )
+                )
         self.time = 0
         self.fluid_updates = 0
 
@@ -166,30 +183,44 @@ class ModelEngine:
         omega = self.collision.omega
         force = self.collision.force
         f = self.d_f.data()
+        ws = self._workspace
 
         def body(idx: np.ndarray) -> None:
-            bgk_collide_kernel(lat, f, idx, omega, force)
+            bgk_collide_kernel(lat, f, idx, omega, force, workspace=ws)
 
         self.model.launch("collide", self.num_nodes, body)
 
     def _stream_phase(self) -> None:
         f_src = self.d_f.data()
         f_dst = self.d_f_tmp.data()
-        for qi, qi_opp, d_dst, d_src, d_bb in self.d_plans:
-            dst = d_dst.data()
-            src = d_src.data()
+        if self.d_flat_src is not None:
+            # fused streaming + bounce-back: one launch over all links
+            src_flat = self.d_flat_src.data()
+            fsrc = f_src.reshape(-1)
+            fdst = f_dst.reshape(-1)
 
-            def gather(idx: np.ndarray, qi=qi, dst=dst, src=src) -> None:
-                f_dst[qi, dst[idx]] = f_src[qi, src[idx]]
+            def fused(idx: np.ndarray) -> None:
+                fused_stream_body_kernel(fsrc, fdst, src_flat, idx)
 
-            self.model.launch(f"stream_q{qi}", dst.size, gather)
-            bb = d_bb.data()
-            if bb.size:
+            self.model.launch("stream_fused", src_flat.size, fused)
+        else:
+            for qi, qi_opp, d_dst, d_src, d_bb in self.d_plans:
+                dst = d_dst.data()
+                src = d_src.data()
 
-                def bounce(idx: np.ndarray, qi=qi, qi_opp=qi_opp, bb=bb) -> None:
-                    f_dst[qi, bb[idx]] = f_src[qi_opp, bb[idx]]
+                def gather(idx: np.ndarray, qi=qi, dst=dst, src=src) -> None:
+                    f_dst[qi, dst[idx]] = f_src[qi, src[idx]]
 
-                self.model.launch(f"bounce_q{qi}", bb.size, bounce)
+                self.model.launch(f"stream_q{qi}", dst.size, gather)
+                bb = d_bb.data()
+                if bb.size:
+
+                    def bounce(
+                        idx: np.ndarray, qi=qi, qi_opp=qi_opp, bb=bb
+                    ) -> None:
+                        f_dst[qi, bb[idx]] = f_src[qi_opp, bb[idx]]
+
+                    self.model.launch(f"bounce_q{qi}", bb.size, bounce)
         self.d_f, self.d_f_tmp = self.d_f_tmp, self.d_f
 
     def _boundary_phase(self) -> None:
@@ -216,7 +247,7 @@ class ModelEngine:
                 fi = f[:, sel]
                 rho = fi.sum(axis=0)
                 u_loc = np.tensordot(
-                    lat.c.astype(np.float64), fi, axes=(0, 0)
+                    lat.cf, fi, axes=(0, 0)
                 ).T / rho[:, None]
                 f[:, sel] = lat.equilibrium(rho_open[: idx.size], u_loc)
 

@@ -24,11 +24,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.errors import ModelError
-from ..core.kernels import bgk_collide_kernel
+from ..core.kernels import Workspace, fused_stream_body_kernel
 from ..decomp.partition import Partition
 from ..geometry.flags import INLET, OUTLET
 from ..lbm.boundary import PressureOutlet, VelocityInlet
 from ..lbm.solver import SolverConfig
+from ..lbm.stream import StepPlan
 from ..runtime.simmpi import SimComm
 from .base import ProgrammingModel
 from .device import SimulatedDevice
@@ -52,6 +53,9 @@ class _EngineRank:
         recv_slots: Dict[int, np.ndarray],
         inlet: Optional[VelocityInlet],
         outlet: Optional[PressureOutlet],
+        lattice=None,
+        owned_ids: Optional[np.ndarray] = None,
+        fused: bool = False,
     ) -> None:
         self.rank = rank
         self.model = model
@@ -67,6 +71,28 @@ class _EngineRank:
         self.recv_slots = recv_slots
         self.inlet = inlet
         self.outlet = outlet
+        self.d_flat_src = None
+        self.d_flat_dst = None
+        self.workspace: Optional[Workspace] = None
+        self.send_flat: Dict[int, np.ndarray] = {}
+        self.send_bufs: Dict[int, np.ndarray] = {}
+        if fused:
+            plan = StepPlan(lattice, plans, f_init.shape[1], owned_ids)
+            self.d_flat_src = model.upload(
+                f"stream_flat_src_rank{rank}", plan.flat_src.reshape(-1)
+            )
+            self.d_flat_dst = model.upload(
+                f"stream_flat_dst_rank{rank}", plan.flat_dst().reshape(-1)
+            )
+            self.workspace = Workspace()
+            q = int(lattice.q)
+            n_local = int(f_init.shape[1])
+            q_off = np.arange(q, dtype=np.int64)[:, None] * n_local
+            for dst, ids in send_ids.items():
+                self.send_flat[dst] = q_off + ids[None, :]
+                self.send_bufs[dst] = np.empty(
+                    (q, ids.size), dtype=np.float64
+                )
 
 
 class DistributedModelEngine:
@@ -125,6 +151,9 @@ class DistributedModelEngine:
                     recv_slots=st.recv_slots,
                     inlet=st.inlet,
                     outlet=st.outlet,
+                    lattice=self.lattice,
+                    owned_ids=st.owned_ids,
+                    fused=bool(config.fused),
                 )
             )
         # setup uploads (initial state, plans) are not exchange traffic:
@@ -137,15 +166,27 @@ class DistributedModelEngine:
         lat = self.lattice
         collision = self.collision
         f = er.d_f.data()
+        ws = er.workspace
 
         def body(idx: np.ndarray) -> None:
-            collision.apply(lat, f, idx)
+            collision.apply(lat, f, idx, workspace=ws)
 
         er.model.launch("collide", er.num_owned, body)
 
     def _pack_and_send(self, er: _EngineRank) -> None:
         for dst, ids in er.send_ids.items():
-            payload = er.d_f.data()[:, ids]
+            if dst in er.send_bufs:
+                # allocation-free pack into the preallocated buffer (the
+                # simulated transport copies payloads eagerly on send)
+                payload = er.send_bufs[dst]
+                np.take(
+                    er.d_f.data().reshape(-1),
+                    er.send_flat[dst],
+                    out=payload,
+                    mode="clip",
+                )
+            else:
+                payload = er.d_f.data()[:, ids]
             if not self.gpu_aware:
                 # explicit download before handing the buffer to MPI;
                 # the per-step staging buffer IS the modelled D2H cost
@@ -174,18 +215,32 @@ class DistributedModelEngine:
     def _stream(self, er: _EngineRank) -> None:
         f_src = er.d_f.data()
         f_dst = er.d_f_tmp.data()
-        for qi, qi_opp, dst, src, bounce in er.plans:
+        if er.d_flat_src is not None:
+            # fused streaming + bounce-back: one launch over all links,
+            # with an explicit destination map (owned nodes are a prefix
+            # of the rank-local numbering but ghosts pad each row)
+            src_flat = er.d_flat_src.data()
+            dst_flat = er.d_flat_dst.data()
+            fsrc = f_src.reshape(-1)
+            fdst = f_dst.reshape(-1)
 
-            def gather(idx, qi=qi, dst=dst, src=src):
-                f_dst[qi, dst[idx]] = f_src[qi, src[idx]]
+            def fused(idx: np.ndarray) -> None:
+                fused_stream_body_kernel(fsrc, fdst, src_flat, idx, dst_flat)
 
-            er.model.launch(f"stream_q{qi}", dst.size, gather)
-            if bounce.size:
+            er.model.launch("stream_fused", src_flat.size, fused)
+        else:
+            for qi, qi_opp, dst, src, bounce in er.plans:
 
-                def bb(idx, qi=qi, qi_opp=qi_opp, bounce=bounce):
-                    f_dst[qi, bounce[idx]] = f_src[qi_opp, bounce[idx]]
+                def gather(idx, qi=qi, dst=dst, src=src):
+                    f_dst[qi, dst[idx]] = f_src[qi, src[idx]]
 
-                er.model.launch(f"bounce_q{qi}", bounce.size, bb)
+                er.model.launch(f"stream_q{qi}", dst.size, gather)
+                if bounce.size:
+
+                    def bb(idx, qi=qi, qi_opp=qi_opp, bounce=bounce):
+                        f_dst[qi, bounce[idx]] = f_src[qi_opp, bounce[idx]]
+
+                    er.model.launch(f"bounce_q{qi}", bounce.size, bb)
         er.d_f, er.d_f_tmp = er.d_f_tmp, er.d_f
 
     def _boundaries(self, er: _EngineRank) -> None:
