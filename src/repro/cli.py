@@ -188,6 +188,39 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_overlap(args: argparse.Namespace) -> int:
+    from .microbench import run_overlap_bench
+
+    # best-of-5 with a longer timed section: single-rep 5-step timings
+    # are noisy enough to flip the overlap-vs-lockstep comparison on a
+    # loaded CI host, and the smoke job gates on it.
+    scale = 0.5 if args.quick else args.scale
+    steps = 8 if args.quick else args.steps
+    reps = 5 if args.quick else args.reps
+    result = run_overlap_bench(
+        scale=scale, steps=steps, reps=reps, rank_counts=args.ranks
+    )
+    print(result.format_text())
+    if args.output:
+        result.write(args.output)
+        print(f"written to {args.output}")
+    if args.assert_speedup is not None:
+        worst = result.min_speedup(min_ranks=args.min_ranks)
+        if worst < args.assert_speedup:
+            print(
+                f"error: overlap speedup {worst:.2f}x at >= "
+                f"{args.min_ranks} ranks below required "
+                f"{args.assert_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"overlap speedup {worst:.2f}x >= {args.assert_speedup:.2f}x "
+            f"at >= {args.min_ranks} ranks"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -588,6 +621,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless full-step fused speedup is at least MIN",
     )
     pb.set_defaults(func=_cmd_bench_kernels)
+
+    po = bsub.add_parser(
+        "overlap",
+        help="MFLUPS of the distributed step: barrier vs overlapped "
+        "pipeline, lockstep vs thread-pool executor",
+    )
+    po.add_argument(
+        "--scale", type=float, default=1.0,
+        help="cylinder geometry scale factor (default: 1.0)",
+    )
+    po.add_argument(
+        "--steps", type=int, default=20,
+        help="timed iterations per repetition (default: 20)",
+    )
+    po.add_argument(
+        "--reps", type=int, default=3,
+        help="repetitions per schedule, best-of (default: 3)",
+    )
+    po.add_argument(
+        "--ranks", type=int, nargs="+", default=[2, 4, 8],
+        help="rank counts to decompose over (default: 2 4 8)",
+    )
+    po.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: scale 0.5, 8 steps, 5 reps",
+    )
+    po.add_argument(
+        "--output", default="BENCH_overlap.json",
+        help="JSON result path (default: BENCH_overlap.json)",
+    )
+    po.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="MIN",
+        help="exit 1 unless the worst overlap-vs-lockstep speedup at "
+        ">= --min-ranks ranks is at least MIN",
+    )
+    po.add_argument(
+        "--min-ranks", type=int, default=4,
+        help="rank-count floor for --assert-speedup (default: 4)",
+    )
+    po.set_defaults(func=_cmd_bench_overlap)
 
     p = sub.add_parser(
         "lint", help="run the static-analysis rules over the source tree"

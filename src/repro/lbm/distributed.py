@@ -14,10 +14,41 @@ sequence:
 The result is *identical* to the single-domain solver — the distributed
 equivalence test asserts exact agreement — while the communicator's event
 log captures the halo-exchange traffic the performance layer prices.
+
+Overlapped pipeline
+-------------------
+With ``SolverConfig(overlap=True)`` the step is restructured into the
+interior/frontier pipeline production LBM codes (HARVEY included) use to
+hide halo exchange behind interior compute:
+
+1. collide on owned nodes;
+2. **post** the exchange — only the populations some neighbour's frontier
+   link actually reads are packed (the "5 of 19 directions" exchange the
+   paper's performance model prices), and receives are posted
+   non-blocking;
+3. **stream the interior while the exchange is in flight** — one fused
+   gather over all owned nodes; interior columns are final, frontier
+   columns are provisional where their halo-sourced links read stale
+   ghosts;
+4. **complete** the exchange;
+5. **stream the frontier** — the packed payloads are scattered directly
+   onto the halo-sourced link destinations in the double buffer,
+   finalising exactly the provisional values (ghost columns are never
+   staged at all on this path);
+6. inlet/outlet boundary conditions.
+
+Because pull-streaming writes the double buffer and never reads what
+frontier streaming writes, the pipeline is bit-for-bit identical to the
+barrier schedule — pinned by ``tests/lbm/test_overlap_equivalence.py``.
+Ranks execute each phase through the configured executor
+(``SolverConfig.executor``): ``"lockstep"`` runs them serially,
+``"parallel"`` dispatches them onto a thread pool with a per-phase
+barrier (the fused NumPy kernels release the GIL).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -30,7 +61,7 @@ from ..geometry.flags import INLET, OUTLET
 from .boundary import PressureOutlet, VelocityInlet
 from .solver import SolverConfig
 from .stream import StepPlan
-from ..runtime.executor import LockstepExecutor
+from ..runtime.executor import make_executor
 from ..runtime.requests import Request, irecv, isend, waitall
 from ..runtime.simmpi import SimComm
 from ..telemetry.metrics import get_registry
@@ -62,10 +93,33 @@ class RankState:
     send_flat: Dict[int, np.ndarray] = field(default_factory=dict)
     send_bufs: Dict[int, np.ndarray] = field(default_factory=dict)
     recv_bufs: Dict[int, np.ndarray] = field(default_factory=dict)
+    # overlap-path state: the interior/frontier split of the step plan
+    # plus the packed cross-link exchange wiring (empty when overlap off)
+    interior_plan: Optional[StepPlan] = None
+    frontier_plan: Optional[StepPlan] = None
+    pack_flat: Dict[int, np.ndarray] = field(default_factory=dict)
+    pack_bufs: Dict[int, np.ndarray] = field(default_factory=dict)
+    inj_flat: Dict[int, np.ndarray] = field(default_factory=dict)
 
     @property
     def num_owned(self) -> int:
         return int(self.owned_global.size)
+
+    @property
+    def num_interior(self) -> int:
+        return (
+            self.interior_plan.num_update
+            if self.interior_plan is not None
+            else self.num_owned
+        )
+
+    @property
+    def num_frontier(self) -> int:
+        return (
+            self.frontier_plan.num_update
+            if self.frontier_plan is not None
+            else 0
+        )
 
 
 class DistributedSolver:
@@ -90,18 +144,25 @@ class DistributedSolver:
                 "communicator size does not match partition rank count"
             )
         self.tracer = get_tracer() if tracer is None else tracer
-        self.executor = LockstepExecutor(
-            partition.num_ranks, tracer=self.tracer
+        self.executor = make_executor(
+            config.executor, partition.num_ranks, tracer=self.tracer
         )
-        self._pending: Dict[
-            int, Tuple[List[Request], Dict[int, Request]]
-        ] = {}
+        self._pending: List[
+            Optional[Tuple[List[Request], Dict[int, Request]]]
+        ] = [None] * partition.num_ranks
+        self._payloads: List[Optional[Dict[int, np.ndarray]]] = [
+            None
+        ] * partition.num_ranks
         self.time = 0
         self.fluid_updates = 0
         self._fused = bool(config.fused)
+        self._overlap = bool(config.overlap)
         registry = get_registry()
         self._halo_packed = registry.counter("lbm.halo.bytes_packed")
         self._halo_unpacked = registry.counter("lbm.halo.bytes_unpacked")
+        # counters are process-shared; rank phases may run on worker
+        # threads, so increments are serialized
+        self._counter_lock = threading.Lock()
         self._build()
         if validate_schedule:
             # pre-flight: statically verify the halo-exchange plan the
@@ -114,7 +175,10 @@ class DistributedSolver:
 
             verify_schedule(
                 schedule_from_rank_states(
-                    self.ranks, partition.num_ranks, tag=1
+                    self.ranks,
+                    partition.num_ranks,
+                    tag=1,
+                    overlap=self._overlap,
                 ),
                 context=f"partition over {partition.num_ranks} rank(s)",
             )
@@ -282,6 +346,57 @@ class DistributedSolver:
                         (q, slots.size), dtype=np.float64
                     )
 
+        if self._overlap:
+            # interior/frontier split plus the packed cross-link
+            # exchange: the receiver enumerates its halo-sourced links
+            # (population-major via cross_links), groups them by owning
+            # neighbour, and the owner packs exactly those post-collision
+            # values in the same order — so a received payload scatters
+            # straight onto the link destinations with no ghost staging
+            for st in self.ranks:
+                assert st.step_plan is not None
+                st.interior_plan, st.frontier_plan = (
+                    st.step_plan.partition(st.num_owned)
+                )
+            for st in self.ranks:
+                n_local = st.f.shape[1]
+                assert st.step_plan is not None
+                dst_flat, src_flat = st.step_plan.cross_links(st.num_owned)
+                if dst_flat.size == 0:
+                    continue
+                link_q = src_flat // n_local
+                gids = st.ghost_global[(src_flat % n_local) - st.num_owned]
+                link_owner = owner_of[gids]
+                for j in np.unique(link_owner):
+                    peer = self.ranks[int(j)]
+                    mask = link_owner == j
+                    st.inj_flat[peer.rank] = dst_flat[mask]
+                    src_local = np.searchsorted(
+                        peer.owned_global, gids[mask]
+                    )
+                    if not np.array_equal(
+                        peer.owned_global[src_local], gids[mask]
+                    ):
+                        raise DecompositionError(
+                            f"rank {peer.rank} does not own nodes rank "
+                            f"{st.rank}'s frontier links read"
+                        )
+                    peer.pack_flat[st.rank] = (
+                        link_q[mask] * peer.f.shape[1] + src_local
+                    ).astype(np.int64)
+                    peer.pack_bufs[st.rank] = np.empty(
+                        int(src_local.size), dtype=np.float64
+                    )
+
+        # preallocated observables (gather_f / mass are allocation-free)
+        self._owned_total = int(
+            sum(st.num_owned for st in self.ranks)
+        )
+        self._gather_out = np.empty(
+            (q, n_global), dtype=np.float64
+        )
+        self._mass_contribs = np.empty(num_ranks, dtype=np.float64)
+
     # -- stepping ----------------------------------------------------------
     # Each phase body is a per-rank function dispatched through the
     # lockstep executor, which emits one span per rank per phase when a
@@ -317,7 +432,8 @@ class DistributedSolver:
                     mode="clip",
                 )
                 sends.append(isend(self.comm, st.rank, dst, buf, tag=1))
-                self._halo_packed.inc(buf.nbytes)
+                with self._counter_lock:
+                    self._halo_packed.inc(buf.nbytes)
         else:
             sends = []
             for dst, ids in st.send_ids.items():
@@ -325,17 +441,31 @@ class DistributedSolver:
                 sends.append(
                     isend(self.comm, st.rank, dst, payload, tag=1)
                 )
-                self._halo_packed.inc(payload.nbytes)
+                with self._counter_lock:
+                    self._halo_packed.inc(payload.nbytes)
         self._pending[rank] = (sends, recvs)
+
+    def _take_pending(
+        self, rank: int
+    ) -> Tuple[List[Request], Dict[int, Request]]:
+        pending = self._pending[rank]
+        if pending is None:
+            raise RuntimeSimError(
+                f"rank {rank}: exchange completion without a posted "
+                "exchange"
+            )
+        self._pending[rank] = None
+        return pending
 
     def _phase_exchange_complete(self, rank: int) -> None:
         st = self.ranks[rank]
-        sends, recvs = self._pending.pop(rank)
+        sends, recvs = self._take_pending(rank)
         waitall(sends)
         for src, req in recvs.items():
             payload = req.wait()
             st.f[:, st.recv_slots[src]] = payload
-            self._halo_unpacked.inc(payload.nbytes)
+            with self._counter_lock:
+                self._halo_unpacked.inc(payload.nbytes)
 
     def _phase_stream(self, rank: int) -> None:
         st = self.ranks[rank]
@@ -349,14 +479,82 @@ class DistributedSolver:
         st.f, st.f_tmp = st.f_tmp, st.f
 
     def _phase_boundary(self, rank: int) -> None:
+        # fluid_updates is accumulated once per step in the driver, not
+        # here: rank phases may run on worker threads and `+=` on shared
+        # solver state is not atomic
         st = self.ranks[rank]
         if st.inlet is not None:
             st.inlet.apply(self.lattice, st.f, self.time)
         if st.outlet is not None:
             st.outlet.apply(self.lattice, st.f, self.time)
-        self.fluid_updates += st.num_owned
 
+    # -- overlapped phases -------------------------------------------------
+    def _phase_exchange_post_overlap(self, rank: int) -> None:
+        # packed exchange: only the population values some neighbour's
+        # frontier link reads (the ~5-of-19 directions the paper's halo
+        # model prices), gathered into preallocated 1-D buffers
+        st = self.ranks[rank]
+        recvs = {
+            src: irecv(self.comm, st.rank, src, tag=1)
+            for src in st.inj_flat
+        }
+        sends = []
+        f_flat = st.f.reshape(-1)
+        for dst, pack in st.pack_flat.items():
+            buf = st.pack_bufs[dst]
+            np.take(f_flat, pack, out=buf, mode="clip")
+            sends.append(isend(self.comm, st.rank, dst, buf, tag=1))
+            with self._counter_lock:
+                self._halo_packed.inc(buf.nbytes)
+        self._pending[rank] = (sends, recvs)
+
+    def _phase_stream_interior(self, rank: int) -> None:
+        # one fused gather over all owned nodes while the exchange is in
+        # flight: interior columns are final; frontier columns are
+        # provisional exactly on their halo-sourced links (which read
+        # stale ghosts here and are overwritten by the injection below)
+        st = self.ranks[rank]
+        assert st.step_plan is not None
+        st.step_plan.apply(st.f, st.f_tmp)
+
+    def _phase_exchange_complete_overlap(self, rank: int) -> None:
+        st = self.ranks[rank]
+        sends, recvs = self._take_pending(rank)
+        waitall(sends)
+        payloads: Dict[int, np.ndarray] = {}
+        for src, req in recvs.items():
+            payload = req.wait()
+            assert payload is not None
+            payloads[src] = payload
+            with self._counter_lock:
+                self._halo_unpacked.inc(payload.nbytes)
+        self._payloads[rank] = payloads
+
+    def _phase_stream_frontier(self, rank: int) -> None:
+        # finalize the frontier: scatter each packed payload straight
+        # onto the halo-sourced link destinations in the double buffer
+        # (ghost columns are never staged on this path), then swap
+        st = self.ranks[rank]
+        payloads = self._payloads[rank]
+        if payloads is None:
+            raise RuntimeSimError(
+                f"rank {rank}: frontier streaming without completed "
+                "exchange payloads"
+            )
+        self._payloads[rank] = None
+        tmp_flat = st.f_tmp.reshape(-1)
+        for src, inj in st.inj_flat.items():
+            tmp_flat[inj] = payloads[src]
+        st.f, st.f_tmp = st.f_tmp, st.f
+
+    # -- stepping drivers --------------------------------------------------
     def step(self, num_steps: int = 1) -> None:
+        if self._overlap:
+            self._step_overlapped(num_steps)
+        else:
+            self._step_barrier(num_steps)
+
+    def _step_barrier(self, num_steps: int) -> None:
         ex = self.executor
         for _ in range(num_steps):
             self.comm.set_step(self.time)
@@ -374,6 +572,35 @@ class DistributedSolver:
                 self.time += 1
                 # phase 4: boundary conditions
                 ex.run_phase(self._phase_boundary, name="boundary")
+                self.fluid_updates += self._owned_total
+
+    def _step_overlapped(self, num_steps: int) -> None:
+        ex = self.executor
+        for _ in range(num_steps):
+            self.comm.set_step(self.time)
+            with self.tracer.span("step", step=self.time):
+                ex.run_phase(self._phase_collide, name="collide")
+                # the overlap window: interior streaming runs between
+                # exchange post and completion, hiding communication
+                # behind ~num_interior/num_owned of the stream work
+                with self.tracer.span("overlap_window"):
+                    ex.run_phase(
+                        self._phase_exchange_post_overlap,
+                        name="exchange",
+                    )
+                    ex.run_phase(
+                        self._phase_stream_interior, name="interior"
+                    )
+                    ex.run_phase(
+                        self._phase_exchange_complete_overlap,
+                        name="exchange",
+                    )
+                ex.run_phase(
+                    self._phase_stream_frontier, name="frontier"
+                )
+                self.time += 1
+                ex.run_phase(self._phase_boundary, name="boundary")
+                self.fluid_updates += self._owned_total
 
     # -- observables -----------------------------------------------------------
     @property
@@ -386,17 +613,21 @@ class DistributedSolver:
         return self._coords
 
     def gather_f(self) -> np.ndarray:
-        """Assemble the global (q, n) distribution array from all ranks."""
-        q = self.lattice.q
-        out = np.empty((q, self.num_nodes), dtype=np.float64)
+        """Assemble the global (q, n) distribution array from all ranks.
+
+        Returns a preallocated internal buffer (no per-call allocation);
+        it is valid until the next ``gather_f`` call on this solver —
+        copy it if a snapshot must outlive the next call.
+        """
+        out = self._gather_out
         for st in self.ranks:
             out[:, st.owned_global] = st.f[:, : st.num_owned]
         return out
 
     def mass(self) -> float:
-        contribs = [
-            float(st.f[:, : st.num_owned].sum()) for st in self.ranks
-        ]
+        contribs = self._mass_contribs
+        for i, st in enumerate(self.ranks):
+            contribs[i] = st.f[:, : st.num_owned].sum()
         return self.comm.allreduce(contribs)
 
     def velocity(self) -> np.ndarray:
@@ -405,9 +636,21 @@ class DistributedSolver:
         return _velocity(self.lattice, self.gather_f(), self.collision.force)
 
     def halo_bytes_per_step(self) -> int:
-        """Bytes exchanged in one iteration (from the wired send lists)."""
-        q = self.lattice.q
+        """Bytes exchanged in one iteration (from the wired send lists).
+
+        Under the overlapped pipeline the packed cross-link exchange
+        ships only the population values the receiver's frontier links
+        read, so the figure is the packed size (the accounting the
+        paper's ``HALO_BYTES_PER_SITE_D3Q19`` model prices) rather than
+        all ``q`` populations per boundary node.
+        """
         total = 0
+        if self._overlap:
+            for st in self.ranks:
+                for buf in st.pack_bufs.values():
+                    total += int(buf.nbytes)
+            return total
+        q = self.lattice.q
         for st in self.ranks:
             for ids in st.send_ids.values():
                 total += ids.size * q * 8

@@ -51,6 +51,15 @@ class SolverConfig:
         Use the fused step-plan engine (single-gather streaming +
         allocation-free collide).  Bit-identical to the legacy per-q
         path; ``False`` is a one-release escape hatch.
+    executor:
+        How the distributed solver runs rank phases: ``"lockstep"``
+        (serial, the default) or ``"parallel"`` (thread pool with a
+        per-phase barrier).  Ignored by the single-domain solver.
+    overlap:
+        Run the distributed step as the interior/frontier pipeline with
+        a packed cross-link halo exchange posted before interior
+        streaming (bit-identical to the barrier schedule).  Requires
+        ``fused``.  Ignored by the single-domain solver.
     """
 
     tau: float = 0.8
@@ -64,12 +73,25 @@ class SolverConfig:
     collision: str = "bgk"
     mrt_ghost_rate: float = 1.2
     fused: bool = True
+    executor: str = "lockstep"
+    overlap: bool = False
 
     def __post_init__(self) -> None:
         if self.collision not in ("bgk", "trt", "mrt"):
             raise ConfigError(
                 f"unknown collision {self.collision!r}; "
                 "expected 'bgk', 'trt' or 'mrt'"
+            )
+        if self.executor not in ("lockstep", "parallel"):
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; "
+                "expected 'lockstep' or 'parallel'"
+            )
+        if self.overlap and not self.fused:
+            raise ConfigError(
+                "overlap=True requires the fused step-plan engine "
+                "(fused=True): the interior/frontier pipeline is built "
+                "from the fused StepPlan"
             )
         if self.collision == "mrt" and self.lattice != "D3Q19":
             raise ConfigError("MRT collision is implemented for D3Q19")

@@ -122,6 +122,83 @@ class StepPlan:
         else:
             self._gather_buf = np.empty((q, n_upd), dtype=np.float64)
 
+    @classmethod
+    def _from_columns(
+        cls, parent: "StepPlan", cols: np.ndarray
+    ) -> "StepPlan":
+        """A sub-plan over a column subset of ``parent`` (same coverage
+        semantics per node, so the coverage check is already satisfied)."""
+        plan = cls.__new__(cls)
+        plan.lattice = parent.lattice
+        plan.num_local = parent.num_local
+        plan.update_ids = parent.update_ids[cols]
+        n_upd = int(plan.update_ids.size)
+        plan.num_update = n_upd
+        plan.flat_src = parent.flat_src[:, cols]
+        plan._prefix = bool(
+            n_upd == 0
+            or (
+                int(plan.update_ids[0]) == 0
+                and int(plan.update_ids[-1]) == n_upd - 1
+                and np.array_equal(
+                    plan.update_ids, np.arange(n_upd, dtype=np.int64)
+                )
+            )
+        )
+        plan._gather_buf = (
+            None
+            if plan._prefix
+            else np.empty((parent.lattice.q, n_upd), dtype=np.float64)
+        )
+        return plan
+
+    def partition(
+        self, num_owned: Optional[int] = None
+    ) -> Tuple["StepPlan", "StepPlan"]:
+        """Split into ``(interior, frontier)`` sub-plans.
+
+        *Interior* nodes gather every population from locally owned
+        sources (local node id below ``num_owned``); *frontier* nodes
+        read at least one halo (ghost) population, so their streaming
+        must wait for the exchange to complete.  Together the two plans
+        cover :attr:`update_ids` exactly; for a single-domain plan (no
+        ghosts) the frontier is empty.
+
+        ``num_owned`` defaults to the full local width, i.e. every
+        source is owned and everything is interior.
+        """
+        owned = self.num_local if num_owned is None else int(num_owned)
+        if not 0 <= owned <= self.num_local:
+            raise GeometryError(
+                f"num_owned {owned} outside [0, {self.num_local}]"
+            )
+        src_node = self.flat_src % self.num_local
+        frontier_cols = (src_node >= owned).any(axis=0)
+        interior = self._from_columns(self, np.flatnonzero(~frontier_cols))
+        frontier = self._from_columns(self, np.flatnonzero(frontier_cols))
+        return interior, frontier
+
+    def cross_links(self, num_owned: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The halo-reading links: ``(dst_flat, src_flat)`` index pairs.
+
+        ``src_flat`` points into the flattened local source array at
+        entries whose source node is a ghost (local id >= ``num_owned``);
+        ``dst_flat`` is the matching flat destination ``qi * num_local +
+        node``.  Enumeration order is deterministic (population-major,
+        then packed-column order) — the distributed solver relies on the
+        sender and receiver agreeing on it to wire the packed exchange.
+        """
+        if not 0 <= num_owned <= self.num_local:
+            raise GeometryError(
+                f"num_owned {num_owned} outside [0, {self.num_local}]"
+            )
+        src_node = self.flat_src % self.num_local
+        mask = src_node >= num_owned
+        qi, col = np.nonzero(mask)
+        dst_flat = qi * self.num_local + self.update_ids[col]
+        src_flat = self.flat_src[qi, col]
+        return dst_flat.astype(np.int64), src_flat.astype(np.int64)
+
     def flat_dst(self) -> np.ndarray:
         """Flat destination indices matching ``flat_src`` row for row.
 

@@ -56,7 +56,7 @@ SCHEDULE_RULES = {
 
 @dataclass(frozen=True)
 class CommOp:
-    """One point-to-point operation in a rank's program order.
+    """One operation in a rank's program order.
 
     ``count`` is the number of payload elements per message (0 when
     unknown — count checks are skipped for that message).  ``blocking``
@@ -65,20 +65,30 @@ class CommOp:
     head; a blocking receive stalls its rank until the message is
     available.  Non-blocking operations (``MPI_Isend``/``MPI_Irecv``
     posts) never stall.
+
+    Two non-message kinds model overlapped pipelines: ``"compute"`` is a
+    local phase that never stalls (interior streaming between exchange
+    post and completion), and ``"wait"`` completes a previously posted
+    non-blocking receive — it stalls until the matching message has been
+    sent, and it is what consumes the message (the post does not).  This
+    lets the checker verify post → compute → wait schedules without
+    reporting the in-flight window as a deadlock.
     """
 
-    kind: str  # "send" | "recv"
+    kind: str  # "send" | "recv" | "wait" | "compute"
     rank: int  # executing rank
-    peer: int  # destination (send) or source (recv)
+    peer: int  # destination (send) or source (recv/wait); rank itself for compute
     tag: int
     count: int = 0
     blocking: bool = False
 
     def __post_init__(self) -> None:
-        if self.kind not in ("send", "recv"):
+        if self.kind not in ("send", "recv", "wait", "compute"):
             raise CommScheduleError(f"unknown op kind {self.kind!r}")
 
     def describe(self) -> str:
+        if self.kind == "compute":
+            return f"compute(rank {self.rank})"
         arrow = "->" if self.kind == "send" else "<-"
         return (
             f"{self.kind}(rank {self.rank} {arrow} rank {self.peer}, "
@@ -116,7 +126,7 @@ class CommSchedule:
     def _add(self, op: CommOp) -> None:
         self._check_rank(op.rank, "executing")
         self._check_rank(op.peer, "peer")
-        if op.rank == op.peer:
+        if op.rank == op.peer and op.kind != "compute":
             raise CommScheduleError(
                 f"rank {op.rank} cannot message itself (tag {op.tag})"
             )
@@ -141,6 +151,16 @@ class CommSchedule:
         blocking: bool = False,
     ) -> None:
         self._add(CommOp("recv", dst, src, tag, count, blocking))
+
+    def add_wait(
+        self, dst: int, src: int, tag: int, count: int = 0
+    ) -> None:
+        """Complete a posted non-blocking receive (always blocking)."""
+        self._add(CommOp("wait", dst, src, tag, count, blocking=True))
+
+    def add_compute(self, rank: int) -> None:
+        """A local compute phase; never stalls the rank."""
+        self._add(CommOp("compute", rank, rank, tag=0))
 
     @property
     def num_ops(self) -> int:
@@ -205,9 +225,12 @@ def _matching_issues(sched: CommSchedule) -> List[ScheduleIssue]:
     recvs: Dict[Tuple[int, int, int], List[CommOp]] = {}
     for rank_ops in sched.ops:
         for op in rank_ops:
+            # match kinds explicitly: "wait" completes an already-counted
+            # recv post and "compute" is local, so treating either as a
+            # receive would double-count and report phantom S301s
             if op.kind == "send":
                 sends.setdefault((op.rank, op.peer, op.tag), []).append(op)
-            else:
+            elif op.kind == "recv":
                 recvs.setdefault((op.peer, op.rank, op.tag), []).append(op)
 
     for key in sorted(set(sends) | set(recvs)):
@@ -288,12 +311,21 @@ def _progress_issues(sched: CommSchedule) -> List[ScheduleIssue]:
                             break
                     key = (r, op.peer, op.tag)
                     delivered[key] = delivered.get(key, 0) + 1
-                else:
+                elif op.kind == "recv":
                     if op.blocking:
                         key = (op.peer, r, op.tag)
                         if delivered.get(key, 0) < 1:
                             break
                         delivered[key] -= 1
+                elif op.kind == "wait":
+                    # completes a posted Irecv: stalls until the message
+                    # has been sent, then consumes it (the post did not)
+                    key = (op.peer, r, op.tag)
+                    if delivered.get(key, 0) < 1:
+                        break
+                    delivered[key] -= 1
+                # "compute" never stalls: the overlap window between
+                # exchange post and completion is legal, not a deadlock
                 ptr[r] += 1
                 progress = True
     stuck = [
@@ -332,9 +364,12 @@ def verify_schedule(sched: CommSchedule, context: str = "") -> None:
 
 
 def schedule_from_rank_states(
-    ranks: Sequence[object], num_ranks: int, tag: int = 1
+    ranks: Sequence[object],
+    num_ranks: int,
+    tag: int = 1,
+    overlap: bool = False,
 ) -> CommSchedule:
-    """Build the halo-exchange schedule of one lockstep iteration.
+    """Build the halo-exchange schedule of one iteration.
 
     ``ranks`` are objects with the wiring the distributed solvers carry:
     ``send_ids`` (dst rank -> node-id array) and ``recv_slots``
@@ -343,10 +378,34 @@ def schedule_from_rank_states(
     :meth:`DistributedSolver._phase_exchange_post`.  Counts are node
     counts per message, so a send/recv size disagreement between two
     ranks' wiring surfaces as S304 before any data moves.
+
+    With ``overlap=True`` the schedule is the interior/frontier
+    pipeline's instead, read from the packed-exchange wiring
+    (``pack_flat``/``inj_flat``, counts in cross-link values): post
+    receives, post sends, a ``compute`` op for interior streaming, then
+    ``wait`` ops completing the receives — so the checker verifies that
+    straddling the compute phase still drains every message.
     """
     sched = CommSchedule(num_ranks)
     for st in ranks:
         rank = int(getattr(st, "rank"))
+        if overlap:
+            inj: Dict[int, object] = getattr(st, "inj_flat")
+            pack: Dict[int, object] = getattr(st, "pack_flat")
+            for src in sorted(inj):
+                sched.add_recv(
+                    rank, int(src), tag, count=int(len(inj[src]))
+                )
+            for dst in sorted(pack):
+                sched.add_send(
+                    rank, int(dst), tag, count=int(len(pack[dst]))
+                )
+            sched.add_compute(rank)
+            for src in sorted(inj):
+                sched.add_wait(
+                    rank, int(src), tag, count=int(len(inj[src]))
+                )
+            continue
         recv_slots: Dict[int, object] = getattr(st, "recv_slots")
         send_ids: Dict[int, object] = getattr(st, "send_ids")
         for src in sorted(recv_slots):

@@ -11,6 +11,13 @@ from .babelstream import (
 from .collectives import AllreduceEstimate, allreduce_time
 from .hoststream import HostStreamResult, run_host_stream
 from .kernels import KernelBenchResult, KernelTiming, run_kernel_bench
+from .overlap import (
+    OVERLAP_BENCH_MODES,
+    OverlapBenchResult,
+    OverlapRankResult,
+    OverlapTiming,
+    run_overlap_bench,
+)
 from .pingpong import (
     PingPongResult,
     PingPongSample,
@@ -37,4 +44,9 @@ __all__ = [
     "KernelBenchResult",
     "KernelTiming",
     "run_kernel_bench",
+    "OVERLAP_BENCH_MODES",
+    "OverlapBenchResult",
+    "OverlapRankResult",
+    "OverlapTiming",
+    "run_overlap_bench",
 ]

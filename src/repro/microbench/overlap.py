@@ -1,0 +1,239 @@
+"""Wall-clock benchmark of the overlapped halo-exchange pipeline.
+
+Backs the ``repro bench overlap`` CLI subcommand.  It times the full
+distributed iteration on the periodic force-driven cylinder across rank
+counts, for four step schedules:
+
+* ``lockstep`` — barrier schedule (collide, exchange, stream, boundary),
+  ranks serial: the baseline the seed repository ships;
+* ``parallel`` — barrier schedule, rank phases on the thread-pool
+  executor;
+* ``overlap`` — interior/frontier pipeline with the packed cross-link
+  exchange, ranks serial;
+* ``overlap+parallel`` — the pipeline on the thread-pool executor.
+
+All four produce bit-identical physics (pinned by the equivalence
+tests); only schedule and wall-clock differ.  The headline comparison is
+``overlap`` vs ``lockstep`` with the *same* serial executor, so the
+pipeline's algorithmic savings (packed exchange, no ghost staging) are
+measured without thread-scheduling noise — on a single-core host the
+thread-pool rows mostly price executor overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from ..core.errors import ConfigError
+
+if TYPE_CHECKING:  # solver imports stay deferred: microbench loads early
+    from ..lbm.distributed import DistributedSolver
+
+__all__ = [
+    "OVERLAP_BENCH_MODES",
+    "OverlapTiming",
+    "OverlapRankResult",
+    "OverlapBenchResult",
+    "run_overlap_bench",
+]
+
+#: Mode name -> (overlap, executor) for the four step schedules timed.
+OVERLAP_BENCH_MODES: Dict[str, Tuple[bool, str]] = {
+    "lockstep": (False, "lockstep"),
+    "parallel": (False, "parallel"),
+    "overlap": (True, "lockstep"),
+    "overlap+parallel": (True, "parallel"),
+}
+
+
+@dataclass(frozen=True)
+class OverlapTiming:
+    """Throughput of one schedule at one rank count."""
+
+    mode: str
+    seconds: float
+    mflups: float
+    halo_bytes_per_step: int
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "seconds": self.seconds,
+            "mflups": self.mflups,
+            "halo_bytes_per_step": self.halo_bytes_per_step,
+        }
+
+
+@dataclass(frozen=True)
+class OverlapRankResult:
+    """All schedules at one rank count."""
+
+    num_ranks: int
+    timings: Dict[str, OverlapTiming]
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Overlapped pipeline vs the lockstep barrier baseline."""
+        t_overlap = self.timings["overlap"].seconds
+        return (
+            self.timings["lockstep"].seconds / t_overlap
+            if t_overlap > 0
+            else float("inf")
+        )
+
+    @property
+    def halo_reduction(self) -> float:
+        """Barrier-exchange bytes over packed-exchange bytes."""
+        packed = self.timings["overlap"].halo_bytes_per_step
+        return (
+            self.timings["lockstep"].halo_bytes_per_step / packed
+            if packed > 0
+            else float("inf")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "num_ranks": self.num_ranks,
+            "modes": {m: t.to_dict() for m, t in self.timings.items()},
+            "overlap_speedup": self.overlap_speedup,
+            "halo_reduction": self.halo_reduction,
+        }
+
+
+@dataclass(frozen=True)
+class OverlapBenchResult:
+    """Full result of a ``repro bench overlap`` run."""
+
+    workload: str
+    scale: float
+    fluid_nodes: int
+    steps: int
+    reps: int
+    ranks: List[OverlapRankResult]
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "overlap",
+            "workload": self.workload,
+            "scale": self.scale,
+            "fluid_nodes": self.fluid_nodes,
+            "steps": self.steps,
+            "reps": self.reps,
+            "ranks": [r.to_dict() for r in self.ranks],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def min_speedup(self, min_ranks: int = 4) -> float:
+        """Worst overlap-vs-lockstep speedup at >= ``min_ranks`` ranks."""
+        speedups = [
+            r.overlap_speedup
+            for r in self.ranks
+            if r.num_ranks >= min_ranks
+        ]
+        if not speedups:
+            raise ConfigError(
+                f"benchmark has no rank count >= {min_ranks}"
+            )
+        return min(speedups)
+
+    def format_text(self) -> str:
+        lines = [
+            f"overlapped-pipeline throughput on cylinder "
+            f"scale={self.scale:g} ({self.fluid_nodes} fluid nodes, "
+            f"{self.steps} steps x {self.reps} reps, best-of)",
+            f"{'ranks':>5} {'mode':<18} {'MFLUPS':>10} "
+            f"{'halo B/step':>12} {'vs lockstep':>11}",
+        ]
+        for rr in self.ranks:
+            base = rr.timings["lockstep"].seconds
+            for mode in OVERLAP_BENCH_MODES:
+                t = rr.timings[mode]
+                rel = base / t.seconds if t.seconds > 0 else float("inf")
+                lines.append(
+                    f"{rr.num_ranks:>5} {mode:<18} {t.mflups:>10.3f} "
+                    f"{t.halo_bytes_per_step:>12} {rel:>10.2f}x"
+                )
+        return "\n".join(lines)
+
+
+def _best_seconds(solver: DistributedSolver, steps: int, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        solver.step(steps)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_overlap_bench(
+    scale: float = 1.0,
+    steps: int = 20,
+    reps: int = 3,
+    rank_counts: Sequence[int] = (2, 4, 8),
+    tau: float = 0.8,
+    force_x: float = 1e-5,
+) -> OverlapBenchResult:
+    """Time the four step schedules across ``rank_counts``.
+
+    Every solver advances two warm iterations before timing so plans,
+    buffers, and caches are hot; each timed section runs ``steps``
+    iterations ``reps`` times keeping the best.
+    """
+    # deferred: repro.lbm.distributed participates in the package's
+    # import cycle, while this module is imported early via the
+    # microbench package
+    from ..decomp import grid_decompose
+    from ..geometry.cylinder import CylinderSpec, make_cylinder
+    from ..lbm.distributed import DistributedSolver
+    from ..lbm.solver import SolverConfig
+
+    if steps < 1 or reps < 1:
+        raise ConfigError("steps and reps must be positive")
+    if not rank_counts:
+        raise ConfigError("rank_counts must not be empty")
+    grid = make_cylinder(CylinderSpec(scale=scale, periodic=True))
+    common = dict(
+        tau=tau,
+        force=(force_x, 0.0, 0.0),
+        periodic=(True, False, False),
+    )
+    rank_results: List[OverlapRankResult] = []
+    fluid_nodes = 0
+    for nr in rank_counts:
+        partition = grid_decompose(grid, int(nr))
+        timings: Dict[str, OverlapTiming] = {}
+        for mode, (overlap, executor) in OVERLAP_BENCH_MODES.items():
+            solver = DistributedSolver(
+                partition,
+                SolverConfig(
+                    overlap=overlap, executor=executor, **common
+                ),
+            )
+            fluid_nodes = solver.num_nodes
+            solver.step(2)
+            seconds = _best_seconds(solver, steps, reps)
+            timings[mode] = OverlapTiming(
+                mode=mode,
+                seconds=seconds,
+                mflups=fluid_nodes * steps / seconds / 1e6,
+                halo_bytes_per_step=solver.halo_bytes_per_step(),
+            )
+        rank_results.append(
+            OverlapRankResult(num_ranks=int(nr), timings=timings)
+        )
+    return OverlapBenchResult(
+        workload="cylinder",
+        scale=float(scale),
+        fluid_nodes=fluid_nodes,
+        steps=int(steps),
+        reps=int(reps),
+        ranks=rank_results,
+    )

@@ -15,6 +15,15 @@ matching Section 7.2.2:
 Physics is bit-identical to :class:`repro.lbm.distributed.DistributedSolver`
 and to the single-domain reference — asserted by the test suite — while
 the ledgers make the staging cost *observable* rather than merely priced.
+
+Rank phases run through the executor ``SolverConfig.executor`` selects
+(lockstep or thread-pool parallel with per-phase barriers); each rank
+drives only its own device/ledger and the communicator locks its queues,
+so both executors produce identical results.  The interior/frontier
+overlap pipeline (``SolverConfig.overlap``) is implemented in the
+functional solver only — the engine keeps the plain barrier schedule, as
+its purpose is making per-device transfer ledgers observable, not hiding
+exchange latency.
 """
 
 from __future__ import annotations
@@ -119,8 +128,11 @@ class DistributedModelEngine:
         comm: Optional[SimComm] = None,
         model_factory: Optional[Callable[[int], ProgrammingModel]] = None,
     ) -> None:
-        # reuse the reference solver's wiring (ghost sets, plans, BCs)
+        # reuse the reference solver's wiring (ghost sets, plans, BCs);
+        # deferred imports keep this module out of the runtime/telemetry
+        # import cycle
         from ..lbm.distributed import DistributedSolver
+        from ..runtime.executor import make_executor
 
         reference = DistributedSolver(
             partition, config, comm=SimComm(partition.num_ranks)
@@ -132,6 +144,7 @@ class DistributedModelEngine:
         self.gpu_aware = bool(gpu_aware)
         self.comm = comm if comm is not None else SimComm(partition.num_ranks)
         self.model_name = model_name
+        self.executor = make_executor(config.executor, partition.num_ranks)
         self.time = 0
         self._coords = reference.coords
         factory = model_factory or (
@@ -250,24 +263,40 @@ class DistributedModelEngine:
         if er.outlet is not None:
             er.outlet.apply(self.lattice, f, self.time)
 
+    # -- per-rank phase bodies (dispatched through the executor) -----------
+    def _phase_collide(self, rank: int) -> None:
+        self._collide(self.ranks[rank])
+
+    def _phase_pack_send(self, rank: int) -> None:
+        self._pack_and_send(self.ranks[rank])
+
+    def _phase_recv_unpack(self, rank: int) -> None:
+        self._recv_and_unpack(self.ranks[rank])
+
+    def _phase_stream(self, rank: int) -> None:
+        self._stream(self.ranks[rank])
+
+    def _phase_boundary(self, rank: int) -> None:
+        er = self.ranks[rank]
+        self._boundaries(er)
+        er.model.synchronize()
+
     # -- public API -----------------------------------------------------------
     def step(self, num_steps: int = 1) -> None:
         if num_steps < 0:
             raise ModelError("num_steps must be non-negative")
+        ex = self.executor
         for _ in range(num_steps):
             self.comm.set_step(self.time)
-            for er in self.ranks:
-                self._collide(er)
-            for er in self.ranks:
-                self._pack_and_send(er)
-            for er in self.ranks:
-                self._recv_and_unpack(er)
-            for er in self.ranks:
-                self._stream(er)
+            ex.run_phase(self._phase_collide)
+            # pack/send and recv/unpack are separate phases: the barrier
+            # between them guarantees every message is enqueued before
+            # any rank receives, on either executor
+            ex.run_phase(self._phase_pack_send)
+            ex.run_phase(self._phase_recv_unpack)
+            ex.run_phase(self._phase_stream)
             self.time += 1
-            for er in self.ranks:
-                self._boundaries(er)
-                er.model.synchronize()
+            ex.run_phase(self._phase_boundary)
 
     @property
     def num_nodes(self) -> int:

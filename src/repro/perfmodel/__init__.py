@@ -5,10 +5,12 @@ from .mflups import iteration_time_from_mflups, mflups, speedup
 from .model import (
     BYTES_PER_UPDATE_D3Q19,
     HALO_BYTES_PER_SITE_D3Q19,
+    OverlapPrediction,
     PredictedIteration,
     comm_surface_sites,
     face_count,
     predict_iteration,
+    predict_iteration_overlap,
     streamcollide_time,
 )
 from .fit import FitResult, fit_sc_efficiency
@@ -34,6 +36,8 @@ __all__ = [
     "comm_surface_sites",
     "predict_iteration",
     "PredictedIteration",
+    "predict_iteration_overlap",
+    "OverlapPrediction",
     "BYTES_PER_UPDATE_D3Q19",
     "HALO_BYTES_PER_SITE_D3Q19",
     "mflups",

@@ -35,6 +35,8 @@ __all__ = [
     "comm_surface_sites",
     "PredictedIteration",
     "predict_iteration",
+    "OverlapPrediction",
+    "predict_iteration_overlap",
     "BYTES_PER_UPDATE_D3Q19",
     "HALO_BYTES_PER_SITE_D3Q19",
 ]
@@ -45,8 +47,9 @@ BYTES_PER_UPDATE_D3Q19 = 2 * 19 * 8
 #: Bytes exchanged per halo site.  Only the populations crossing a
 #: subdomain face must move — 5 of the 19 D3Q19 directions per axis face —
 #: which is what production LBM codes pack and send.  (The functional
-#: runtime in :mod:`repro.lbm.distributed` ships all 19 for simplicity;
-#: the performance layers price the packed exchange.)
+#: runtime in :mod:`repro.lbm.distributed` ships all 19 on its barrier
+#: path for simplicity; its overlapped pipeline packs exactly the
+#: cross-link values, matching this accounting.)
 HALO_BYTES_PER_SITE_D3Q19 = 5 * 8
 
 
@@ -145,4 +148,94 @@ def predict_iteration(
         t_comm=t_comm,
         num_events=w,
         event_bytes=float(event_bytes),
+    )
+
+
+@dataclass(frozen=True)
+class OverlapPrediction:
+    """The additive prediction restructured for an overlapped pipeline.
+
+    The interior/frontier split hides halo exchange behind the interior
+    fraction of the stream-collide pass, so the iteration bound becomes
+    ``max(T_comm, T_interior) + T_frontier`` instead of Eq. 2's additive
+    ``T_sc + T_comm``.  ``t_hidden``/``t_exposed`` quantify how much of
+    the communication the window absorbs — the paper's overlap argument
+    in closed form.
+    """
+
+    base: PredictedIteration
+    frontier_fraction: float
+
+    @property
+    def t_interior(self) -> float:
+        return self.base.t_streamcollide * (1.0 - self.frontier_fraction)
+
+    @property
+    def t_frontier(self) -> float:
+        return self.base.t_streamcollide * self.frontier_fraction
+
+    @property
+    def t_hidden(self) -> float:
+        """Communication time absorbed by the interior window."""
+        return min(self.base.t_comm, self.t_interior)
+
+    @property
+    def t_exposed(self) -> float:
+        """Communication time still on the critical path."""
+        return max(0.0, self.base.t_comm - self.t_interior)
+
+    @property
+    def t_iteration(self) -> float:
+        return max(self.base.t_comm, self.t_interior) + self.t_frontier
+
+    @property
+    def mflups(self) -> float:
+        if self.t_iteration == 0:
+            raise PerfModelError("zero iteration time")
+        return self.base.total_fluid / self.t_iteration / 1e6
+
+    @property
+    def speedup(self) -> float:
+        """Predicted gain over the additive (non-overlapped) schedule."""
+        if self.t_iteration == 0:
+            raise PerfModelError("zero iteration time")
+        return self.base.t_iteration / self.t_iteration
+
+
+def predict_iteration_overlap(
+    machine: Machine,
+    total_fluid: float,
+    n_gpus: int,
+    bytes_per_update: float = BYTES_PER_UPDATE_D3Q19,
+    halo_bytes_per_site: float = HALO_BYTES_PER_SITE_D3Q19,
+    bandwidth_bytes_s: Optional[float] = None,
+    frontier_fraction: Optional[float] = None,
+) -> OverlapPrediction:
+    """Overlap-aware prediction: ``max(T_comm, T_interior) + T_frontier``.
+
+    ``frontier_fraction`` is the share of fluid sites whose streaming
+    reads a halo value.  When omitted it is estimated from the idealised
+    cubic subdomain: one ``V^(2/3)`` layer per receiving face (``w / 2``
+    faces), clipped to the subdomain volume.
+    """
+    base = predict_iteration(
+        machine,
+        total_fluid,
+        n_gpus,
+        bytes_per_update=bytes_per_update,
+        halo_bytes_per_site=halo_bytes_per_site,
+        bandwidth_bytes_s=bandwidth_bytes_s,
+    )
+    if frontier_fraction is None:
+        fluid_per_gpu = total_fluid / n_gpus
+        frontier_sites = (base.num_events / 2.0) * comm_surface_sites(
+            fluid_per_gpu
+        )
+        frontier_fraction = min(1.0, frontier_sites / fluid_per_gpu)
+    if not 0.0 <= frontier_fraction <= 1.0:
+        raise PerfModelError(
+            f"frontier_fraction must lie in [0, 1], got {frontier_fraction}"
+        )
+    return OverlapPrediction(
+        base=base, frontier_fraction=float(frontier_fraction)
     )

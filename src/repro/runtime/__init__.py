@@ -1,8 +1,8 @@
 """Simulated MPI runtime: communicator, non-blocking requests, event
-log, lockstep executor."""
+log, lockstep and parallel executors."""
 
 from .events import CommEvent, EventLog
-from .executor import LockstepExecutor
+from .executor import LockstepExecutor, ParallelExecutor, make_executor
 from .requests import Request, irecv, isend, waitall
 from .simmpi import SimComm
 
@@ -11,6 +11,8 @@ __all__ = [
     "EventLog",
     "SimComm",
     "LockstepExecutor",
+    "ParallelExecutor",
+    "make_executor",
     "Request",
     "isend",
     "irecv",

@@ -1,25 +1,37 @@
-"""Lockstep rank execution.
+"""Rank execution: lockstep (serial) and parallel (thread-pool) phases.
 
 Ranks run in-process; an iteration is a sequence of *phases* (collide,
 exchange-post, exchange-complete, stream, boundaries) and every rank
 finishes a phase before any rank starts the next — the bulk-synchronous
-structure of a distributed LBM step.  The executor exists so application
+structure of a distributed LBM step.  The executors exist so application
 code reads like rank-parallel code and so tests can interpose on phases.
 
+:class:`LockstepExecutor` runs the ranks of each phase serially in rank
+order.  :class:`ParallelExecutor` dispatches them onto a thread pool with
+a barrier at the end of each phase — the fused NumPy kernels release the
+GIL in their ``np.take``/``matmul`` bodies, so rank phases genuinely
+overlap on multi-core hosts while the per-phase barrier preserves the
+bulk-synchronous schedule (and therefore bit-for-bit results).
+
 Passing a :class:`~repro.telemetry.spans.Tracer` (and a ``name`` to
-:meth:`LockstepExecutor.run_phase`) emits one span per rank per phase —
-the raw material of the Fig. 7 runtime-composition breakdown.  With the
-default null tracer the instrumentation is a single attribute check.
+``run_phase``) emits one span per rank per phase — the raw material of
+the Fig. 7 runtime-composition breakdown.  With the default null tracer
+the instrumentation is a single attribute check.  The parallel executor
+times each rank on its worker thread and appends the span records from
+the controlling thread after the barrier, keeping the tracer's span
+list deterministic (rank order) and free of cross-thread interleaving.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import RuntimeSimError
-from ..telemetry.spans import get_tracer
+from ..telemetry.spans import SpanRecord, Tracer, get_tracer
 
-__all__ = ["LockstepExecutor"]
+__all__ = ["LockstepExecutor", "ParallelExecutor", "make_executor"]
 
 PhaseFn = Callable[[int], None]
 
@@ -64,3 +76,121 @@ class LockstepExecutor:
         """Run a full iteration: each phase across all ranks, in order."""
         for fn in phases:
             self.run_phase(fn)
+
+
+class ParallelExecutor:
+    """Runs per-rank phase functions concurrently with a per-phase barrier.
+
+    Every ``run_phase`` submits one task per rank to a persistent thread
+    pool and joins them all before returning — the same bulk-synchronous
+    schedule as :class:`LockstepExecutor`, so results are identical; only
+    wall-clock concurrency differs.  Rank phase bodies must therefore
+    touch only their own rank's state plus thread-safe shared services
+    (:class:`~repro.runtime.simmpi.SimComm` locks its queues).
+
+    The first exception raised by any rank is re-raised in the caller
+    after the barrier (remaining ranks still complete the phase, keeping
+    shared state consistent).
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        tracer=None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if num_ranks < 1:
+            raise RuntimeSimError("executor needs at least one rank")
+        if max_workers is not None and max_workers < 1:
+            raise RuntimeSimError("executor needs at least one worker")
+        self.num_ranks = num_ranks
+        self.phases_run = 0
+        self.tracer = get_tracer() if tracer is None else tracer
+        self._pool = ThreadPoolExecutor(
+            max_workers=min(num_ranks, max_workers or num_ranks),
+            thread_name_prefix="repro-rank",
+        )
+
+    def run_phase(
+        self,
+        fn: PhaseFn,
+        ranks: Optional[Sequence[int]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        """Invoke ``fn(rank)`` for every rank (or a subset) concurrently.
+
+        With an enabled tracer and a ``name``, each rank's wall-clock
+        interval is recorded on its worker thread and appended as one
+        span per rank (in rank order) once the phase barrier is reached.
+        """
+        targets: List[int] = list(
+            range(self.num_ranks) if ranks is None else ranks
+        )
+        for rank in targets:
+            if not 0 <= rank < self.num_ranks:
+                raise RuntimeSimError(f"phase rank {rank} out of range")
+        tracer = self.tracer
+        traced = name is not None and tracer.enabled
+
+        def timed(rank: int) -> Tuple[float, float]:
+            t0 = time.perf_counter()
+            fn(rank)
+            return t0, time.perf_counter() - t0
+
+        body = timed if traced else fn
+        futures = [self._pool.submit(body, rank) for rank in targets]
+        first_exc: Optional[BaseException] = None
+        results = []
+        for fut in futures:
+            try:
+                results.append(fut.result())
+            except BaseException as exc:  # re-raised after the barrier
+                results.append(None)
+                if first_exc is None:
+                    first_exc = exc
+        if traced:
+            depth = (
+                len(tracer._stack) if isinstance(tracer, Tracer) else 0
+            )
+            for rank, timing in zip(targets, results):
+                if timing is None:
+                    continue
+                start, duration = timing
+                tracer.spans.append(
+                    SpanRecord(
+                        name=name,
+                        start_s=start,
+                        duration_s=duration,
+                        depth=depth,
+                        rank=rank,
+                    )
+                )
+        self.phases_run += 1
+        if first_exc is not None:
+            raise first_exc
+
+    def run_step(self, phases: List[PhaseFn]) -> None:
+        """Run a full iteration: each phase across all ranks, in order."""
+        for fn in phases:
+            self.run_phase(fn)
+
+    def shutdown(self) -> None:
+        """Release the worker threads (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+
+def make_executor(kind: str, num_ranks: int, tracer=None):
+    """Build the executor ``SolverConfig.executor`` names."""
+    if kind == "lockstep":
+        return LockstepExecutor(num_ranks, tracer=tracer)
+    if kind == "parallel":
+        return ParallelExecutor(num_ranks, tracer=tracer)
+    raise RuntimeSimError(
+        f"unknown executor {kind!r}; expected 'lockstep' or 'parallel'"
+    )

@@ -59,8 +59,8 @@ class Request:
         if self.kind == "send":
             return True  # the simulated transport buffers eagerly
         key = (self.peer, self.rank, self.tag)
-        queue = self._comm._queues.get(key)
-        return bool(queue)
+        with self._comm._lock:
+            return bool(self._comm._queues.get(key))
 
     def wait(self) -> Optional[np.ndarray]:
         """Complete the operation; receives return the message."""

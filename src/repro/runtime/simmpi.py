@@ -14,6 +14,7 @@ what the validation ladder must catch.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -43,6 +44,9 @@ class SimComm:
         self.log = EventLog()
         self.step = -1
         self._barriers = 0
+        # serializes queue/log mutation so rank phases may run on the
+        # parallel executor's worker threads
+        self._lock = threading.Lock()
 
     # -- helpers -----------------------------------------------------------
     def _check_rank(self, rank: int, role: str) -> None:
@@ -63,31 +67,34 @@ class SimComm:
         self._check_rank(dst, "destination")
         if src == dst:
             raise RuntimeSimError("rank cannot send to itself")
-        if self.debug:
-            key = (src, dst, tag)
-            if key in self._sent_this_step:
-                raise RuntimeSimError(
-                    f"tag collision: rank {src} -> rank {dst} tag {tag} "
-                    f"already carried a message in step {self.step}; "
-                    "message identity is ambiguous (S303)"
-                )
-            self._sent_this_step.add(key)
         data = np.array(buf, copy=True)
-        self._queues.setdefault((src, dst, tag), deque()).append(data)
-        self.log.record(
-            CommEvent(src, dst, int(data.nbytes), tag, self.step)
-        )
+        with self._lock:
+            if self.debug:
+                key = (src, dst, tag)
+                if key in self._sent_this_step:
+                    raise RuntimeSimError(
+                        f"tag collision: rank {src} -> rank {dst} tag {tag} "
+                        f"already carried a message in step {self.step}; "
+                        "message identity is ambiguous (S303)"
+                    )
+                self._sent_this_step.add(key)
+            self._queues.setdefault((src, dst, tag), deque()).append(data)
+            self.log.record(
+                CommEvent(src, dst, int(data.nbytes), tag, self.step)
+            )
 
     def recv(self, dst: int, src: int, tag: int = 0) -> np.ndarray:
         """Dequeue the next message from ``src`` to ``dst``."""
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
-        queue = self._queues.get((src, dst, tag))
-        if not queue:
-            raise RuntimeSimError(
-                f"recv on rank {dst} from {src} tag {tag}: no message pending"
-            )
-        return queue.popleft()
+        with self._lock:
+            queue = self._queues.get((src, dst, tag))
+            if not queue:
+                raise RuntimeSimError(
+                    f"recv on rank {dst} from {src} tag {tag}: "
+                    "no message pending"
+                )
+            return queue.popleft()
 
     def recv_into(
         self, dst: int, src: int, out: np.ndarray, tag: int = 0
@@ -116,7 +123,7 @@ class SimComm:
 
     def allreduce(
         self,
-        values: List[float],
+        values: "List[float] | np.ndarray",
         op: Optional[Callable[[np.ndarray], float]] = None,
     ) -> float:
         """Reduce one contribution per rank to a single value.

@@ -34,13 +34,29 @@ from .spans import (
     set_tracer,
     use_tracer,
 )
-from .summary import (
-    CATEGORIES,
-    categorize,
-    phase_composition,
-    render_composition,
-    summarize_trace_file,
+# summary's re-exports are lazy: it pulls in the analysis/perf/models
+# stack, which imports the solvers, which import the runtime — whose
+# executor imports this package.  Deferring keeps `import repro.runtime`
+# (or any other package in that cycle) valid as an entry module.
+_SUMMARY_EXPORTS = (
+    "CATEGORIES",
+    "categorize",
+    "overlap_composition",
+    "phase_composition",
+    "render_composition",
+    "render_overlap",
+    "summarize_trace_file",
 )
+
+
+def __getattr__(name):
+    if name in _SUMMARY_EXPORTS:
+        from . import summary
+
+        return getattr(summary, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 __all__ = [
     "SpanRecord",
@@ -68,5 +84,7 @@ __all__ = [
     "categorize",
     "phase_composition",
     "render_composition",
+    "overlap_composition",
+    "render_overlap",
     "summarize_trace_file",
 ]

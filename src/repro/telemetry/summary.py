@@ -4,20 +4,28 @@ Maps the functional runtime's phase spans onto the paper's Fig. 7
 runtime-composition categories and renders a per-rank share table from a
 Chrome trace produced by ``--trace-out``:
 
-========================  =========================================
-span name                 Fig. 7 category
-========================  =========================================
-``collide``, ``stream``   streamcollide (the fused kernel's work)
-``exchange*``             communication (halo exchange, Eq. 2)
-``h2d*`` / ``d2h*``       H2D / D2H staging transfers
-``boundary``              other (inlet/outlet kernels; folded into
-                          streamcollide on real GPUs, kept separate
-                          here so the split stays visible)
-========================  =========================================
+==========================  =========================================
+span name                   Fig. 7 category
+==========================  =========================================
+``collide``, ``stream``     streamcollide (the fused kernel's work)
+``interior``, ``frontier``  streamcollide (the overlapped pipeline's
+                            split of the streaming pass)
+``exchange*``               communication (halo exchange, Eq. 2)
+``h2d*`` / ``d2h*``         H2D / D2H staging transfers
+``boundary``                other (inlet/outlet kernels; folded into
+                            streamcollide on real GPUs, kept separate
+                            here so the split stays visible)
+==========================  =========================================
 
-Container spans (``step``, ``harvey.run``, ``proxy.run``, …) are not
-phases and are excluded, so category shares always sum to 100% of the
-phase time.
+Container spans (``step``, ``overlap_window``, ``harvey.run``,
+``proxy.run``, …) are not phases and are excluded, so category shares
+always sum to 100% of the phase time.
+
+Traces from the overlapped pipeline additionally get a hidden-vs-exposed
+communication table (:func:`render_overlap`): communication that fits
+inside the interior-streaming window is *hidden* from the critical path;
+the remainder is *exposed* — the measured counterpart of the performance
+model's ``max(T_comm, T_interior) + T_frontier`` bound.
 """
 
 from __future__ import annotations
@@ -33,6 +41,8 @@ __all__ = [
     "categorize",
     "phase_composition",
     "render_composition",
+    "overlap_composition",
+    "render_overlap",
     "summarize_trace_file",
 ]
 
@@ -42,6 +52,8 @@ CATEGORIES = ("streamcollide", "communication", "h2d", "d2h", "other")
 _EXACT = {
     "collide": "streamcollide",
     "stream": "streamcollide",
+    "interior": "streamcollide",
+    "frontier": "streamcollide",
     "boundary": "other",
 }
 
@@ -133,9 +145,95 @@ def render_composition(
     return render_table(headers, rows, title)
 
 
+def overlap_composition(
+    events: List[Dict[str, Any]]
+) -> Optional[Dict[Any, Dict[str, float]]]:
+    """Hidden-vs-exposed communication per rank, or None.
+
+    Returns None unless the trace came from the overlapped pipeline
+    (detected by its ``overlap_window`` container spans).  For each rank
+    the exchange time that fits under the interior-streaming window is
+    ``hidden_us``; the remainder — communication still on the critical
+    path — is ``exposed_us``.
+    """
+    if not any(
+        ev.get("ph") == "X" and ev.get("name") == "overlap_window"
+        for ev in events
+    ):
+        return None
+    sums: Dict[Any, Dict[str, float]] = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        name = ev.get("name")
+        if name == "interior":
+            key = "interior_us"
+        elif name == "frontier":
+            key = "frontier_us"
+        elif isinstance(name, str) and name.startswith("exchange"):
+            # on the overlapped schedule every exchange span (post and
+            # complete) lies inside the overlap window
+            key = "comm_us"
+        else:
+            continue
+        rank = ev.get("args", {}).get("rank")
+        per_rank = sums.setdefault(
+            rank, {"interior_us": 0.0, "frontier_us": 0.0, "comm_us": 0.0}
+        )
+        per_rank[key] += float(ev["dur"])
+    sums.pop(None, None)
+    if not sums:
+        raise TelemetryError(
+            "overlap trace contains no interior/frontier/exchange spans"
+        )
+    for per_rank in sums.values():
+        hidden = min(per_rank["comm_us"], per_rank["interior_us"])
+        per_rank["hidden_us"] = hidden
+        per_rank["exposed_us"] = per_rank["comm_us"] - hidden
+    return sums
+
+
+def render_overlap(
+    events: List[Dict[str, Any]],
+    title: str = "overlapped communication (hidden vs exposed)",
+) -> Optional[str]:
+    """Hidden-vs-exposed table for an overlapped-pipeline trace."""
+    comp = overlap_composition(events)
+    if comp is None:
+        return None
+    headers = [
+        "Rank", "Interior ms", "Frontier ms", "Comm ms",
+        "Hidden ms", "Exposed ms", "Hidden",
+    ]
+    rows = []
+    for rank in sorted(comp):
+        s = comp[rank]
+        share = s["hidden_us"] / s["comm_us"] if s["comm_us"] else 1.0
+        rows.append(
+            [
+                str(rank),
+                f"{s['interior_us'] / 1e3:.2f}",
+                f"{s['frontier_us'] / 1e3:.2f}",
+                f"{s['comm_us'] / 1e3:.2f}",
+                f"{s['hidden_us'] / 1e3:.2f}",
+                f"{s['exposed_us'] / 1e3:.2f}",
+                f"{100 * share:.1f}%",
+            ]
+        )
+    return render_table(headers, rows, title)
+
+
 def summarize_trace_file(path) -> str:
-    """Load a ``--trace-out`` file and render its composition table."""
+    """Load a ``--trace-out`` file and render its composition table(s).
+
+    Traces produced by the overlapped pipeline get a second table
+    splitting communication into hidden and exposed time.
+    """
     events = load_chrome_trace(path)
-    return render_composition(
+    out = render_composition(
         events, title=f"phase composition of {path} (span wall time)"
     )
+    overlap = render_overlap(events)
+    if overlap is not None:
+        out = f"{out}\n\n{overlap}"
+    return out

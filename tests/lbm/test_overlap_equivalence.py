@@ -1,0 +1,259 @@
+"""Bit-exact equivalence of the overlapped interior/frontier pipeline.
+
+The overlapped step (packed cross-link exchange posted before interior
+streaming, frontier finalized by direct payload injection) is a pure
+scheduling optimisation: every test here pins ``np.array_equal`` — not
+``allclose`` — against the barrier schedule, across collision operators,
+boundary styles, rank counts, and both executors.  Also covers the
+``StepPlan.partition``/``cross_links`` primitives the pipeline is built
+from, the packed halo-byte accounting, and the config validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError, GeometryError
+from repro.decomp import grid_decompose
+from repro.geometry.cylinder import CylinderSpec, make_cylinder
+from repro.lbm.distributed import DistributedSolver
+from repro.lbm.solver import Solver, SolverConfig
+
+STEPS = 12
+RANK_COUNTS = (2, 4, 8)
+
+
+def periodic_grid():
+    return make_cylinder(CylinderSpec(scale=0.5, periodic=True))
+
+
+def inlet_grid():
+    return make_cylinder(CylinderSpec(scale=0.5, periodic=False))
+
+
+def periodic_config(collision, **kw):
+    return SolverConfig(
+        tau=0.8,
+        collision=collision,
+        force=(1e-5, 0.0, 0.0),
+        periodic=(True, False, False),
+        **kw,
+    )
+
+
+def inlet_config(collision, **kw):
+    return SolverConfig(
+        tau=0.8,
+        collision=collision,
+        inlet_velocity=(0.05, 0.0, 0.0),
+        **kw,
+    )
+
+
+class TestOverlappedEquivalence:
+    @pytest.mark.parametrize("collision", ["bgk", "trt", "mrt"])
+    @pytest.mark.parametrize("num_ranks", RANK_COUNTS)
+    def test_periodic_force_bitwise(self, collision, num_ranks):
+        grid = periodic_grid()
+        part = grid_decompose(grid, num_ranks)
+        barrier = DistributedSolver(part, periodic_config(collision))
+        overlap = DistributedSolver(
+            part, periodic_config(collision, overlap=True)
+        )
+        barrier.step(STEPS)
+        overlap.step(STEPS)
+        assert np.array_equal(
+            barrier.gather_f().copy(), overlap.gather_f()
+        )
+
+    @pytest.mark.parametrize("collision", ["bgk", "trt", "mrt"])
+    @pytest.mark.parametrize("num_ranks", RANK_COUNTS)
+    def test_inlet_outlet_bitwise(self, collision, num_ranks):
+        grid = inlet_grid()
+        part = grid_decompose(grid, num_ranks)
+        barrier = DistributedSolver(part, inlet_config(collision))
+        overlap = DistributedSolver(
+            part, inlet_config(collision, overlap=True)
+        )
+        barrier.step(STEPS)
+        overlap.step(STEPS)
+        assert np.array_equal(
+            barrier.gather_f().copy(), overlap.gather_f()
+        )
+
+    @pytest.mark.parametrize("num_ranks", RANK_COUNTS)
+    def test_parallel_executor_bitwise(self, num_ranks):
+        """Overlap + thread-pool executor still matches the barrier."""
+        grid = periodic_grid()
+        part = grid_decompose(grid, num_ranks)
+        barrier = DistributedSolver(part, periodic_config("bgk"))
+        overlap = DistributedSolver(
+            part,
+            periodic_config("bgk", overlap=True, executor="parallel"),
+        )
+        barrier.step(STEPS)
+        overlap.step(STEPS)
+        assert np.array_equal(
+            barrier.gather_f().copy(), overlap.gather_f()
+        )
+
+    def test_parallel_barrier_schedule_bitwise(self):
+        """The thread-pool executor alone (no overlap) is bit-exact."""
+        grid = inlet_grid()
+        part = grid_decompose(grid, 4)
+        lockstep = DistributedSolver(part, inlet_config("trt"))
+        parallel = DistributedSolver(
+            part, inlet_config("trt", executor="parallel")
+        )
+        lockstep.step(STEPS)
+        parallel.step(STEPS)
+        assert np.array_equal(
+            lockstep.gather_f().copy(), parallel.gather_f()
+        )
+
+    def test_overlap_matches_single_domain(self):
+        """End of the chain: overlapped distributed == single-domain."""
+        grid = periodic_grid()
+        single = Solver(grid, periodic_config("bgk"))
+        part = grid_decompose(grid, 4)
+        overlap = DistributedSolver(
+            part, periodic_config("bgk", overlap=True)
+        )
+        single.step(STEPS)
+        overlap.step(STEPS)
+        assert np.array_equal(single.f, overlap.gather_f())
+
+    def test_mass_conserved_on_overlap_path(self):
+        grid = periodic_grid()
+        part = grid_decompose(grid, 4)
+        solver = DistributedSolver(part, periodic_config("bgk"))
+        m0 = solver.mass()
+        solver.step(STEPS)
+        assert solver.mass() == pytest.approx(m0, rel=1e-12)
+
+
+class TestStepPlanPartition:
+    def _plan(self, num_ranks, rank=None):
+        grid = periodic_grid()
+        part = grid_decompose(grid, num_ranks)
+        solver = DistributedSolver(part, periodic_config("bgk"))
+        states = solver.ranks if rank is None else [solver.ranks[rank]]
+        return [(st.step_plan, st.num_owned) for st in states]
+
+    def test_partition_covers_and_is_disjoint(self):
+        for plan, num_owned in self._plan(4):
+            interior, frontier = plan.partition(num_owned)
+            merged = np.concatenate(
+                [interior.update_ids, frontier.update_ids]
+            )
+            assert merged.size == plan.num_update
+            assert np.array_equal(
+                np.sort(merged), np.sort(plan.update_ids)
+            )
+            assert not np.intersect1d(
+                interior.update_ids, frontier.update_ids
+            ).size
+
+    def test_interior_reads_only_owned(self):
+        for plan, num_owned in self._plan(8):
+            interior, frontier = plan.partition(num_owned)
+            assert np.all(
+                interior.flat_src % plan.num_local < num_owned
+            )
+            if frontier.num_update:
+                reads_ghost = (
+                    frontier.flat_src % plan.num_local >= num_owned
+                )
+                assert reads_ghost.any(axis=0).all()
+
+    def test_single_rank_frontier_is_empty(self):
+        grid = periodic_grid()
+        part = grid_decompose(grid, 1)
+        solver = DistributedSolver(part, periodic_config("bgk"))
+        st = solver.ranks[0]
+        interior, frontier = st.step_plan.partition(st.num_owned)
+        assert frontier.num_update == 0
+        assert interior.num_update == st.num_owned
+
+    def test_subplans_compose_to_full_stream(self):
+        """Applying interior and frontier sub-plans == applying the plan."""
+        for plan, num_owned in self._plan(4, rank=0):
+            rng = np.random.default_rng(7)
+            f = rng.random((plan.lattice.q, plan.num_local))
+            whole = np.full_like(f, np.nan)
+            split = np.full_like(f, np.nan)
+            plan.apply(f, whole)
+            interior, frontier = plan.partition(num_owned)
+            interior.apply(f, split)
+            frontier.apply(f, split)
+            owned = plan.update_ids
+            assert np.array_equal(whole[:, owned], split[:, owned])
+
+    def test_partition_bounds_checked(self):
+        for plan, num_owned in self._plan(2, rank=0):
+            with pytest.raises(GeometryError):
+                plan.partition(-1)
+            with pytest.raises(GeometryError):
+                plan.partition(plan.num_local + 1)
+
+    def test_cross_links_enumerate_ghost_reads(self):
+        for plan, num_owned in self._plan(4, rank=0):
+            dst_flat, src_flat = plan.cross_links(num_owned)
+            # every enumerated source is a ghost column
+            assert np.all(src_flat % plan.num_local >= num_owned)
+            # and the set matches a brute-force scan of the gather table
+            mask = plan.flat_src % plan.num_local >= num_owned
+            assert dst_flat.size == int(mask.sum())
+            qi, col = np.nonzero(mask)
+            expect_dst = qi * plan.num_local + plan.update_ids[col]
+            assert np.array_equal(dst_flat, expect_dst)
+            assert np.array_equal(src_flat, plan.flat_src[qi, col])
+
+
+class TestPackedExchangeAccounting:
+    def test_packed_bytes_match_cross_links(self):
+        grid = periodic_grid()
+        part = grid_decompose(grid, 4)
+        overlap = DistributedSolver(
+            part, periodic_config("bgk", overlap=True)
+        )
+        expected = 0
+        for st in overlap.ranks:
+            dst_flat, _ = st.step_plan.cross_links(st.num_owned)
+            expected += dst_flat.size * 8
+        assert overlap.halo_bytes_per_step() == expected
+
+    def test_packed_exchange_is_smaller_than_barrier(self):
+        grid = periodic_grid()
+        part = grid_decompose(grid, 4)
+        barrier = DistributedSolver(part, periodic_config("bgk"))
+        overlap = DistributedSolver(
+            part, periodic_config("bgk", overlap=True)
+        )
+        assert (
+            overlap.halo_bytes_per_step() < barrier.halo_bytes_per_step()
+        )
+
+    def test_logged_traffic_matches_packed_accounting(self):
+        grid = periodic_grid()
+        part = grid_decompose(grid, 4)
+        overlap = DistributedSolver(
+            part, periodic_config("bgk", overlap=True)
+        )
+        steps = 3
+        overlap.step(steps)
+        p2p = sum(
+            ev.nbytes
+            for ev in overlap.comm.log.events
+            if ev.kind == "p2p"
+        )
+        assert p2p == steps * overlap.halo_bytes_per_step()
+
+
+class TestOverlapConfig:
+    def test_overlap_requires_fused(self):
+        with pytest.raises(ConfigError):
+            SolverConfig(fused=False, overlap=True)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigError):
+            SolverConfig(executor="mpi")

@@ -193,3 +193,83 @@ class TestSolverPreflight:
         part = axis_decompose(cylinder, 2)
         solver = DistributedSolver(part, cfg, validate_schedule=False)
         solver.step(2)  # still runs fine; only the pre-flight was skipped
+
+
+class TestOverlapSchedule:
+    """The interior/frontier pipeline's post -> compute -> wait shape."""
+
+    def _overlap_sched(self):
+        sched = CommSchedule(2)
+        for r, peer in ((0, 1), (1, 0)):
+            sched.add_recv(r, peer, tag=1, count=5)
+            sched.add_send(r, peer, tag=1, count=5)
+            sched.add_compute(r)
+            sched.add_wait(r, peer, tag=1, count=5)
+        return sched
+
+    def test_straddled_exchange_is_not_a_deadlock(self):
+        """Regression: post/complete straddling a compute phase used to
+        be inexpressible (and, modeled as extra recvs, miscounted as
+        unmatched) — it must verify clean."""
+        assert check_schedule(self._overlap_sched()) == []
+
+    def test_wait_does_not_double_count_as_recv(self):
+        sched = self._overlap_sched()
+        issues = check_schedule(sched)
+        assert "unmatched-recv" not in _kinds(issues)
+
+    def test_wait_without_send_deadlocks(self):
+        sched = CommSchedule(2)
+        sched.add_recv(0, 1, tag=1)
+        sched.add_compute(0)
+        sched.add_wait(0, 1, tag=1)  # rank 1 never sends
+        assert _kinds(check_schedule(sched)) == [
+            "deadlock",
+            "unmatched-recv",
+        ]
+
+    def test_compute_never_stalls(self):
+        sched = CommSchedule(2)
+        sched.add_compute(0)
+        sched.add_compute(1)
+        assert check_schedule(sched) == []
+
+    def test_roundtrip_preserves_new_kinds(self):
+        sched = self._overlap_sched()
+        again = CommSchedule.from_dict(sched.to_dict())
+        assert [
+            [op.kind for op in ops] for ops in again.ops
+        ] == [["recv", "send", "compute", "wait"]] * 2
+        assert check_schedule(again) == []
+
+    def test_unknown_kind_still_rejected(self):
+        from repro.lint.commcheck import CommOp
+
+        with pytest.raises(CommScheduleError):
+            CommOp("probe", 0, 1, 1)
+
+    def test_overlap_solver_preflight_passes(self):
+        cylinder = make_cylinder(CylinderSpec(scale=0.5))
+        cfg = SolverConfig(**CYL_CONFIG, overlap=True)
+        part = axis_decompose(cylinder, 4)
+        solver = DistributedSolver(part, cfg)  # validates by default
+        sched = schedule_from_rank_states(
+            solver.ranks, part.num_ranks, overlap=True
+        )
+        assert check_schedule(sched) == []
+        kinds = {
+            op.kind for rank_ops in sched.ops for op in rank_ops
+        }
+        assert kinds == {"recv", "send", "compute", "wait"}
+
+    def test_overlap_packed_counts_cross_checked(self):
+        cylinder = make_cylinder(CylinderSpec(scale=0.5))
+        cfg = SolverConfig(**CYL_CONFIG, overlap=True)
+        part = axis_decompose(cylinder, 2)
+        solver = DistributedSolver(part, cfg, validate_schedule=False)
+        # sabotage: drop one link from rank 1's injection table
+        solver.ranks[1].inj_flat[0] = solver.ranks[1].inj_flat[0][:-1]
+        sched = schedule_from_rank_states(
+            solver.ranks, part.num_ranks, overlap=True
+        )
+        assert "count-mismatch" in _kinds(check_schedule(sched))

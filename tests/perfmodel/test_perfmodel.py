@@ -185,3 +185,66 @@ class TestSchedules:
         assert b / a == 2.0 and c / b == 2.0
         x, y, z = AORTA_SPACINGS_MM
         assert x / y == 2.0 and y / z == 2.0
+
+
+class TestOverlapPrediction:
+    def _predict(self, n_gpus=24, fluid=1e8, **kw):
+        from repro.perfmodel import predict_iteration_overlap
+
+        return predict_iteration_overlap(SUMMIT, fluid, n_gpus, **kw)
+
+    def test_interior_frontier_partition_streamcollide(self):
+        p = self._predict()
+        assert p.t_interior + p.t_frontier == pytest.approx(
+            p.base.t_streamcollide
+        )
+
+    def test_iteration_is_max_comm_interior_plus_frontier(self):
+        p = self._predict()
+        assert p.t_iteration == pytest.approx(
+            max(p.base.t_comm, p.t_interior) + p.t_frontier
+        )
+
+    def test_hidden_plus_exposed_is_comm(self):
+        p = self._predict()
+        assert p.t_hidden + p.t_exposed == pytest.approx(p.base.t_comm)
+        assert p.t_hidden >= 0
+        assert p.t_exposed >= 0
+
+    def test_never_slower_than_additive(self):
+        """max(a, b) + c <= a + b + c: overlap is a pure win in-model."""
+        for n in (2, 4, 8, 24, 96, 384):
+            p = self._predict(n_gpus=n)
+            assert p.t_iteration <= p.base.t_iteration + 1e-15
+            assert p.speedup >= 1.0
+
+    def test_single_gpu_degenerates_to_streamcollide(self):
+        p = self._predict(n_gpus=1)
+        assert p.base.t_comm == 0.0
+        assert p.t_iteration == pytest.approx(p.base.t_streamcollide)
+
+    def test_explicit_frontier_fraction(self):
+        p = self._predict(frontier_fraction=0.25)
+        assert p.frontier_fraction == 0.25
+        assert p.t_frontier == pytest.approx(
+            0.25 * p.base.t_streamcollide
+        )
+
+    def test_frontier_fraction_validated(self):
+        with pytest.raises(PerfModelError):
+            self._predict(frontier_fraction=1.5)
+        with pytest.raises(PerfModelError):
+            self._predict(frontier_fraction=-0.1)
+
+    def test_comm_bound_regime_exposes_communication(self):
+        """Tiny subdomains: comm exceeds interior, some stays exposed."""
+        p = self._predict(fluid=5e3, n_gpus=64)
+        assert p.t_exposed > 0
+        assert p.t_hidden == pytest.approx(p.t_interior)
+
+    def test_mflups_uses_overlapped_time(self):
+        p = self._predict()
+        assert p.mflups == pytest.approx(
+            p.base.total_fluid / p.t_iteration / 1e6
+        )
+        assert p.mflups >= p.base.mflups

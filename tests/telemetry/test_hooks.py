@@ -117,3 +117,67 @@ class TestPhaseComposition:
         table = render_composition([_event("collide", 10.0, rank=0)])
         for column in ("Streamcollide", "Communication", "H2D", "D2H"):
             assert column in table
+
+
+class TestOverlapComposition:
+    @pytest.mark.parametrize(
+        "name,category",
+        [
+            ("interior", "streamcollide"),
+            ("frontier", "streamcollide"),
+            ("overlap_window", None),
+        ],
+    )
+    def test_overlap_span_names_categorize(self, name, category):
+        assert categorize(name) == category
+
+    def _overlap_events(self):
+        return [
+            _event("overlap_window", 100.0),
+            _event("exchange", 30.0, rank=0),
+            _event("interior", 50.0, rank=0),
+            _event("frontier", 10.0, rank=0),
+            _event("exchange", 80.0, rank=1),
+            _event("interior", 40.0, rank=1),
+            _event("frontier", 5.0, rank=1),
+        ]
+
+    def test_hidden_vs_exposed_split(self):
+        from repro.telemetry import overlap_composition
+
+        comp = overlap_composition(self._overlap_events())
+        # rank 0: comm fits under the interior window entirely
+        assert comp[0]["hidden_us"] == pytest.approx(30.0)
+        assert comp[0]["exposed_us"] == pytest.approx(0.0)
+        # rank 1: 40us hidden, 40us still on the critical path
+        assert comp[1]["hidden_us"] == pytest.approx(40.0)
+        assert comp[1]["exposed_us"] == pytest.approx(40.0)
+
+    def test_non_overlap_trace_returns_none(self):
+        from repro.telemetry import overlap_composition, render_overlap
+
+        events = [_event("collide", 10.0, rank=0)]
+        assert overlap_composition(events) is None
+        assert render_overlap(events) is None
+
+    def test_render_and_summarize(self, tmp_path):
+        import json
+
+        from repro.telemetry import render_overlap
+
+        table = render_overlap(self._overlap_events())
+        for column in ("Interior", "Frontier", "Hidden", "Exposed"):
+            assert column in table
+
+    def test_summarize_trace_file_appends_overlap_table(self, tmp_path):
+        import json
+
+        from repro.telemetry import summarize_trace_file
+
+        path = tmp_path / "ov.json"
+        path.write_text(
+            json.dumps({"traceEvents": self._overlap_events()})
+        )
+        out = summarize_trace_file(path)
+        assert "phase composition" in out
+        assert "hidden vs exposed" in out
