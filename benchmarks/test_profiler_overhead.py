@@ -1,0 +1,69 @@
+"""Guard: profiler-enabled runs stay within 5% of telemetry-off runs.
+
+The profiling layer (live tracer spans per rank per phase, step-work
+counters, window gauges) must be cheap enough to leave on for real
+measurement runs — otherwise the profile distorts the very numbers it
+reports.  This bench times the distributed step with a live tracer
+attached against the default null-tracer path and holds the gap to the
+budget ``repro.telemetry.profile`` promises.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.decomp import axis_decompose
+from repro.geometry import CylinderSpec, make_cylinder
+from repro.lbm import DistributedSolver, SolverConfig
+from repro.telemetry.spans import Tracer
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return make_cylinder(CylinderSpec(scale=1.5))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SolverConfig(
+        tau=0.8,
+        force=(1e-6, 0.0, 0.0),
+        periodic=(True, False, False),
+        overlap=True,
+    )
+
+
+def _min_time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_profiler_enabled_overhead(grid, config):
+    partition = axis_decompose(grid, 4)
+    tracer = Tracer()
+    profiled = DistributedSolver(partition, config, tracer=tracer)
+    plain = DistributedSolver(partition, config)
+    assert profiled.tracer.enabled
+    assert not plain.tracer.enabled
+
+    steps = 5  # amortize per-call noise over several iterations
+    profiled.step(2)
+    plain.step(2)
+
+    def profiled_step():
+        tracer.clear()  # steady-state span buffer, like windowed runs
+        profiled.step(steps)
+
+    t_profiled = _min_time(profiled_step, repeats=7)
+    t_plain = _min_time(lambda: plain.step(steps), repeats=7)
+    # 5% relative budget with a small absolute floor for timer noise
+    assert t_profiled <= t_plain * 1.05 + 5e-4 * steps, (
+        f"profiler-enabled step {t_profiled / steps * 1e3:.2f} ms vs "
+        f"telemetry-off {t_plain / steps * 1e3:.2f} ms"
+    )

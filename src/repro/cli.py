@@ -28,6 +28,15 @@ Commands
     Regenerate the full reproduction report (all tables and figures).
 ``telemetry``
     Inspect telemetry artefacts (``summarize`` a ``--trace-out`` file).
+``bench``
+    Wall-clock microbenchmarks (``kernels``, ``overlap``) with
+    benchmark-history recording.
+``profile``
+    Profiling layer (``run``): spans + byte counters joined with the
+    performance model into per-phase/per-window efficiency tables.
+``perf``
+    Performance regression tooling (``gate``): compare current results
+    against committed baselines with noise-aware tolerance bands.
 ``lint``
     Static-analysis gate: backend-conformance, hot-path purity, and
     communication-schedule rules over the source tree.
@@ -162,6 +171,15 @@ def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _append_bench_history(result, args: argparse.Namespace) -> None:
+    if getattr(args, "no_history", False) or not args.history:
+        return
+    from .bench import append_record
+
+    append_record(args.history, result.to_dict())
+    print(f"history record appended to {args.history}")
+
+
 def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     from .microbench import run_kernel_bench
 
@@ -173,6 +191,7 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     if args.output:
         result.write(args.output)
         print(f"written to {args.output}")
+    _append_bench_history(result, args)
     if args.assert_speedup is not None:
         if result.step_speedup < args.assert_speedup:
             print(
@@ -204,6 +223,7 @@ def _cmd_bench_overlap(args: argparse.Namespace) -> int:
     if args.output:
         result.write(args.output)
         print(f"written to {args.output}")
+    _append_bench_history(result, args)
     if args.assert_speedup is not None:
         worst = result.min_speedup(min_ranks=args.min_ranks)
         if worst < args.assert_speedup:
@@ -219,6 +239,143 @@ def _cmd_bench_overlap(args: argparse.Namespace) -> int:
             f"at >= {args.min_ranks} ranks"
         )
     return 0
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.errors import ReproError
+    from .telemetry import get_registry, write_metrics
+    from .telemetry.profile import (
+        render_profile,
+        run_profile,
+        write_profile_trace,
+    )
+    from .telemetry.spans import Tracer
+
+    tracer = Tracer()
+    try:
+        profile = run_profile(
+            scale=args.scale,
+            num_ranks=args.ranks,
+            steps=args.steps,
+            window_steps=args.window,
+            overlap=args.schedule == "overlap",
+            executor=args.executor,
+            bandwidth_gbs=args.bandwidth,
+            machine=args.machine,
+            tracer=tracer,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(profile, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"profile written to {args.output}")
+    if args.trace_out:
+        path = write_profile_trace(tracer, profile, args.trace_out)
+        print(f"trace (with embedded profile) written to {path}")
+    if args.metrics_out:
+        path = write_metrics(get_registry(), args.metrics_out)
+        print(f"metrics written to {path}")
+    return 0
+
+
+def _gate_current_result(kind: str, baseline: dict, args: argparse.Namespace):
+    """Produce the current-run result a gate baseline is compared to.
+
+    Re-runs the benchmark with the baseline's own config echo when one
+    is recorded (so config signatures match and absolute metrics become
+    comparable on the same host), or the CI quick presets under
+    ``--quick``.
+    """
+    config = (baseline.get("meta") or {}).get("config") or {}
+    if kind == "kernels":
+        from .microbench import run_kernel_bench
+
+        if args.quick:
+            return run_kernel_bench(scale=0.5, steps=5, reps=2).to_dict()
+        return run_kernel_bench(
+            scale=config.get("scale", 1.0),
+            steps=config.get("steps", 20),
+            reps=config.get("reps", 3),
+        ).to_dict()
+    from .microbench import run_overlap_bench
+
+    if args.quick:
+        return run_overlap_bench(scale=0.5, steps=8, reps=5).to_dict()
+    return run_overlap_bench(
+        scale=config.get("scale", 1.0),
+        steps=config.get("steps", 20),
+        reps=config.get("reps", 3),
+        rank_counts=config.get("rank_counts", (2, 4, 8)),
+    ).to_dict()
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .bench import compare_results, load_records
+    from .core.errors import BenchmarkError
+
+    baselines = args.baseline or [
+        p
+        for p in ("BENCH_kernels.json", "BENCH_overlap.json")
+        if pathlib.Path(p).exists()
+    ]
+    if not baselines:
+        print(
+            "error: no baselines found (pass --baseline or run the "
+            "benchmarks first)",
+            file=sys.stderr,
+        )
+        return 2
+    currents = {}
+    for path in args.current or []:
+        doc = json.loads(pathlib.Path(path).read_text())
+        currents[doc.get("benchmark")] = doc
+    try:
+        history = load_records(args.history) if args.history else []
+    except BenchmarkError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    reports = []
+    for bpath in baselines:
+        baseline = json.loads(pathlib.Path(bpath).read_text())
+        kind = baseline.get("benchmark")
+        try:
+            current = currents.get(kind) or _gate_current_result(
+                kind, baseline, args
+            )
+            report = compare_results(
+                baseline,
+                current,
+                tolerance=args.tolerance,
+                history=history,
+            )
+        except BenchmarkError as exc:
+            print(f"error: {bpath}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            print(report.format_text())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            json.dump(
+                [r.to_dict() for r in reports], fh, indent=2, sort_keys=True
+            )
+            fh.write("\n")
+        print(f"drift report written to {args.report_out}")
+    return max(r.exit_code for r in reports)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -661,6 +818,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="rank-count floor for --assert-speedup (default: 4)",
     )
     po.set_defaults(func=_cmd_bench_overlap)
+    for bench_parser in (pb, po):
+        bench_parser.add_argument(
+            "--history", default="BENCH_HISTORY.jsonl", metavar="PATH",
+            help="JSONL benchmark-history file to append the run to "
+            "(default: BENCH_HISTORY.jsonl)",
+        )
+        bench_parser.add_argument(
+            "--no-history", action="store_true",
+            help="do not append this run to the benchmark history",
+        )
+
+    p = sub.add_parser(
+        "profile",
+        help="profiling layer: spans + byte counters joined with the "
+        "performance model",
+    )
+    prsub = p.add_subparsers(dest="profile_command", required=True)
+    pr = prsub.add_parser(
+        "run",
+        help="profile the distributed step on the cylinder: per-phase "
+        "and per-window MFLUPS, achieved bandwidth, architectural "
+        "efficiency, hidden-vs-exposed communication, load imbalance",
+    )
+    pr.add_argument(
+        "--scale", type=float, default=1.0,
+        help="cylinder geometry scale factor (default: 1.0)",
+    )
+    pr.add_argument(
+        "--ranks", type=int, default=4,
+        help="rank count to decompose over (default: 4)",
+    )
+    pr.add_argument(
+        "--steps", type=int, default=40,
+        help="total iterations to profile (default: 40)",
+    )
+    pr.add_argument(
+        "--window", type=int, default=10, metavar="STEPS",
+        help="step-window size for the per-window tables (default: 10)",
+    )
+    pr.add_argument(
+        "--schedule", choices=["overlap", "barrier"], default="overlap",
+        help="step schedule to profile (default: overlap)",
+    )
+    pr.add_argument(
+        "--executor", choices=["lockstep", "parallel"], default="lockstep",
+        help="rank-phase executor (default: lockstep)",
+    )
+    pr.add_argument(
+        "--bandwidth", type=float, default=None, metavar="GBS",
+        help="host memory-bandwidth bound in GB/s (default: measure "
+        "with the host STREAM microbenchmark)",
+    )
+    pr.add_argument(
+        "--machine", default=None,
+        help="Table-1 system to quote the simulated model prediction "
+        "for (e.g. Polaris)",
+    )
+    pr.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    pr.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the profile document as JSON",
+    )
+    _add_telemetry_args(pr)
+    pr.set_defaults(func=_cmd_profile_run)
+
+    p = sub.add_parser(
+        "perf", help="performance regression tooling"
+    )
+    pfsub = p.add_subparsers(dest="perf_command", required=True)
+    pg = pfsub.add_parser(
+        "gate",
+        help="compare current benchmark results against committed "
+        "baselines; exit 1 on drift beyond tolerance",
+    )
+    pg.add_argument(
+        "--baseline", action="append", default=None, metavar="PATH",
+        help="baseline result JSON (repeatable; default: "
+        "BENCH_kernels.json and BENCH_overlap.json when present)",
+    )
+    pg.add_argument(
+        "--current", action="append", default=None, metavar="PATH",
+        help="pre-recorded current result JSON matched to its baseline "
+        "by benchmark kind (default: re-run the benchmark)",
+    )
+    pg.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="fractional regression tolerance before noise widening "
+        "(default: 0.15)",
+    )
+    pg.add_argument(
+        "--history", default="BENCH_HISTORY.jsonl", metavar="PATH",
+        help="benchmark-history JSONL for noise-aware tolerance bands "
+        "(default: BENCH_HISTORY.jsonl)",
+    )
+    pg.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset for the re-run benchmarks (absolute "
+        "metrics are skipped; relative speedups still gate)",
+    )
+    pg.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    pg.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the combined drift report as JSON",
+    )
+    pg.set_defaults(func=_cmd_perf_gate)
 
     p = sub.add_parser(
         "lint", help="run the static-analysis rules over the source tree"

@@ -64,3 +64,8 @@ class LintError(ReproError):
 class CommScheduleError(ReproError):
     """Raised when a communication schedule fails static verification
     (unmatched messages, tag collisions, blocking deadlock)."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark-history store and the perf gate (malformed
+    history records, incomparable results, schema mismatches)."""

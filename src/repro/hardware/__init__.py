@@ -2,6 +2,7 @@
 four systems of the paper (Table 1)."""
 
 from .gpu import GPUSpec
+from .host import fingerprints_match, host_bandwidth_gbs, host_fingerprint
 from .interconnect import LinkSpec, LinkTier
 from .machine import Machine, RankPlacement
 from .node import NodeSpec
@@ -29,4 +30,7 @@ __all__ = [
     "get_machine",
     "all_machines",
     "machine_names",
+    "host_fingerprint",
+    "fingerprints_match",
+    "host_bandwidth_gbs",
 ]

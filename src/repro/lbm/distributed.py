@@ -48,7 +48,6 @@ barrier (the fused NumPy kernels release the GIL).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -160,9 +159,10 @@ class DistributedSolver:
         registry = get_registry()
         self._halo_packed = registry.counter("lbm.halo.bytes_packed")
         self._halo_unpacked = registry.counter("lbm.halo.bytes_unpacked")
-        # counters are process-shared; rank phases may run on worker
-        # threads, so increments are serialized
-        self._counter_lock = threading.Lock()
+        self._flups_counter = registry.counter("lbm.collide.flups")
+        self._stream_bytes_counter = registry.counter(
+            "lbm.stream.bytes_gathered"
+        )
         self._build()
         if validate_schedule:
             # pre-flight: statically verify the halo-exchange plan the
@@ -392,6 +392,19 @@ class DistributedSolver:
         self._owned_total = int(
             sum(st.num_owned for st in self.ranks)
         )
+        # gather traffic of one streaming pass across all ranks, for the
+        # per-step() counter bump (the overlapped interior phase applies
+        # the full plan, so the figure is schedule-independent)
+        if self._fused:
+            self._gather_bytes_per_step = int(
+                sum(
+                    st.step_plan.bytes_per_apply
+                    for st in self.ranks
+                    if st.step_plan is not None
+                )
+            )
+        else:
+            self._gather_bytes_per_step = 2 * q * self._owned_total * 8
         self._gather_out = np.empty(
             (q, n_global), dtype=np.float64
         )
@@ -432,8 +445,7 @@ class DistributedSolver:
                     mode="clip",
                 )
                 sends.append(isend(self.comm, st.rank, dst, buf, tag=1))
-                with self._counter_lock:
-                    self._halo_packed.inc(buf.nbytes)
+                self._halo_packed.inc(buf.nbytes)
         else:
             sends = []
             for dst, ids in st.send_ids.items():
@@ -441,8 +453,7 @@ class DistributedSolver:
                 sends.append(
                     isend(self.comm, st.rank, dst, payload, tag=1)
                 )
-                with self._counter_lock:
-                    self._halo_packed.inc(payload.nbytes)
+                self._halo_packed.inc(payload.nbytes)
         self._pending[rank] = (sends, recvs)
 
     def _take_pending(
@@ -464,8 +475,7 @@ class DistributedSolver:
         for src, req in recvs.items():
             payload = req.wait()
             st.f[:, st.recv_slots[src]] = payload
-            with self._counter_lock:
-                self._halo_unpacked.inc(payload.nbytes)
+            self._halo_unpacked.inc(payload.nbytes)
 
     def _phase_stream(self, rank: int) -> None:
         st = self.ranks[rank]
@@ -504,8 +514,7 @@ class DistributedSolver:
             buf = st.pack_bufs[dst]
             np.take(f_flat, pack, out=buf, mode="clip")
             sends.append(isend(self.comm, st.rank, dst, buf, tag=1))
-            with self._counter_lock:
-                self._halo_packed.inc(buf.nbytes)
+            self._halo_packed.inc(buf.nbytes)
         self._pending[rank] = (sends, recvs)
 
     def _phase_stream_interior(self, rank: int) -> None:
@@ -526,8 +535,7 @@ class DistributedSolver:
             payload = req.wait()
             assert payload is not None
             payloads[src] = payload
-            with self._counter_lock:
-                self._halo_unpacked.inc(payload.nbytes)
+            self._halo_unpacked.inc(payload.nbytes)
         self._payloads[rank] = payloads
 
     def _phase_stream_frontier(self, rank: int) -> None:
@@ -573,6 +581,7 @@ class DistributedSolver:
                 # phase 4: boundary conditions
                 ex.run_phase(self._phase_boundary, name="boundary")
                 self.fluid_updates += self._owned_total
+        self._count_step_work(num_steps)
 
     def _step_overlapped(self, num_steps: int) -> None:
         ex = self.executor
@@ -601,6 +610,17 @@ class DistributedSolver:
                 self.time += 1
                 ex.run_phase(self._phase_boundary, name="boundary")
                 self.fluid_updates += self._owned_total
+        self._count_step_work(num_steps)
+
+    def _count_step_work(self, num_steps: int) -> None:
+        # one counter bump per step() call, not per iteration: the
+        # profiling layer reads deltas, and per-iteration increments
+        # would put lock traffic on the hot path
+        if num_steps > 0:
+            self._flups_counter.inc(num_steps * self._owned_total)
+            self._stream_bytes_counter.inc(
+                num_steps * self._gather_bytes_per_step
+            )
 
     # -- observables -----------------------------------------------------------
     @property
@@ -634,6 +654,39 @@ class DistributedSolver:
         from .moments import velocity as _velocity
 
         return _velocity(self.lattice, self.gather_f(), self.collision.force)
+
+    def phase_bytes_per_step(self) -> Dict[str, int]:
+        """Memory traffic each phase moves in one iteration, by span name.
+
+        The profiling layer divides these by measured phase times to get
+        achieved bandwidth, and by the host STREAM bound to get the
+        phase's model floor (Eq. 1 applied per phase).  Accounting:
+
+        * ``collide`` reads and writes all ``q`` populations of every
+          owned node;
+        * ``stream`` / ``interior`` is one fused gather over the full
+          plan (the overlapped interior phase applies the whole plan,
+          frontier columns provisionally);
+        * ``exchange`` moves the halo payload twice (pack at the sender,
+          unpack/scatter at the receiver);
+        * ``frontier`` re-scatters the packed payload onto the link
+          destinations; ``boundary`` traffic is negligible and carries
+          no byte model.
+        """
+        q = self.lattice.q
+        collide = 2 * q * self._owned_total * 8
+        halo = self.halo_bytes_per_step()
+        out: Dict[str, int] = {
+            "collide": collide,
+            "exchange": 2 * halo,
+            "boundary": 0,
+        }
+        if self._overlap:
+            out["interior"] = self._gather_bytes_per_step
+            out["frontier"] = 2 * halo
+        else:
+            out["stream"] = self._gather_bytes_per_step
+        return out
 
     def halo_bytes_per_step(self) -> int:
         """Bytes exchanged in one iteration (from the wired send lists).

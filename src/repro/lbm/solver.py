@@ -20,6 +20,7 @@ from ..core.kernels import Workspace
 from ..core.lattice import Lattice, get_lattice
 from ..geometry.flags import INLET, OUTLET
 from ..geometry.voxel import VoxelGrid
+from ..telemetry.metrics import get_registry
 from .bgk import BGKCollision
 from .boundary import PressureOutlet, VelocityInlet
 from .moments import density as _density
@@ -151,6 +152,19 @@ class Solver:
             self._workspace = None
         self.time = 0
         self.fluid_updates = 0
+        # byte/update counters for the profiling layer, cached once and
+        # bumped per step() call (not per iteration) to keep the
+        # telemetry-on overhead negligible
+        registry = get_registry()
+        self._flups_counter = registry.counter("lbm.collide.flups")
+        self._stream_bytes_counter = registry.counter(
+            "lbm.stream.bytes_gathered"
+        )
+        self._stream_bytes_per_step = (
+            self.step_plan.bytes_per_apply
+            if self.step_plan is not None
+            else 2 * self.lattice.q * n * 8
+        )
 
     def _setup_boundaries(self) -> None:
         cfg = self.config
@@ -192,6 +206,11 @@ class Solver:
             if self.outlet is not None:
                 self.outlet.apply(self.lattice, self.f, self.time)
             self.fluid_updates += self.num_nodes
+        if num_steps:
+            self._flups_counter.inc(num_steps * self.num_nodes)
+            self._stream_bytes_counter.inc(
+                num_steps * self._stream_bytes_per_step
+            )
 
     # -- observables ---------------------------------------------------------
     @property

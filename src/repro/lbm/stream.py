@@ -199,6 +199,14 @@ class StepPlan:
         src_flat = self.flat_src[qi, col]
         return dst_flat.astype(np.int64), src_flat.astype(np.int64)
 
+    @property
+    def bytes_per_apply(self) -> int:
+        """Memory traffic of one :meth:`apply`: every (population, node)
+        link reads one double and writes one — the one-pass accounting
+        the perf model's Eq. 1 prices (``Lattice.bytes_per_update`` per
+        updated node)."""
+        return 2 * self.lattice.q * self.num_update * 8
+
     def flat_dst(self) -> np.ndarray:
         """Flat destination indices matching ``flat_src`` row for row.
 

@@ -23,8 +23,9 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..bench.history import make_meta
 from ..core.errors import ConfigError
 from ..geometry.cylinder import CylinderSpec, make_cylinder
 from ..lbm.solver import Solver, SolverConfig
@@ -71,13 +72,17 @@ class KernelBenchResult:
     reps: int
     bytes_per_update: int
     timings: Dict[str, KernelTiming]
+    #: provenance block (schema version, git sha, host fingerprint,
+    #: timestamp, config echo) — what the perf gate and the history
+    #: store key comparability on
+    meta: Optional[dict] = None
 
     @property
     def step_speedup(self) -> float:
         return self.timings["step"].speedup
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "benchmark": "kernels",
             "workload": self.workload,
             "scale": self.scale,
@@ -90,6 +95,9 @@ class KernelBenchResult:
             },
             "step_speedup": self.step_speedup,
         }
+        if self.meta is not None:
+            out["meta"] = self.meta
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -205,4 +213,13 @@ def run_kernel_bench(
         reps=int(reps),
         bytes_per_update=lat.bytes_per_update(),
         timings=timings,
+        meta=make_meta(
+            {
+                "scale": float(scale),
+                "steps": int(steps),
+                "reps": int(reps),
+                "tau": float(tau),
+                "force_x": float(force_x),
+            }
+        ),
     )

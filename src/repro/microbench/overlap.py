@@ -25,8 +25,9 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from ..bench.history import make_meta
 from ..core.errors import ConfigError
 
 if TYPE_CHECKING:  # solver imports stay deferred: microbench loads early
@@ -112,9 +113,13 @@ class OverlapBenchResult:
     steps: int
     reps: int
     ranks: List[OverlapRankResult]
+    #: provenance block (schema version, git sha, host fingerprint,
+    #: timestamp, config echo) — what the perf gate and the history
+    #: store key comparability on
+    meta: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "benchmark": "overlap",
             "workload": self.workload,
             "scale": self.scale,
@@ -123,6 +128,9 @@ class OverlapBenchResult:
             "reps": self.reps,
             "ranks": [r.to_dict() for r in self.ranks],
         }
+        if self.meta is not None:
+            out["meta"] = self.meta
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -236,4 +244,14 @@ def run_overlap_bench(
         steps=int(steps),
         reps=int(reps),
         ranks=rank_results,
+        meta=make_meta(
+            {
+                "scale": float(scale),
+                "steps": int(steps),
+                "reps": int(reps),
+                "rank_counts": [int(n) for n in rank_counts],
+                "tau": float(tau),
+                "force_x": float(force_x),
+            }
+        ),
     )

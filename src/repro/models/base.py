@@ -176,6 +176,10 @@ class ModelEngine:
                 )
         self.time = 0
         self.fluid_updates = 0
+        # launch accounting for the profiling layer, cached once
+        from ..telemetry.metrics import get_registry
+
+        self._launch_counter = get_registry().counter("model.launches")
 
     # -- phases ---------------------------------------------------------------
     def _collide_phase(self) -> None:
@@ -257,6 +261,7 @@ class ModelEngine:
     def step(self, num_steps: int = 1) -> None:
         if num_steps < 0:
             raise ModelError("num_steps must be non-negative")
+        launches_before = self.model.launch_count
         for _ in range(num_steps):
             self._collide_phase()
             self._stream_phase()
@@ -264,6 +269,9 @@ class ModelEngine:
             self._boundary_phase()
             self.model.synchronize()
             self.fluid_updates += self.num_nodes
+        launched = self.model.launch_count - launches_before
+        if launched > 0:
+            self._launch_counter.inc(launched)
 
     def distributions(self) -> np.ndarray:
         """Download the distribution array from the device."""

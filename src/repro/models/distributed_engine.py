@@ -127,12 +127,15 @@ class DistributedModelEngine:
         gpu_aware: bool = True,
         comm: Optional[SimComm] = None,
         model_factory: Optional[Callable[[int], ProgrammingModel]] = None,
+        tracer=None,
     ) -> None:
         # reuse the reference solver's wiring (ghost sets, plans, BCs);
         # deferred imports keep this module out of the runtime/telemetry
         # import cycle
         from ..lbm.distributed import DistributedSolver
         from ..runtime.executor import make_executor
+        from ..telemetry.metrics import get_registry
+        from ..telemetry.spans import get_tracer
 
         reference = DistributedSolver(
             partition, config, comm=SimComm(partition.num_ranks)
@@ -144,7 +147,11 @@ class DistributedModelEngine:
         self.gpu_aware = bool(gpu_aware)
         self.comm = comm if comm is not None else SimComm(partition.num_ranks)
         self.model_name = model_name
-        self.executor = make_executor(config.executor, partition.num_ranks)
+        self.tracer = get_tracer() if tracer is None else tracer
+        self.executor = make_executor(
+            config.executor, partition.num_ranks, tracer=self.tracer
+        )
+        self._launch_counter = get_registry().counter("model.launches")
         self.time = 0
         self._coords = reference.coords
         factory = model_factory or (
@@ -286,17 +293,24 @@ class DistributedModelEngine:
         if num_steps < 0:
             raise ModelError("num_steps must be non-negative")
         ex = self.executor
+        launches_before = sum(er.model.launch_count for er in self.ranks)
         for _ in range(num_steps):
             self.comm.set_step(self.time)
-            ex.run_phase(self._phase_collide)
-            # pack/send and recv/unpack are separate phases: the barrier
-            # between them guarantees every message is enqueued before
-            # any rank receives, on either executor
-            ex.run_phase(self._phase_pack_send)
-            ex.run_phase(self._phase_recv_unpack)
-            ex.run_phase(self._phase_stream)
-            self.time += 1
-            ex.run_phase(self._phase_boundary)
+            with self.tracer.span("step", step=self.time):
+                ex.run_phase(self._phase_collide, name="collide")
+                # pack/send and recv/unpack are separate phases: the barrier
+                # between them guarantees every message is enqueued before
+                # any rank receives, on either executor
+                ex.run_phase(self._phase_pack_send, name="exchange")
+                ex.run_phase(self._phase_recv_unpack, name="exchange")
+                ex.run_phase(self._phase_stream, name="stream")
+                self.time += 1
+                ex.run_phase(self._phase_boundary, name="boundary")
+        launched = (
+            sum(er.model.launch_count for er in self.ranks) - launches_before
+        )
+        if launched > 0:
+            self._launch_counter.inc(launched)
 
     @property
     def num_nodes(self) -> int:

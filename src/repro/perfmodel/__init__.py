@@ -1,6 +1,11 @@
 """The paper's GPU performance model (Eqs. 1-4), MFLUPS conversions, and
 the piecewise strong-scaling schedules."""
 
+from .attribution import (
+    PhaseAttribution,
+    attribute_phases,
+    machine_reference,
+)
 from .mflups import iteration_time_from_mflups, mflups, speedup
 from .model import (
     BYTES_PER_UPDATE_D3Q19,
@@ -40,6 +45,9 @@ __all__ = [
     "OverlapPrediction",
     "BYTES_PER_UPDATE_D3Q19",
     "HALO_BYTES_PER_SITE_D3Q19",
+    "PhaseAttribution",
+    "attribute_phases",
+    "machine_reference",
     "mflups",
     "iteration_time_from_mflups",
     "speedup",

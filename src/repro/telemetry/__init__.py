@@ -48,12 +48,28 @@ _SUMMARY_EXPORTS = (
     "summarize_trace_file",
 )
 
+# profile's exports are lazy for the same reason: it joins the solver,
+# hardware, and perfmodel stacks.
+_PROFILE_EXPORTS = (
+    "PROFILE_EVENT_NAME",
+    "PROFILE_SCHEMA_VERSION",
+    "profile_from_events",
+    "profile_metadata_event",
+    "render_profile",
+    "run_profile",
+    "write_profile_trace",
+)
+
 
 def __getattr__(name):
     if name in _SUMMARY_EXPORTS:
         from . import summary
 
         return getattr(summary, name)
+    if name in _PROFILE_EXPORTS:
+        from . import profile
+
+        return getattr(profile, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )
@@ -87,4 +103,11 @@ __all__ = [
     "overlap_composition",
     "render_overlap",
     "summarize_trace_file",
+    "PROFILE_SCHEMA_VERSION",
+    "PROFILE_EVENT_NAME",
+    "run_profile",
+    "render_profile",
+    "profile_metadata_event",
+    "profile_from_events",
+    "write_profile_trace",
 ]

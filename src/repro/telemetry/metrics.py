@@ -9,10 +9,17 @@ never has to pre-declare what it measures.
 Histograms use fixed, ascending bucket edges (Prometheus-style upper
 bounds): a value ``v`` lands in the first bucket whose edge satisfies
 ``v <= edge``, with one overflow bucket past the last edge.
+
+All mutation is thread-safe under the same lock discipline as
+:class:`~repro.runtime.simmpi.SimComm`: each instrument serialises its
+own updates and the registry serialises instrument creation, so rank
+phases running on :class:`~repro.runtime.executor.ParallelExecutor`
+worker threads can increment shared counters without torn updates.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -44,37 +51,41 @@ DEFAULT_BYTE_EDGES = (
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
             raise TelemetryError(
                 f"counter {self.name!r} cannot decrease (inc {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
     """Fixed-bucket histogram with ascending upper-bound edges."""
 
-    __slots__ = ("name", "edges", "counts", "count", "total")
+    __slots__ = ("name", "edges", "counts", "count", "total", "_lock")
 
     def __init__(self, name: str, edges: Sequence[float]) -> None:
         if not edges:
@@ -90,11 +101,14 @@ class Histogram:
         self.counts: List[int] = [0] * (len(edge_list) + 1)
         self.count = 0
         self.total = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.edges, value)] += 1
-        self.count += 1
-        self.total += value
+        bucket = bisect_left(self.edges, value)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.total += value
 
     @property
     def mean(self) -> float:
@@ -114,21 +128,23 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, cls, *args) -> _Metric:
         if not name:
             raise TelemetryError("metric name must be non-empty")
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise TelemetryError(
-                    f"metric {name!r} is a {type(existing).__name__}, "
-                    f"not a {cls.__name__}"
-                )
-            return existing
-        metric = cls(name, *args)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TelemetryError(
+                        f"metric {name!r} is a {type(existing).__name__}, "
+                        f"not a {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, Counter)
@@ -162,7 +178,8 @@ class MetricsRegistry:
         return len(self._metrics)
 
     def names(self) -> List[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         """Export-ready snapshot, grouped by instrument kind."""
@@ -188,7 +205,8 @@ class MetricsRegistry:
         return out
 
     def clear(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 _global_registry = MetricsRegistry()

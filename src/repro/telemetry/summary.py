@@ -115,6 +115,13 @@ def phase_composition(
         shares = {c: per_cat[c] / total for c in CATEGORIES}
         shares["total_us"] = total
         out[rank] = shares
+    if not out:
+        # phase spans exist but every duration is zero (e.g. a trace
+        # truncated by a sub-resolution clock): shares are undefined
+        raise TelemetryError(
+            "trace contains only zero-duration phase spans; "
+            "nothing to summarize"
+        )
     return out
 
 
@@ -236,4 +243,12 @@ def summarize_trace_file(path) -> str:
     overlap = render_overlap(events)
     if overlap is not None:
         out = f"{out}\n\n{overlap}"
+    # traces written by `repro profile run` embed the full profile as a
+    # metadata event; re-render its efficiency tables from the file alone
+    # (lazy import: profile joins the solver/perfmodel stack)
+    from .profile import profile_from_events, render_profile
+
+    profile = profile_from_events(events)
+    if profile is not None:
+        out = f"{out}\n\n{render_profile(profile)}"
     return out

@@ -135,3 +135,55 @@ class TestCliTelemetry:
         )
         assert code == 0
         assert "telemetry" not in capsys.readouterr().out
+
+
+class TestCliSummarizeDegenerateTraces:
+    """`telemetry summarize` exits cleanly on broken or empty traces."""
+
+    def _summarize(self, path, capsys):
+        code = main(["telemetry", "summarize", str(path)])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        code, _out, err = self._summarize(tmp_path / "nope.json", capsys)
+        assert code == 1
+        assert err.startswith("error: cannot load trace")
+
+    def test_empty_file_is_a_clean_error(self, tmp_path, capsys):
+        trace = tmp_path / "empty.json"
+        trace.write_text("")
+        code, _out, err = self._summarize(trace, capsys)
+        assert code == 1
+        assert err.startswith("error: cannot load trace")
+
+    def test_span_free_trace_is_a_clean_error(self, tmp_path, capsys):
+        trace = tmp_path / "spanfree.json"
+        trace.write_text('{"traceEvents": []}')
+        code, _out, err = self._summarize(trace, capsys)
+        assert code == 1
+        assert "no phase spans" in err
+
+    def test_zero_duration_phase_spans_are_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        # regression: this used to escape as a KeyError stack trace
+        trace = tmp_path / "zerodur.json"
+        trace.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {
+                            "name": "collide",
+                            "ph": "X",
+                            "ts": 0,
+                            "dur": 0,
+                            "args": {"rank": 0},
+                        }
+                    ]
+                }
+            )
+        )
+        code, _out, err = self._summarize(trace, capsys)
+        assert code == 1
+        assert "zero-duration" in err

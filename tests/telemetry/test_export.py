@@ -78,6 +78,88 @@ class TestChromeTrace:
             load_chrome_trace(tmp_path / "missing.json")
 
 
+def overlap_trace_events(num_ranks=2, steps=3):
+    """Chrome events from a real overlapped-pipeline run."""
+    from repro.decomp import grid_decompose
+    from repro.geometry.cylinder import CylinderSpec, make_cylinder
+    from repro.lbm.distributed import DistributedSolver
+    from repro.lbm.solver import SolverConfig
+
+    grid = make_cylinder(CylinderSpec(scale=0.5, periodic=True))
+    tracer = Tracer()
+    solver = DistributedSolver(
+        grid_decompose(grid, num_ranks),
+        SolverConfig(
+            tau=0.8,
+            force=(1e-5, 0.0, 0.0),
+            periodic=(True, False, False),
+            overlap=True,
+        ),
+        tracer=tracer,
+    )
+    solver.step(steps)
+    return tracer, chrome_trace(tracer)["traceEvents"]
+
+
+def spans_of(events, name):
+    return [e for e in events if e["ph"] == "X" and e["name"] == name]
+
+
+def encloses(outer, inner, eps=1e-6):
+    return (
+        outer["ts"] - eps <= inner["ts"]
+        and inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + eps
+    )
+
+
+class TestOverlapTraceExport:
+    """The overlapped pipeline's span structure survives export."""
+
+    def test_overlap_window_nests_inside_each_step(self):
+        _, events = overlap_trace_events(steps=3)
+        steps = spans_of(events, "step")
+        windows = spans_of(events, "overlap_window")
+        assert len(steps) == 3
+        assert len(windows) == 3
+        for win in windows:
+            assert any(encloses(s, win) for s in steps)
+
+    def test_interior_and_exchange_hide_inside_the_window(self):
+        _, events = overlap_trace_events(num_ranks=2, steps=2)
+        windows = spans_of(events, "overlap_window")
+        # per rank per step: one interior, two exchange halves
+        interior = spans_of(events, "interior")
+        exchange = spans_of(events, "exchange")
+        assert len(interior) == 2 * 2
+        assert len(exchange) == 2 * 2 * 2
+        for span in interior + exchange:
+            assert any(encloses(w, span) for w in windows)
+        # frontier streaming runs after the window closes
+        for span in spans_of(events, "frontier"):
+            assert not any(encloses(w, span) for w in windows)
+
+    def test_per_rank_tids(self):
+        _, events = overlap_trace_events(num_ranks=2, steps=1)
+        for name in ("collide", "interior", "frontier", "boundary"):
+            spans = spans_of(events, name)
+            assert {s["tid"] for s in spans} == {1, 2}  # rank r -> tid r+1
+            for s in spans:
+                assert s["tid"] == s["args"]["rank"] + 1
+        # control-thread spans (no rank) stay on tid 0
+        assert {s["tid"] for s in spans_of(events, "overlap_window")} == {0}
+        assert {s["tid"] for s in spans_of(events, "step")} == {0}
+
+    def test_round_trip_preserves_overlap_structure(self, tmp_path):
+        tracer, events = overlap_trace_events(num_ranks=2, steps=2)
+        path = write_chrome_trace(tracer, tmp_path / "overlap.json")
+        loaded = load_chrome_trace(path)
+        for name in ("step", "overlap_window", "interior", "frontier"):
+            assert len(spans_of(loaded, name)) == len(spans_of(events, name))
+        windows = spans_of(loaded, "overlap_window")
+        for span in spans_of(loaded, "interior"):
+            assert any(encloses(w, span) for w in windows)
+
+
 def make_registry() -> MetricsRegistry:
     reg = MetricsRegistry()
     reg.counter("comm.messages").inc(4)

@@ -106,3 +106,73 @@ class TestGlobalRegistry:
             assert fresh.counter("x").value == 1
         finally:
             set_registry(original)
+
+
+class TestThreadSafety:
+    """Instruments tolerate concurrent mutation from executor workers.
+
+    Unsynchronised ``+=`` on a shared counter loses increments under
+    thread interleaving; the instruments serialise their updates with
+    the same lock discipline as SimComm, so totals are exact.
+    """
+
+    def test_concurrent_counter_increments_are_not_lost(self):
+        import threading
+
+        reg = MetricsRegistry()
+        c = reg.counter("lbm.halo.bytes_packed")
+        n_threads, n_incs = 8, 5000
+
+        def worker():
+            for _ in range(n_incs):
+                c.inc(3)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 3 * n_threads * n_incs
+
+    def test_concurrent_histogram_observations_are_not_lost(self):
+        import threading
+
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes", edges=(10.0, 100.0))
+        n_threads, n_obs = 8, 2000
+
+        def worker():
+            for v in (5.0, 50.0, 500.0):
+                for _ in range(n_obs):
+                    h.observe(v)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 3 * n_threads * n_obs
+        assert h.counts == [n_threads * n_obs] * 3
+        assert h.total == pytest.approx(555.0 * n_threads * n_obs)
+
+    def test_concurrent_lazy_creation_yields_one_instrument(self):
+        import threading
+
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(reg.counter("comm.messages"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
