@@ -15,6 +15,7 @@ from .gate import DriftReport, MetricComparison, compare_results
 from .history import (
     SCHEMA_VERSION,
     append_record,
+    config_hash,
     config_signature,
     extract_metric,
     git_sha,
@@ -29,6 +30,7 @@ __all__ = [
     "append_record",
     "load_records",
     "extract_metric",
+    "config_hash",
     "config_signature",
     "MetricComparison",
     "DriftReport",

@@ -18,11 +18,12 @@ noise from repeated runs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 import subprocess
 import time
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..core.errors import BenchmarkError
 from ..hardware.host import host_fingerprint
@@ -34,6 +35,7 @@ __all__ = [
     "append_record",
     "load_records",
     "extract_metric",
+    "config_hash",
     "config_signature",
 ]
 
@@ -145,24 +147,72 @@ def extract_metric(record: Dict[str, Any], path: str) -> Optional[float]:
     return float(node)
 
 
-def config_signature(record: Dict[str, Any]) -> Tuple[Any, ...]:
+def _canonical(value: Any) -> Any:
+    """JSON-stable normal form of a config value.
+
+    Containers become sorted-key dicts and lists; numpy scalars collapse
+    to their Python counterparts (``.item()``), and integral floats to
+    ints, so ``scale=1`` from a JSON spec and ``scale=np.float64(1.0)``
+    from a sweep produce the same hash.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        items = [_canonical(v) for v in value]
+        return sorted(items, key=lambda v: json.dumps(v, sort_keys=True))
+    if hasattr(value, "item") and not isinstance(value, (int, float, str)):
+        return _canonical(value.item())
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def config_hash(config: Dict[str, Any]) -> str:
+    """A stable content address for a nested config dict.
+
+    Order-independent (keys are sorted at every level) and dtype-safe
+    (numpy scalars, tuples-vs-lists, and integral floats all normalise
+    before hashing), so the same logical configuration always maps to
+    the same 16-hex-digit key.  The campaign result store files each
+    cell under this hash, and the perf gate matches comparable history
+    runs with it.
+    """
+    if not isinstance(config, dict):
+        raise BenchmarkError(
+            f"config must be a dict, got {type(config).__name__}"
+        )
+    blob = json.dumps(
+        _canonical(config), sort_keys=True, separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def config_signature(record: Dict[str, Any]) -> str:
     """What must agree for two results' absolute numbers to compare.
 
     Benchmark kind, workload, and the knobs that change the timed work
-    (scale, steps, reps, rank counts).  Metadata like output paths or
-    timestamps never participates.
+    (scale, steps, reps, rank counts), collapsed to a stable
+    :func:`config_hash`.  Metadata like output paths or timestamps never
+    participates.
     """
     ranks = record.get("ranks")
-    rank_counts: Tuple[Any, ...] = ()
+    rank_counts: List[Any] = []
     if isinstance(ranks, list):
-        rank_counts = tuple(
+        rank_counts = [
             r.get("num_ranks") for r in ranks if isinstance(r, dict)
-        )
-    return (
-        record.get("benchmark"),
-        record.get("workload"),
-        record.get("scale"),
-        record.get("steps"),
-        record.get("reps"),
-        rank_counts,
+        ]
+    return config_hash(
+        {
+            "benchmark": record.get("benchmark"),
+            "workload": record.get("workload"),
+            "scale": record.get("scale"),
+            "steps": record.get("steps"),
+            "reps": record.get("reps"),
+            "rank_counts": rank_counts,
+        }
     )

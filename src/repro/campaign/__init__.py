@@ -1,0 +1,46 @@
+"""The declarative campaign engine.
+
+Turns a JSON sweep specification into a resumable measurement campaign:
+axes expand to content-addressed cells, constraints prune invalid
+combinations, each cell executes once into a crash-safe result store,
+and report emitters pivot the store into the paper's strong-scaling,
+composition, and portability views without re-running anything.
+"""
+
+from .report import REPORT_FORMATS, build_report, render_report
+from .runner import (
+    CampaignPlan,
+    CampaignRunReport,
+    campaign_status,
+    execute_cell,
+    plan_campaign,
+    run_campaign,
+)
+from .spec import (
+    RUNNER_NAMES,
+    CampaignSpec,
+    Cell,
+    PrunedCell,
+    SweepSpec,
+    load_spec,
+)
+from .store import ResultStore
+
+__all__ = [
+    "RUNNER_NAMES",
+    "Cell",
+    "PrunedCell",
+    "SweepSpec",
+    "CampaignSpec",
+    "load_spec",
+    "ResultStore",
+    "CampaignPlan",
+    "CampaignRunReport",
+    "plan_campaign",
+    "execute_cell",
+    "run_campaign",
+    "campaign_status",
+    "build_report",
+    "render_report",
+    "REPORT_FORMATS",
+]

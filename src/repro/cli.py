@@ -40,6 +40,11 @@ Commands
 ``lint``
     Static-analysis gate: backend-conformance, hot-path purity, and
     communication-schedule rules over the source tree.
+``campaign``
+    Declarative sweep engine (``run``, ``resume``, ``status``,
+    ``report``): expand a JSON spec into content-addressed cells,
+    execute the missing ones into a resumable result store, and pivot
+    the store into scaling/composition/portability reports.
 
 The functional run commands (``proxy``, ``harvey``) accept
 ``--trace-out PATH`` (Chrome ``trace_event`` JSON, loadable in
@@ -636,6 +641,98 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_setup(args: argparse.Namespace):
+    """Load the spec and open its store (shared by all subcommands)."""
+    import pathlib
+
+    from .campaign import ResultStore, load_spec
+
+    spec = load_spec(args.spec)
+    store_path = args.store or str(
+        pathlib.Path("campaign_results") / spec.name
+    )
+    return spec, ResultStore(store_path)
+
+
+def _print_campaign_report(report) -> None:
+    print(
+        f"campaign {report.campaign}: total={report.total} "
+        f"executed={report.executed} resumed={report.resumed} "
+        f"failed={report.failed} pruned={report.pruned} "
+        f"remaining={report.remaining}"
+    )
+    for failure in report.failures:
+        print(
+            f"  FAILED {failure['cell']}: {failure['error']}",
+            file=sys.stderr,
+        )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import run_campaign
+    from .core.errors import CampaignError
+
+    try:
+        spec, store = _campaign_setup(args)
+        report = run_campaign(
+            spec,
+            store,
+            force=getattr(args, "force", False),
+            max_cells=args.max_cells,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_campaign_report(report)
+    if args.assert_resumed and report.executed > 0:
+        print(
+            f"error: --assert-resumed, but {report.executed} cell(s) "
+            "executed instead of resuming from the store",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if report.failed else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import campaign_status
+    from .core.errors import CampaignError
+
+    try:
+        spec, store = _campaign_setup(args)
+        status = campaign_status(spec, store)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"campaign {status['campaign']}: {status['done']}/{status['total']} "
+        f"done, {status['pending']} pending, {status['failed']} failed, "
+        f"{status['pruned']} pruned "
+        f"({status['store_records']} store records)"
+    )
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .campaign import build_report, render_report
+    from .core.errors import CampaignError
+
+    try:
+        spec, store = _campaign_setup(args)
+        text = render_report(build_report(store), args.format)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out",
@@ -670,9 +767,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_proxy)
 
+    from .geometry.registry import geometry_names
+
     p = sub.add_parser("harvey", help="run HARVEY functionally")
     p.add_argument(
-        "--workload", choices=["aorta", "cylinder"], default="aorta"
+        "--workload", choices=list(geometry_names()), default="aorta"
     )
     p.add_argument("--resolution", type=float, default=1.5)
     p.add_argument("--ranks", type=int, default=4)
@@ -954,6 +1053,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (e.g. C101,P202)",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "campaign",
+        help="declarative sweep engine with a resumable result store",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_common(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("spec", help="campaign spec JSON file")
+        cp.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="result-store directory (default: "
+            "campaign_results/<campaign name>)",
+        )
+
+    cr = csub.add_parser(
+        "run", help="execute the campaign's missing cells"
+    )
+    _add_campaign_common(cr)
+    cr.add_argument(
+        "--force", action="store_true",
+        help="recompute cells that already completed",
+    )
+    cr.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="execute at most N cells this pass (resumed cells are free)",
+    )
+    cr.add_argument(
+        "--assert-resumed", action="store_true",
+        help="exit 1 if any cell executed (CI resume check: a second "
+        "run over a complete store must be 100%% resumed)",
+    )
+    cr.set_defaults(func=_cmd_campaign_run)
+
+    cs = csub.add_parser(
+        "resume",
+        help="finish an interrupted campaign (run, never forced)",
+    )
+    _add_campaign_common(cs)
+    cs.add_argument("--max-cells", type=int, default=None, metavar="N")
+    cs.set_defaults(
+        func=_cmd_campaign_run, force=False, assert_resumed=False
+    )
+
+    ct = csub.add_parser(
+        "status", help="where the campaign stands against its store"
+    )
+    _add_campaign_common(ct)
+    ct.set_defaults(func=_cmd_campaign_status)
+
+    cp = csub.add_parser(
+        "report",
+        help="pivot the result store into scaling/composition/"
+        "portability tables (no cells are re-run)",
+    )
+    _add_campaign_common(cp)
+    cp.add_argument(
+        "--format", choices=["text", "json", "csv"], default="text",
+        help="report format (default: text)",
+    )
+    cp.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to a file instead of stdout",
+    )
+    cp.set_defaults(func=_cmd_campaign_report)
 
     return parser
 

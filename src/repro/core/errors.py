@@ -69,3 +69,8 @@ class CommScheduleError(ReproError):
 class BenchmarkError(ReproError):
     """Raised by the benchmark-history store and the perf gate (malformed
     history records, incomparable results, schema mismatches)."""
+
+
+class CampaignError(ReproError):
+    """Raised by the campaign engine (malformed specs, unknown runners or
+    parameters, corrupt result-store records)."""

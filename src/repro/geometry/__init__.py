@@ -1,7 +1,11 @@
-"""Flow geometries: voxel grids, the paper's cylinder benchmark, and a
-synthetic patient-like aorta built from swept centerlines."""
+"""Flow geometries: voxel grids, the paper's cylinder benchmark, a
+synthetic patient-like aorta built from swept centerlines, and a zoo of
+pathological vessels (stenosis, bifurcation, aneurysm) behind a
+name -> builder registry."""
 
+from .aneurysm import AneurysmSpec, make_aneurysm
 from .aorta import PAPER_GRID_SPACINGS_MM, AortaSpec, make_aorta
+from .bifurcation import MURRAY_RATIO, BifurcationSpec, make_bifurcation
 from .centerline import EndCap, Tube, voxelize_tubes
 from .cylinder import (
     AXIAL_FACTOR,
@@ -11,6 +15,12 @@ from .cylinder import (
     make_cylinder,
 )
 from .flags import FLAG_NAMES, FLUID, INLET, OUTLET, SOLID, is_fluid_flag
+from .registry import (
+    GeometryBuilder,
+    build_geometry,
+    geometry_names,
+    register_geometry,
+)
 from .stenosis import StenosisSpec, make_stenosis, throat_radius
 from .voxel import Box, VoxelGrid
 
@@ -37,4 +47,13 @@ __all__ = [
     "StenosisSpec",
     "make_stenosis",
     "throat_radius",
+    "BifurcationSpec",
+    "make_bifurcation",
+    "MURRAY_RATIO",
+    "AneurysmSpec",
+    "make_aneurysm",
+    "GeometryBuilder",
+    "build_geometry",
+    "geometry_names",
+    "register_geometry",
 ]

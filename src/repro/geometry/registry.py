@@ -1,0 +1,132 @@
+"""Name -> builder registry over the geometry zoo.
+
+Campaign axes, the CLI, and the apps reference geometries by string
+(``"cylinder"``, ``"stenosis"``, ``"aorta"``, ``"bifurcation"``,
+``"aneurysm"``) instead of importing builders directly, so adding a
+geometry to the zoo automatically makes it sweepable.
+
+Every builder accepts the same two standard knobs:
+
+``resolution``
+    The refinement scale.  For the aorta it is the grid spacing in
+    millimetres (smaller = finer, matching the paper's 0.110/0.055/
+    0.0275 mm production grids); for the lattice-unit geometries it is a
+    multiplicative scale on every dimension (larger = finer), matching
+    the proxy's ``x``.
+``periodic``
+    Periodic, body-force-driven ends instead of inlet/outlet caps.
+    Geometries that are inherently capped (aorta, bifurcation) raise
+    :class:`~repro.core.errors.GeometryError` when asked for a periodic
+    variant.
+
+Extra keyword arguments pass through to the geometry's spec.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.errors import GeometryError
+from .aneurysm import AneurysmSpec, make_aneurysm
+from .aorta import make_aorta
+from .bifurcation import BifurcationSpec, make_bifurcation
+from .cylinder import CylinderSpec, make_cylinder
+from .stenosis import StenosisSpec, make_stenosis
+from .voxel import VoxelGrid
+
+__all__ = [
+    "GeometryBuilder",
+    "register_geometry",
+    "geometry_names",
+    "build_geometry",
+]
+
+GeometryBuilder = Callable[..., VoxelGrid]
+
+
+def _build_cylinder(
+    resolution: float, periodic: bool, **params: Any
+) -> VoxelGrid:
+    return make_cylinder(
+        CylinderSpec(scale=resolution, periodic=periodic, **params)
+    )
+
+
+def _build_stenosis(
+    resolution: float, periodic: bool, **params: Any
+) -> VoxelGrid:
+    # The stenosis spec is in absolute lattice units; scale the default
+    # vessel (the cylinder's 84 x 8 aspect ratio) by the resolution.
+    params.setdefault("radius", 8.0 * resolution)
+    params.setdefault("length", max(8, int(round(84 * resolution))))
+    params.setdefault("throat_width", 6.0 * resolution)
+    return make_stenosis(StenosisSpec(periodic=periodic, **params))
+
+
+def _build_aorta(resolution: float, periodic: bool, **params: Any) -> VoxelGrid:
+    if periodic:
+        raise GeometryError(
+            "the aorta is inherently capped (one inlet, four outlets); "
+            "it has no periodic variant"
+        )
+    return make_aorta(resolution, **params)
+
+
+def _build_bifurcation(
+    resolution: float, periodic: bool, **params: Any
+) -> VoxelGrid:
+    if periodic:
+        raise GeometryError(
+            "the bifurcation is inherently capped (inlet plus two "
+            "outlets); it has no periodic variant"
+        )
+    return make_bifurcation(BifurcationSpec(**params), resolution=resolution)
+
+
+def _build_aneurysm(
+    resolution: float, periodic: bool, **params: Any
+) -> VoxelGrid:
+    return make_aneurysm(
+        AneurysmSpec(periodic=periodic, **params), resolution=resolution
+    )
+
+
+_REGISTRY: Dict[str, GeometryBuilder] = {
+    "cylinder": _build_cylinder,
+    "stenosis": _build_stenosis,
+    "aorta": _build_aorta,
+    "bifurcation": _build_bifurcation,
+    "aneurysm": _build_aneurysm,
+}
+
+
+def register_geometry(name: str, builder: GeometryBuilder) -> None:
+    """Add a geometry to the zoo (for downstream extensions/tests)."""
+    if not name or not isinstance(name, str):
+        raise GeometryError("geometry name must be a non-empty string")
+    if name in _REGISTRY:
+        raise GeometryError(f"geometry {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def geometry_names() -> Tuple[str, ...]:
+    """The registered geometry names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_geometry(
+    name: str,
+    resolution: float = 1.0,
+    periodic: bool = False,
+    **params: Any,
+) -> VoxelGrid:
+    """Build a zoo geometry by name."""
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        raise GeometryError(
+            f"unknown geometry {name!r}; available: "
+            f"{', '.join(geometry_names())}"
+        )
+    if resolution <= 0:
+        raise GeometryError("resolution must be positive")
+    return builder(resolution=resolution, periodic=periodic, **params)

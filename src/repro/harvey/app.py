@@ -17,8 +17,7 @@ from typing import Dict, Optional
 from ..core.errors import ConfigError
 from ..decomp.bisection import bisection_decompose
 from ..decomp.partition import Partition
-from ..geometry.aorta import make_aorta
-from ..geometry.cylinder import CylinderSpec, make_cylinder
+from ..geometry.registry import build_geometry
 from ..geometry.voxel import VoxelGrid
 from ..hardware.machine import Machine
 from ..lbm.distributed import DistributedSolver
@@ -66,10 +65,8 @@ class HarveyApp:
     # -- setup ----------------------------------------------------------------
     def _build_grid(self) -> VoxelGrid:
         cfg = self.config
-        if cfg.workload == "aorta":
-            return make_aorta(cfg.resolution)
-        return make_cylinder(
-            CylinderSpec(scale=cfg.resolution, periodic=False)
+        return build_geometry(
+            cfg.workload, resolution=cfg.resolution, periodic=False
         )
 
     def _decompose(self) -> Partition:
@@ -81,7 +78,8 @@ class HarveyApp:
             return cfg.waveform
         if cfg.workload == "aorta":
             return PulsatileWaveform(peak_velocity=cfg.steady_inlet_speed * 2)
-        # steady axial inflow for the capped cylinder
+        # steady axial inflow for the axis-aligned capped geometries
+        # (cylinder, stenosis, bifurcation, aneurysm all flow along x)
         return (cfg.steady_inlet_speed, 0.0, 0.0)
 
     def _build_solver(self) -> DistributedSolver:
@@ -89,6 +87,9 @@ class HarveyApp:
             tau=self.config.tau,
             inlet_velocity=self._inlet_velocity(),
             periodic=(False, False, False),
+            fused=self.config.fused,
+            overlap=self.config.overlap,
+            executor=self.config.executor,
         )
         return DistributedSolver(self.partition, solver_cfg, tracer=self.tracer)
 
@@ -137,9 +138,14 @@ class HarveyApp:
         res = resolution or self.config.resolution
         if self.config.workload == "aorta":
             trace = aorta_trace(res, ranks, scheme="bisection")
-        else:
+        elif self.config.workload == "cylinder":
             trace = cylinder_trace(
                 res, ranks, scheme="bisection", with_caps=True
+            )
+        else:
+            raise ConfigError(
+                "the trace layer models the paper's workloads only; "
+                f"cannot project {self.config.workload!r} performance"
             )
         return price_run(trace, machine, model, "harvey")
 

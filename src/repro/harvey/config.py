@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.errors import ConfigError
+from ..geometry.registry import geometry_names
 from .pulsatile import PulsatileWaveform
 
 __all__ = ["HarveyConfig"]
@@ -18,19 +19,29 @@ class HarveyConfig:
     Attributes
     ----------
     workload:
-        ``"aorta"`` (the real-world case) or ``"cylinder"`` (the
-        idealized benchmark).
+        Any geometry-zoo name (``"aorta"``, ``"cylinder"``,
+        ``"stenosis"``, ``"bifurcation"``, ``"aneurysm"``, ...): the
+        grid is built through :func:`repro.geometry.build_geometry`.
     resolution:
-        Aorta: grid spacing in mm.  Cylinder: the scale factor ``x``.
+        Aorta: grid spacing in mm.  Other geometries: the refinement
+        scale factor (the proxy's ``x``).
     num_ranks:
         MPI ranks (one per logical GPU).
     tau:
         BGK relaxation time.
     waveform:
         Pulsatile inlet waveform (aorta); a steady inlet is synthesised
-        for the cylinder when none is given.
+        for the axis-aligned geometries when none is given.
     steady_inlet_speed:
-        Cylinder inlet speed when no waveform is supplied.
+        Inlet speed when no waveform is supplied.
+    fused:
+        Use the fused step-plan engine (see
+        :class:`~repro.lbm.solver.SolverConfig`).
+    overlap:
+        Run the distributed step as the overlapped interior/frontier
+        pipeline; requires ``fused``.
+    executor:
+        Rank-phase executor: ``"lockstep"`` or ``"parallel"``.
     """
 
     workload: str = "aorta"
@@ -39,12 +50,15 @@ class HarveyConfig:
     tau: float = 0.8
     waveform: Optional[PulsatileWaveform] = None
     steady_inlet_speed: float = 0.02
+    fused: bool = True
+    overlap: bool = False
+    executor: str = "lockstep"
 
     def __post_init__(self) -> None:
-        if self.workload not in ("aorta", "cylinder"):
+        if self.workload not in geometry_names():
             raise ConfigError(
-                f"unknown workload {self.workload!r}; "
-                "expected 'aorta' or 'cylinder'"
+                f"unknown workload {self.workload!r}; expected one of "
+                f"{', '.join(geometry_names())}"
             )
         if self.resolution <= 0:
             raise ConfigError("resolution must be positive")
@@ -54,3 +68,13 @@ class HarveyConfig:
             raise ConfigError("tau must exceed 0.5")
         if not 0 < self.steady_inlet_speed <= 0.3:
             raise ConfigError("steady inlet speed must be in (0, 0.3]")
+        if self.executor not in ("lockstep", "parallel"):
+            raise ConfigError(
+                f"unknown executor {self.executor!r}; "
+                "expected 'lockstep' or 'parallel'"
+            )
+        if self.overlap and not self.fused:
+            raise ConfigError(
+                "overlap=True requires the fused step-plan engine "
+                "(fused=True)"
+            )

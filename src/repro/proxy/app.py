@@ -17,7 +17,8 @@ import numpy as np
 
 from ..core.errors import ConfigError
 from ..decomp.block import quadrant_decompose
-from ..geometry.cylinder import CylinderSpec, cylinder_fluid_estimate, make_cylinder
+from ..geometry.cylinder import CylinderSpec, cylinder_fluid_estimate
+from ..geometry.registry import build_geometry
 from ..hardware.machine import Machine
 from ..lbm.distributed import DistributedSolver
 from ..lbm.moments import poiseuille_pipe_max_velocity
@@ -84,7 +85,9 @@ class ProxyApp:
         self.tracer = get_tracer() if tracer is None else tracer
         self.spec = CylinderSpec(scale=config.scale, periodic=True)
         with self.tracer.span("proxy.setup", scale=config.scale):
-            self.grid = make_cylinder(self.spec)
+            self.grid = build_geometry(
+                "cylinder", resolution=config.scale, periodic=True
+            )
             self.partition = quadrant_decompose(
                 self.grid, config.num_ranks, axis=0
             )

@@ -4,9 +4,12 @@ import json
 
 import pytest
 
+import numpy as np
+
 from repro.bench import (
     SCHEMA_VERSION,
     append_record,
+    config_hash,
     config_signature,
     extract_metric,
     git_sha,
@@ -128,3 +131,41 @@ class TestConfigSignature:
         a = {"benchmark": "overlap", "ranks": [{"num_ranks": 2}]}
         b = {"benchmark": "overlap", "ranks": [{"num_ranks": 4}]}
         assert config_signature(a) != config_signature(b)
+
+
+class TestConfigHash:
+    def test_stable_16_hex_digits(self):
+        h = config_hash({"a": 1, "b": "x"})
+        assert len(h) == 16
+        assert int(h, 16) >= 0
+        assert config_hash({"a": 1, "b": "x"}) == h
+
+    def test_order_independent(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        nested = config_hash({"outer": {"x": 1, "y": 2}})
+        assert nested == config_hash({"outer": {"y": 2, "x": 1}})
+
+    def test_dtype_safe(self):
+        assert config_hash({"n": 4}) == config_hash({"n": np.int64(4)})
+        assert config_hash({"s": 2.0}) == config_hash({"s": 2})
+        assert config_hash({"s": np.float64(2.0)}) == config_hash({"s": 2})
+        assert config_hash({"v": (1, 2)}) == config_hash({"v": [1, 2]})
+
+    def test_bools_are_not_ints(self):
+        assert config_hash({"flag": True}) != config_hash({"flag": 1})
+
+    def test_value_changes_change_the_hash(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+        assert config_hash({"a": 1}) != config_hash({"b": 1})
+
+    def test_sets_are_order_free(self):
+        assert config_hash({"s": {1, 2, 3}}) == config_hash({"s": {3, 1, 2}})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(BenchmarkError, match="must be a dict"):
+            config_hash([1, 2, 3])
+
+    def test_signature_is_a_config_hash(self):
+        sig = config_signature({"benchmark": "kernels", "scale": 1.0})
+        assert len(sig) == 16
+        int(sig, 16)

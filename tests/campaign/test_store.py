@@ -1,0 +1,94 @@
+"""Result-store round trips, provenance, and corruption handling."""
+
+import json
+
+import pytest
+
+from repro.campaign import Cell, ResultStore
+from repro.core import CampaignError
+
+
+@pytest.fixture
+def cell():
+    return Cell(
+        sweep="s", runner="perf",
+        params={"machine": "summit", "n_gpus": 4, "size": 2},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundTrip:
+    def test_put_get(self, store, cell):
+        store.put(cell, "ok", result={"mflups": 12.5})
+        record = store.get(cell.key)
+        assert record["status"] == "ok"
+        assert record["result"] == {"mflups": 12.5}
+        assert record["params"] == cell.params
+        assert record["sweep"] == "s"
+
+    def test_record_carries_v2_provenance(self, store, cell):
+        record = store.put(cell, "ok", result={})
+        meta = record["meta"]
+        assert meta["schema_version"] == 2
+        assert "git_sha" in meta and "host" in meta and "timestamp" in meta
+        assert meta["config"]["params"] == cell.params
+        # and it survives the disk round trip
+        assert store.get(cell.key)["meta"]["schema_version"] == 2
+
+    def test_one_file_per_cell(self, store, cell):
+        store.put(cell, "ok", result={"mflups": 1.0})
+        store.put(cell, "ok", result={"mflups": 2.0})
+        files = list(store.root.glob("*.json"))
+        assert len(files) == 1
+        assert files[0].stem == cell.key
+        assert store.get(cell.key)["result"]["mflups"] == 2.0
+
+    def test_no_tmp_files_left(self, store, cell):
+        store.put(cell, "ok", result={})
+        assert not list(store.root.glob("*.tmp"))
+
+    def test_has_ok(self, store, cell):
+        assert not store.has_ok(cell.key)
+        store.put(cell, "error", error="boom")
+        assert not store.has_ok(cell.key)
+        store.put(cell, "ok", result={})
+        assert store.has_ok(cell.key)
+
+    def test_counts_and_records(self, store, cell):
+        other = Cell(sweep="s", runner="perf", params={"n_gpus": 8})
+        store.put(cell, "ok", result={})
+        store.put(other, "error", error="boom")
+        assert store.counts() == {"ok": 1, "error": 1}
+        assert len(store.records()) == 2
+
+    def test_remove(self, store, cell):
+        store.put(cell, "ok", result={})
+        assert store.remove(cell.key)
+        assert store.get(cell.key) is None
+        assert not store.remove(cell.key)
+
+    def test_missing_store_reads_empty(self, store, cell):
+        assert store.records() == []
+        assert store.get(cell.key) is None
+
+
+class TestCorruption:
+    def test_invalid_status_rejected(self, store, cell):
+        with pytest.raises(CampaignError, match="status"):
+            store.put(cell, "done", result={})
+
+    def test_malformed_record_raises(self, store, cell):
+        store.put(cell, "ok", result={})
+        store.path_for(cell.key).write_text("{truncated")
+        with pytest.raises(CampaignError, match="corrupt"):
+            store.get(cell.key)
+
+    def test_record_missing_fields_raises(self, store, cell):
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path_for(cell.key).write_text(json.dumps({"key": cell.key}))
+        with pytest.raises(CampaignError, match="missing"):
+            store.get(cell.key)

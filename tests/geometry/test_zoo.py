@@ -1,0 +1,149 @@
+"""The new zoo geometries (bifurcation, aneurysm) and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeometryError
+from repro.geometry import (
+    MURRAY_RATIO,
+    AneurysmSpec,
+    BifurcationSpec,
+    build_geometry,
+    geometry_names,
+    make_aneurysm,
+    make_bifurcation,
+    register_geometry,
+)
+from repro.geometry.flags import FLUID, OUTLET
+
+
+class TestBifurcation:
+    def test_murray_ratio_value(self):
+        assert MURRAY_RATIO == pytest.approx(0.5 ** (1 / 3))
+        spec = BifurcationSpec(parent_radius=6.0)
+        assert spec.daughter_radius == pytest.approx(6.0 * MURRAY_RATIO)
+
+    def test_has_inlet_and_two_outlet_regions(self):
+        grid = make_bifurcation()
+        assert grid.num_inlet > 0
+        assert grid.num_outlet > 0
+        # the two daughters flare symmetrically in y: outlets on both
+        # sides of the parent axis
+        idx = np.argwhere(grid.flags == OUTLET)
+        ys = idx[:, 1]
+        mid = grid.flags.shape[1] / 2
+        assert (ys < mid).any() and (ys > mid).any()
+
+    def test_fluid_fraction_sane(self):
+        grid = make_bifurcation()
+        total = int(np.prod(grid.flags.shape))
+        fluid_fraction = grid.num_fluid / total
+        assert 0.02 < fluid_fraction < 0.7
+
+    def test_widens_after_junction(self):
+        grid = make_bifurcation()
+        profile = grid.fluid_profile(grid.full_box(), axis=0)
+        junction = int(BifurcationSpec().parent_length)
+        # past the junction the two daughters together cover more area
+        # per slice than the parent cross-section alone
+        assert profile[junction + 6] > 0
+
+    def test_resolution_scales_volume(self):
+        coarse = make_bifurcation(resolution=0.6)
+        fine = make_bifurcation(resolution=1.2)
+        ratio = fine.num_fluid / coarse.num_fluid
+        assert 4.0 < ratio < 14.0  # ~2^3 with staircase slack
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            BifurcationSpec(parent_radius=-1)
+        with pytest.raises(GeometryError):
+            BifurcationSpec(angle_deg=5.0)
+        with pytest.raises(GeometryError):
+            BifurcationSpec(radius_ratio=0.1)
+        with pytest.raises(GeometryError, match="daughter radius"):
+            make_bifurcation(BifurcationSpec(parent_radius=2.0),
+                             resolution=0.5)
+
+
+class TestAneurysm:
+    def test_sac_adds_volume(self):
+        spec = AneurysmSpec()
+        with_sac = make_aneurysm(spec)
+        assert with_sac.num_fluid > 0
+        # the sac bulges towards +z: fluid above the vessel's top wall
+        idx = np.argwhere(with_sac.flags == FLUID)
+        zs = idx[:, 2]
+        z_axis = with_sac.flags.shape[2] / 2
+        assert zs.max() - z_axis > spec.vessel_radius
+
+    def test_neck_narrower_than_sac(self):
+        spec = AneurysmSpec(neck_ratio=0.5)
+        assert spec.neck_radius == pytest.approx(0.5 * spec.sac_radius)
+
+    def test_periodic_variant_uncapped(self):
+        grid = make_aneurysm(AneurysmSpec(periodic=True))
+        assert grid.num_inlet == 0 and grid.num_outlet == 0
+        capped = make_aneurysm(AneurysmSpec(periodic=False))
+        assert capped.num_inlet > 0 and capped.num_outlet > 0
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            AneurysmSpec(neck_ratio=0.0)
+        with pytest.raises(GeometryError):
+            AneurysmSpec(position=1.0)
+        with pytest.raises(GeometryError):
+            AneurysmSpec(sac_radius=-2)
+        with pytest.raises(GeometryError, match="neck radius"):
+            make_aneurysm(AneurysmSpec(), resolution=0.2)
+
+
+class TestRegistry:
+    def test_zoo_names(self):
+        names = geometry_names()
+        for expected in (
+            "aorta", "aneurysm", "bifurcation", "cylinder", "stenosis",
+        ):
+            assert expected in names
+
+    def test_build_all_zoo_geometries(self):
+        for name in ("cylinder", "stenosis", "bifurcation", "aneurysm"):
+            grid = build_geometry(name, resolution=0.5)
+            assert grid.num_fluid > 0, name
+
+    def test_unknown_name(self):
+        with pytest.raises(GeometryError, match="unknown geometry"):
+            build_geometry("torus")
+
+    def test_capped_geometries_reject_periodic(self):
+        for name in ("aorta", "bifurcation"):
+            with pytest.raises(GeometryError, match="periodic"):
+                build_geometry(name, resolution=1.0, periodic=True)
+
+    def test_extra_params_pass_through(self):
+        narrow = build_geometry(
+            "bifurcation", resolution=1.0, angle_deg=20.0
+        )
+        wide = build_geometry(
+            "bifurcation", resolution=1.0, angle_deg=60.0
+        )
+        # a wider opening spreads the daughters further in y
+        assert wide.flags.shape[1] > narrow.flags.shape[1]
+
+    def test_register_rejects_collisions(self):
+        with pytest.raises(GeometryError, match="already registered"):
+            register_geometry("cylinder", lambda **kw: None)
+
+    def test_register_and_build(self):
+        from repro.geometry.registry import _REGISTRY
+
+        def builder(resolution, periodic, **params):
+            return build_geometry("cylinder", resolution=resolution,
+                                  periodic=periodic)
+
+        register_geometry("test-tube", builder)
+        try:
+            grid = build_geometry("test-tube", resolution=0.5)
+            assert grid.num_fluid > 0
+        finally:
+            _REGISTRY.pop("test-tube")

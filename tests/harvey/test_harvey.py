@@ -137,3 +137,44 @@ class TestHarveyApp:
         report = app.run(steps=10)
         # inflow never exceeds the waveform's peak by much
         assert report.max_velocity < 0.05
+
+
+class TestHarveyZooWorkloads:
+    """The geometry zoo runs through the full distributed solver."""
+
+    @pytest.mark.parametrize(
+        "geometry", ["stenosis", "bifurcation", "aneurysm"]
+    )
+    def test_zoo_geometry_runs_healthy(self, geometry):
+        app = HarveyApp(
+            HarveyConfig(workload=geometry, resolution=0.5, num_ranks=2)
+        )
+        report = app.run(steps=3)
+        assert report.workload == geometry
+        assert report.fluid_nodes > 0
+        assert report.mass_drift < 0.05
+        assert report.max_velocity > 0
+        assert np.isfinite(report.mflups)
+
+    def test_solver_mode_knobs(self):
+        cfg = HarveyConfig(
+            workload="cylinder", resolution=0.5, num_ranks=2,
+            fused=True, overlap=True, executor="parallel",
+        )
+        report = HarveyApp(cfg).run(steps=3)
+        assert report.mass_drift < 0.05
+
+    def test_overlap_requires_fused(self):
+        with pytest.raises(ConfigError, match="fused"):
+            HarveyConfig(workload="cylinder", fused=False, overlap=True)
+
+    def test_bad_executor(self):
+        with pytest.raises(ConfigError, match="executor"):
+            HarveyConfig(executor="fibers")
+
+    def test_zoo_projection_unsupported(self):
+        app = HarveyApp(
+            HarveyConfig(workload="stenosis", resolution=0.5, num_ranks=2)
+        )
+        with pytest.raises(ConfigError, match="trace layer"):
+            app.performance_on(CRUSHER, n_gpus=4)
