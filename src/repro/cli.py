@@ -139,18 +139,24 @@ def _cmd_proxy(args: argparse.Namespace) -> int:
 def _cmd_harvey(args: argparse.Namespace) -> int:
     from .harvey import HarveyApp, HarveyConfig
 
+    resolution = max(args.resolution, 2.5) if args.quick else args.resolution
+    ranks = min(args.ranks, 2) if args.quick else args.ranks
+    steps = min(args.steps, 5) if args.quick else args.steps
     telemetry = _make_telemetry(args)
     app = HarveyApp(
         HarveyConfig(
             workload=args.workload,
-            resolution=args.resolution,
-            num_ranks=args.ranks,
+            resolution=resolution,
+            num_ranks=ranks,
+            overlap=args.overlap,
+            executor=args.executor,
+            sanitize=args.sanitize,
         ),
         tracer=telemetry.tracer if telemetry else None,
     )
     if telemetry:
         telemetry.attach_app(app)
-    report = app.run(args.steps)
+    report = app.run(steps)
     lb = app.load_balance()
     print(
         f"harvey: workload={report.workload} ranks={report.num_ranks} "
@@ -776,6 +782,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resolution", type=float, default=1.5)
     p.add_argument("--ranks", type=int, default=4)
     p.add_argument("--steps", type=int, default=100)
+    p.add_argument(
+        "--overlap", action="store_true",
+        help="use the overlapped interior/frontier pipeline",
+    )
+    p.add_argument(
+        "--executor", choices=["lockstep", "parallel"], default="lockstep",
+        help="rank-phase executor (default: lockstep)",
+    )
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime sanitizer (NaN canaries, epoch "
+        "tracking, phase access logging)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI preset: coarse resolution, <=2 ranks, <=5 steps",
+    )
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_harvey)
 
@@ -1050,7 +1073,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--select", default=None, metavar="RULES",
-        help="comma-separated rule ids to run (e.g. C101,P202)",
+        help="comma-separated rule ids or family prefixes to run "
+        "(e.g. C101,P202 or K,W)",
     )
     p.set_defaults(func=_cmd_lint)
 

@@ -66,6 +66,18 @@ class CommScheduleError(ReproError):
     (unmatched messages, tag collisions, blocking deadlock)."""
 
 
+class PlanCheckError(ReproError):
+    """Raised when a step plan fails static verification (double-written
+    destinations, out-of-bounds gather sources, ghost-reading interior
+    sub-plans, uncovered cross-links, phase-order hazards)."""
+
+
+class SanitizeError(ReproError):
+    """Raised by the runtime sanitizer (NaN canaries surviving into
+    owned state, stale-ghost reads, unscattered payloads, cross-thread
+    access conflicts)."""
+
+
 class BenchmarkError(ReproError):
     """Raised by the benchmark-history store and the perf gate (malformed
     history records, incomparable results, schema mismatches)."""

@@ -1,0 +1,94 @@
+"""Metadata accessors over flat gather tables — the plan-IR surface.
+
+The fused :class:`~repro.lbm.stream.StepPlan` is the repository's de
+facto kernel IR: a ``(q, n_upd)`` int64 table of flat source indices
+into the flattened distribution array, plus the update-id column map.
+The static plan verifier (:mod:`repro.lint.plancheck`) and the runtime
+sanitizer (:mod:`repro.lbm.sanitize`) both reason about that IR, and
+future compiled backends will consume it directly — so the properties
+they need are computed here as pure functions over index arrays, not as
+methods buried in plan internals.  Any producer of a flat gather table
+(hand-built fixtures included) can be verified with the same accessors.
+
+All functions accept anything ``np.asarray`` understands and never
+mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "duplicate_values",
+    "out_of_range",
+    "split_flat",
+    "ghost_links",
+    "flat_destinations",
+]
+
+
+def duplicate_values(table: np.ndarray) -> np.ndarray:
+    """Values appearing more than once in ``table``, ascending.
+
+    A flat *destination* table must be duplicate-free: two links writing
+    the same ``(population, node)`` slot in one apply is a write/write
+    race whose outcome depends on gather order.
+    """
+    flat = np.asarray(table).reshape(-1)
+    if flat.size == 0:
+        return np.empty(0, dtype=np.int64)
+    values, counts = np.unique(flat, return_counts=True)
+    return values[counts > 1].astype(np.int64)
+
+
+def out_of_range(table: np.ndarray, size: int) -> np.ndarray:
+    """Entries of ``table`` outside ``[0, size)``, ascending and unique.
+
+    Flat gather sources must stay inside the flattened ``(q, n_local)``
+    source array; ``np.take(..., mode="clip")`` would silently clamp an
+    out-of-range index to the array edge instead of faulting, which is
+    exactly why the bound is verified statically.
+    """
+    flat = np.asarray(table).reshape(-1)
+    bad = flat[(flat < 0) | (flat >= int(size))]
+    return np.unique(bad).astype(np.int64)
+
+
+def split_flat(
+    flat: np.ndarray, num_local: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decompose flat indices into ``(population, node)`` pairs."""
+    arr = np.asarray(flat, dtype=np.int64)
+    n = int(num_local)
+    return arr // n, arr % n
+
+
+def ghost_links(
+    flat_src: np.ndarray, num_local: int, num_owned: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Positions ``(row, col)`` of table entries reading ghost nodes.
+
+    A source whose local node id is at or above ``num_owned`` reads the
+    halo; for an *interior* sub-plan that set must be empty, and for the
+    full plan it is exactly the cross-link set the packed exchange must
+    cover.
+    """
+    table = np.asarray(flat_src, dtype=np.int64)
+    src_node = table % int(num_local)
+    rows, cols = np.nonzero(src_node >= int(num_owned))
+    return rows, cols
+
+
+def flat_destinations(
+    update_ids: np.ndarray, num_local: int, q: int
+) -> np.ndarray:
+    """The ``(q, n_upd)`` flat destination table of a plan apply.
+
+    Row ``qi`` holds ``qi * num_local + update_ids`` — the slots one
+    :meth:`StepPlan.apply` writes in the destination buffer.
+    """
+    ids = np.asarray(update_ids, dtype=np.int64)
+    off = np.arange(int(q), dtype=np.int64)[:, None] * int(num_local)
+    return off + ids[None, :]

@@ -90,6 +90,7 @@ class HarveyApp:
             fused=self.config.fused,
             overlap=self.config.overlap,
             executor=self.config.executor,
+            sanitize=self.config.sanitize,
         )
         return DistributedSolver(self.partition, solver_cfg, tracer=self.tracer)
 

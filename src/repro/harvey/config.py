@@ -42,6 +42,9 @@ class HarveyConfig:
         pipeline; requires ``fused``.
     executor:
         Rank-phase executor: ``"lockstep"`` or ``"parallel"``.
+    sanitize:
+        Run with the runtime sanitizer (NaN canaries, epoch tracking,
+        access logging — see :mod:`repro.lbm.sanitize`) enabled.
     """
 
     workload: str = "aorta"
@@ -53,6 +56,7 @@ class HarveyConfig:
     fused: bool = True
     overlap: bool = False
     executor: str = "lockstep"
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.workload not in geometry_names():

@@ -18,6 +18,7 @@ from .moments import (
     total_momentum,
     velocity,
 )
+from .sanitize import StepSanitizer, check_finite
 from .solver import Solver, SolverConfig
 from .stream import Connectivity, QPlan
 
@@ -46,6 +47,8 @@ __all__ = [
     "SolverConfig",
     "DistributedSolver",
     "RankState",
+    "StepSanitizer",
+    "check_finite",
     "density",
     "velocity",
     "total_mass",

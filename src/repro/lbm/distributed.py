@@ -131,6 +131,7 @@ class DistributedSolver:
         comm: Optional[SimComm] = None,
         tracer=None,
         validate_schedule: bool = True,
+        validate_plan: bool = True,
     ) -> None:
         self.partition = partition
         self.grid = partition.grid
@@ -156,6 +157,7 @@ class DistributedSolver:
         self.fluid_updates = 0
         self._fused = bool(config.fused)
         self._overlap = bool(config.overlap)
+        self._san = None  # StepSanitizer, attached after _build()
         registry = get_registry()
         self._halo_packed = registry.counter("lbm.halo.bytes_packed")
         self._halo_unpacked = registry.counter("lbm.halo.bytes_unpacked")
@@ -182,6 +184,27 @@ class DistributedSolver:
                 ),
                 context=f"partition over {partition.num_ranks} rank(s)",
             )
+        if validate_plan and self._fused:
+            # pre-flight: verify the compiled plan IR itself (the K4xx
+            # invariants — race-free destinations, in-bounds sources,
+            # ghost-free interior, covered cross-links, hazard-free
+            # phase order) before the first apply executes
+            from ..lint.plancheck import verify_rank_plans
+
+            verify_rank_plans(
+                self.ranks,
+                overlap=self._overlap,
+                context=f"partition over {partition.num_ranks} rank(s)",
+            )
+        if config.sanitize:
+            from .sanitize import StepSanitizer
+
+            self._san = StepSanitizer(self.ranks, overlap=self._overlap)
+            # phase bodies and the communicator note shared-buffer
+            # accesses on the sanitizer's log; the executor advances its
+            # barrier epoch once per phase
+            self.executor.access_log = self._san.access_log
+            self.comm.access_log = self._san.access_log
 
     # -- setup ---------------------------------------------------------------
     def _upstream_global(self, coords: np.ndarray, qi: int) -> np.ndarray:
@@ -417,6 +440,8 @@ class DistributedSolver:
 
     def _phase_collide(self, rank: int) -> None:
         st = self.ranks[rank]
+        if self._san is not None:
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "write")
         self.collision.apply(
             self.lattice, st.f, st.owned_ids, workspace=st.workspace
         )
@@ -426,6 +451,8 @@ class DistributedSolver:
         # the simulated transport captures send payloads eagerly, so
         # posting per rank in lockstep preserves exact message matching
         st = self.ranks[rank]
+        if self._san is not None:
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "read")
         recvs = {
             src: irecv(
                 self.comm, st.rank, src, tag=1, buf=st.recv_bufs.get(src)
@@ -470,15 +497,26 @@ class DistributedSolver:
 
     def _phase_exchange_complete(self, rank: int) -> None:
         st = self.ranks[rank]
+        san = self._san
+        if san is not None:
+            san.access_log.record(rank, f"rank{st.rank}.f", "write")
         sends, recvs = self._take_pending(rank)
         waitall(sends)
         for src, req in recvs.items():
             payload = req.wait()
             st.f[:, st.recv_slots[src]] = payload
             self._halo_unpacked.inc(payload.nbytes)
+            if san is not None:
+                san.on_unpack(st, src)
 
     def _phase_stream(self, rank: int) -> None:
         st = self.ranks[rank]
+        if self._san is not None:
+            self._san.before_stream(st)
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "read")
+            self._san.access_log.record(
+                rank, f"rank{st.rank}.f_tmp", "write"
+            )
         if st.step_plan is not None:
             st.step_plan.apply(st.f, st.f_tmp)
         else:
@@ -493,6 +531,8 @@ class DistributedSolver:
         # here: rank phases may run on worker threads and `+=` on shared
         # solver state is not atomic
         st = self.ranks[rank]
+        if self._san is not None:
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "write")
         if st.inlet is not None:
             st.inlet.apply(self.lattice, st.f, self.time)
         if st.outlet is not None:
@@ -504,6 +544,8 @@ class DistributedSolver:
         # frontier link reads (the ~5-of-19 directions the paper's halo
         # model prices), gathered into preallocated 1-D buffers
         st = self.ranks[rank]
+        if self._san is not None:
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "read")
         recvs = {
             src: irecv(self.comm, st.rank, src, tag=1)
             for src in st.inj_flat
@@ -524,10 +566,17 @@ class DistributedSolver:
         # stale ghosts here and are overwritten by the injection below)
         st = self.ranks[rank]
         assert st.step_plan is not None
+        if self._san is not None:
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "read")
+            self._san.access_log.record(
+                rank, f"rank{st.rank}.f_tmp", "write"
+            )
+            self._san.on_interior_stream(st)
         st.step_plan.apply(st.f, st.f_tmp)
 
     def _phase_exchange_complete_overlap(self, rank: int) -> None:
         st = self.ranks[rank]
+        san = self._san
         sends, recvs = self._take_pending(rank)
         waitall(sends)
         payloads: Dict[int, np.ndarray] = {}
@@ -536,6 +585,8 @@ class DistributedSolver:
             assert payload is not None
             payloads[src] = payload
             self._halo_unpacked.inc(payload.nbytes)
+            if san is not None:
+                san.on_payload(st, src)
         self._payloads[rank] = payloads
 
     def _phase_stream_frontier(self, rank: int) -> None:
@@ -550,8 +601,13 @@ class DistributedSolver:
                 "exchange payloads"
             )
         self._payloads[rank] = None
+        san = self._san
+        if san is not None:
+            san.access_log.record(rank, f"rank{st.rank}.f_tmp", "write")
         tmp_flat = st.f_tmp.reshape(-1)
         for src, inj in st.inj_flat.items():
+            if san is not None:
+                san.on_scatter(st, src, inj)
             tmp_flat[inj] = payloads[src]
         st.f, st.f_tmp = st.f_tmp, st.f
 
@@ -566,6 +622,8 @@ class DistributedSolver:
         ex = self.executor
         for _ in range(num_steps):
             self.comm.set_step(self.time)
+            if self._san is not None:
+                self._san.begin_step(self.ranks, self.time)
             with self.tracer.span("step", step=self.time):
                 # phase 1: collide on owned nodes
                 ex.run_phase(self._phase_collide, name="collide")
@@ -581,12 +639,16 @@ class DistributedSolver:
                 # phase 4: boundary conditions
                 ex.run_phase(self._phase_boundary, name="boundary")
                 self.fluid_updates += self._owned_total
+            if self._san is not None:
+                self._san.end_step(self.ranks, self.time - 1)
         self._count_step_work(num_steps)
 
     def _step_overlapped(self, num_steps: int) -> None:
         ex = self.executor
         for _ in range(num_steps):
             self.comm.set_step(self.time)
+            if self._san is not None:
+                self._san.begin_step(self.ranks, self.time)
             with self.tracer.span("step", step=self.time):
                 ex.run_phase(self._phase_collide, name="collide")
                 # the overlap window: interior streaming runs between
@@ -610,6 +672,8 @@ class DistributedSolver:
                 self.time += 1
                 ex.run_phase(self._phase_boundary, name="boundary")
                 self.fluid_updates += self._owned_total
+            if self._san is not None:
+                self._san.end_step(self.ranks, self.time - 1)
         self._count_step_work(num_steps)
 
     def _count_step_work(self, num_steps: int) -> None:

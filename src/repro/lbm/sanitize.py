@@ -1,0 +1,229 @@
+"""Runtime sanitizer for the LBM double buffer and halo exchange.
+
+``SolverConfig(sanitize=True)`` turns on the dynamic counterpart of the
+static K40x plan verifier: where :mod:`repro.lint.plancheck` proves the
+index tables sound before the first step, the sanitizer catches the bugs
+that only exist at runtime — a dropped unpack, a skipped scatter, a
+phase body touching another rank's state.  Three mechanisms:
+
+**NaN canaries.**  At the top of every step each rank's ghost columns
+are filled with NaN.  A correct schedule always overwrites the poison
+before it can reach owned state (the barrier exchange refills every
+ghost; the overlapped scatter finalizes every provisional frontier
+value), so any NaN surviving in an owned column at the end of the step
+is proof of a stale-ghost read or an unscattered payload — the silent
+wrong-results bug the legacy path cannot see.
+
+**Epoch tracking.**  Freshness of ghost nodes and payloads is tracked
+bit-precisely against the step number: the barrier path checks *before
+streaming* that every ghost node the plan reads was refilled this step,
+and the overlapped path tracks the provisional (stale-sourced) flat
+destinations through scatter — double-scatters and never-finalized
+destinations are reported even when the values involved happen to look
+plausible.
+
+**Access logging.**  A :class:`~repro.runtime.executor.PhaseAccessLog`
+is attached to the executor and the communicator; phase bodies note
+their shared-buffer accesses, and the end-of-step happens-before check
+reports cross-thread write/write and write/read conflicts that the
+per-phase barrier does not order (lock-protected communicator traffic
+is exempt) — the dynamic counterpart of the W50x lint rules.
+
+Telemetry: ``sanitize.steps_checked``, ``sanitize.ghost_slots_poisoned``
+and ``sanitize.violations`` counters on the global registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.errors import SanitizeError
+from ..runtime.executor import PhaseAccessLog
+from ..telemetry.metrics import get_registry
+
+__all__ = ["StepSanitizer", "check_finite"]
+
+
+def check_finite(f: np.ndarray, num_owned: int, context: str) -> None:
+    """Raise :class:`SanitizeError` if owned columns contain NaN."""
+    owned = f[:, :num_owned]
+    bad = np.isnan(owned)
+    if bad.any():
+        cols = np.unique(np.nonzero(bad)[1])[:4].tolist()
+        raise SanitizeError(
+            f"{context}: NaN canary reached {int(bad.sum())} owned "
+            f"slot(s) (first nodes {cols}); a stale ghost or unscattered "
+            "payload leaked into owned state"
+        )
+
+
+class StepSanitizer:
+    """Per-step runtime checks over a distributed solver's rank states.
+
+    The solver calls the hooks from its phase bodies (each guarded by a
+    single ``is not None`` check so ``sanitize=False`` costs one branch):
+
+    * :meth:`begin_step` — poison ghost columns, reset freshness state;
+    * :meth:`on_unpack` — barrier path, after a payload lands in ghosts;
+    * :meth:`before_stream` — barrier path, the stale-ghost read check;
+    * :meth:`on_interior_stream` — overlap path, marks the provisional
+      destinations the scatter must finalize;
+    * :meth:`on_payload` / :meth:`on_scatter` — overlap path, payload
+      bookkeeping plus the double-scatter check;
+    * :meth:`end_step` — canary sweep, leftover-payload and
+      never-finalized checks, access-log conflict report.
+    """
+
+    def __init__(
+        self, ranks: Sequence[object], overlap: bool = False
+    ) -> None:
+        self.overlap = bool(overlap)
+        self.access_log = PhaseAccessLog()
+        registry = get_registry()
+        self._steps_counter = registry.counter("sanitize.steps_checked")
+        self._poison_counter = registry.counter(
+            "sanitize.ghost_slots_poisoned"
+        )
+        self._violations = registry.counter("sanitize.violations")
+
+        # static per-rank facts, precomputed off the hot path
+        self._ghost_read_nodes: Dict[int, np.ndarray] = {}
+        self._cross_dst: Dict[int, np.ndarray] = {}
+        for st in ranks:
+            plan = getattr(st, "step_plan", None)
+            rank = int(getattr(st, "rank"))
+            if plan is None:
+                continue
+            num_local = int(plan.num_local)
+            num_owned = int(st.num_owned)
+            src_nodes = np.asarray(plan.flat_src) % num_local
+            ghosts = np.unique(src_nodes[src_nodes >= num_owned])
+            self._ghost_read_nodes[rank] = ghosts
+            if self.overlap:
+                dst_flat, _ = plan.cross_links(num_owned)
+                self._cross_dst[rank] = dst_flat
+
+        # per-step dynamic state
+        self._fresh: Dict[int, Set[int]] = {}
+        self._provisional: Dict[int, np.ndarray] = {}
+        self._payload_pending: Dict[int, Set[int]] = {}
+        self._step = -1
+
+    def _fail(self, message: str) -> None:
+        self._violations.inc(1)
+        raise SanitizeError(message)
+
+    # -- hooks --------------------------------------------------------------
+    def begin_step(self, ranks: Sequence[object], step: int) -> None:
+        """Poison ghost columns and reset per-step freshness state."""
+        self._step = step
+        self.access_log.clear()
+        poisoned = 0
+        for st in ranks:
+            st.f[:, st.num_owned :] = np.nan
+            poisoned += st.f.shape[0] * (st.f.shape[1] - st.num_owned)
+            rank = int(st.rank)
+            self._fresh[rank] = set()
+            self._payload_pending[rank] = set()
+            size = st.f.shape[0] * st.f.shape[1]
+            prov = self._provisional.get(rank)
+            if prov is None or prov.size != size:
+                self._provisional[rank] = np.zeros(size, dtype=bool)
+            else:
+                prov[:] = False
+        self._poison_counter.inc(poisoned)
+
+    def on_unpack(self, st: object, src: int) -> None:
+        """Barrier path: rank ``st`` unpacked ``src``'s payload into its
+        ghost slots this step."""
+        self._fresh[int(st.rank)].add(int(src))
+
+    def before_stream(self, st: object) -> None:
+        """Barrier path: verify every ghost node the plan reads was
+        refilled this step (read-of-stale-ghost, value-independent)."""
+        rank = int(st.rank)
+        ghosts = self._ghost_read_nodes.get(rank)
+        if ghosts is None or ghosts.size == 0:
+            return
+        fresh = self._fresh.get(rank, set())
+        refilled = (
+            np.unique(
+                np.concatenate(
+                    [np.asarray(st.recv_slots[s]) for s in fresh]
+                )
+            )
+            if fresh
+            else np.empty(0, dtype=np.int64)
+        )
+        stale = np.setdiff1d(ghosts, refilled)
+        if stale.size:
+            self._fail(
+                f"rank {rank} step {self._step}: streaming would read "
+                f"{stale.size} ghost node(s) not refilled this step "
+                f"(e.g. {stale[:4].tolist()}); the halo exchange did not "
+                "cover them"
+            )
+
+    def on_interior_stream(self, st: object) -> None:
+        """Overlap path: the full-plan apply just wrote provisional
+        values at every stale-sourced (cross-link) destination."""
+        rank = int(st.rank)
+        prov = self._provisional[rank]
+        prov[self._cross_dst.get(rank, np.empty(0, dtype=np.int64))] = True
+
+    def on_payload(self, st: object, src: int) -> None:
+        """Overlap path: ``src``'s packed payload arrived at ``st``."""
+        self._payload_pending[int(st.rank)].add(int(src))
+
+    def on_scatter(self, st: object, src: int, inj: np.ndarray) -> None:
+        """Overlap path: ``st`` scatters ``src``'s payload onto ``inj``.
+
+        Every target must still be provisional — a non-provisional
+        target means a double scatter or a scatter over finalized
+        interior data (write-after-write)."""
+        rank = int(st.rank)
+        prov = self._provisional[rank]
+        inj = np.asarray(inj)
+        already = np.flatnonzero(~prov[inj])
+        if already.size:
+            self._fail(
+                f"rank {rank} step {self._step}: scatter of rank {src}'s "
+                f"payload overwrites {already.size} destination(s) that "
+                f"are not provisional (first flat slot "
+                f"{int(inj[already[0]])}); double scatter or "
+                "write-after-write over finalized data"
+            )
+        prov[inj] = False
+        self._payload_pending[rank].discard(int(src))
+
+    def end_step(self, ranks: Sequence[object], step: int) -> None:
+        """End-of-step sweep: canaries, leftovers, access conflicts."""
+        for st in ranks:
+            rank = int(st.rank)
+            pending = self._payload_pending.get(rank) or set()
+            if pending:
+                self._fail(
+                    f"rank {rank} step {step}: payload(s) from rank(s) "
+                    f"{sorted(pending)} completed but were never "
+                    "scattered onto the frontier"
+                )
+            prov = self._provisional.get(rank)
+            if prov is not None and prov.any():
+                left = np.flatnonzero(prov)
+                self._fail(
+                    f"rank {rank} step {step}: {left.size} provisional "
+                    f"frontier destination(s) never finalized (e.g. flat "
+                    f"slots {left[:4].tolist()}); their stale-ghost "
+                    "values survive in owned state"
+                )
+            check_finite(st.f, st.num_owned, f"rank {rank} step {step}")
+        conflicts = self.access_log.conflicts()
+        if conflicts:
+            detail = "; ".join(c.describe() for c in conflicts[:4])
+            self._fail(
+                f"step {step}: {len(conflicts)} cross-thread access "
+                f"conflict(s) with no happens-before edge: {detail}"
+            )
+        self._steps_counter.inc(1)

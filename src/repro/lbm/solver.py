@@ -61,6 +61,11 @@ class SolverConfig:
         a packed cross-link halo exchange posted before interior
         streaming (bit-identical to the barrier schedule).  Requires
         ``fused``.  Ignored by the single-domain solver.
+    sanitize:
+        Run the runtime sanitizer (:mod:`repro.lbm.sanitize`): NaN
+        canaries in ghost columns, ghost/payload epoch tracking, and
+        per-phase shared-buffer access logging with a happens-before
+        conflict check.  Costly; intended for tests and debugging.
     """
 
     tau: float = 0.8
@@ -76,6 +81,7 @@ class SolverConfig:
     fused: bool = True
     executor: str = "lockstep"
     overlap: bool = False
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.collision not in ("bgk", "trt", "mrt"):
@@ -150,6 +156,12 @@ class Solver:
         else:
             self.step_plan = None
             self._workspace = None
+        self._sanitize = bool(config.sanitize)
+        if self._sanitize and self.step_plan is not None:
+            # pre-flight the plan IR (K401/K402) before the first apply
+            from ..lint.plancheck import verify_plan
+
+            verify_plan(self.step_plan, context="single-domain plan")
         self.time = 0
         self.fluid_updates = 0
         # byte/update counters for the profiling layer, cached once and
@@ -205,6 +217,12 @@ class Solver:
                 self.inlet.apply(self.lattice, self.f, self.time)
             if self.outlet is not None:
                 self.outlet.apply(self.lattice, self.f, self.time)
+            if self._sanitize:
+                from .sanitize import check_finite
+
+                check_finite(
+                    self.f, self.num_nodes, f"step {self.time}"
+                )
             self.fluid_updates += self.num_nodes
         if num_steps:
             self._flups_counter.inc(num_steps * self.num_nodes)

@@ -200,6 +200,37 @@ class StepPlan:
         return dst_flat.astype(np.int64), src_flat.astype(np.int64)
 
     @property
+    def num_links(self) -> int:
+        """Total gather links (``q * num_update`` slots per apply)."""
+        return int(self.flat_src.size)
+
+    def source_nodes(self) -> np.ndarray:
+        """Local node id read by every link, shaped like ``flat_src``."""
+        return self.flat_src % self.num_local
+
+    def source_pops(self) -> np.ndarray:
+        """Source population of every link, shaped like ``flat_src``."""
+        return self.flat_src // self.num_local
+
+    def to_dict(self, num_owned: Optional[int] = None) -> dict:
+        """Serializable plan-IR form (the ``*.stepplan.json`` payload).
+
+        The static verifier checks these documents offline exactly as it
+        checks live plans pre-flight; ``num_owned`` marks the ghost
+        boundary for the distributed checks when present.
+        """
+        doc = {
+            "q": int(self.lattice.q),
+            "num_local": self.num_local,
+            "num_update": self.num_update,
+            "update_ids": self.update_ids.tolist(),
+            "flat_src": self.flat_src.tolist(),
+        }
+        if num_owned is not None:
+            doc["num_owned"] = int(num_owned)
+        return doc
+
+    @property
     def bytes_per_apply(self) -> int:
         """Memory traffic of one :meth:`apply`: every (population, node)
         link reads one double and writes one — the one-pass accounting

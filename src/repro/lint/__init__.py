@@ -35,6 +35,15 @@ from .engine import (
     load_baseline,
     write_baseline,
 )
+from .plancheck import (
+    PLAN_RULES,
+    PlanIssue,
+    check_plan_file,
+    check_rank_states,
+    rank_states_to_dict,
+    verify_plan,
+    verify_rank_plans,
+)
 from .rules import (
     DPCT_CATEGORY_BY_RULE,
     RULE_FAMILIES,
@@ -58,6 +67,13 @@ __all__ = [
     "check_schedule_file",
     "schedule_from_rank_states",
     "verify_schedule",
+    "PLAN_RULES",
+    "PlanIssue",
+    "check_plan_file",
+    "check_rank_states",
+    "rank_states_to_dict",
+    "verify_plan",
+    "verify_rank_plans",
     "default_rules",
     "RULE_FAMILIES",
     "DPCT_CATEGORY_BY_RULE",

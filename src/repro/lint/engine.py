@@ -272,6 +272,10 @@ _SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "node_modules"}
 #: schedule checker (see :mod:`repro.lint.commcheck`).
 SCHEDULE_SUFFIX = ".commsched.json"
 
+#: Serialized step-plan documents the engine hands to the plan
+#: verifier (see :mod:`repro.lint.plancheck`).
+PLAN_SUFFIX = ".stepplan.json"
+
 
 def _iter_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
     for raw in paths:
@@ -285,7 +289,9 @@ def _iter_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
             if any(part in _SKIP_DIRS for part in child.parts):
                 continue
             if child.is_file() and (
-                child.suffix == ".py" or child.name.endswith(SCHEDULE_SUFFIX)
+                child.suffix == ".py"
+                or child.name.endswith(SCHEDULE_SUFFIX)
+                or child.name.endswith(PLAN_SUFFIX)
             ):
                 yield child
 
@@ -297,6 +303,7 @@ class LintEngine:
         self,
         rules: Optional[Sequence[Rule]] = None,
         schedule_rules: Optional[Set[str]] = None,
+        plan_rules: Optional[Set[str]] = None,
     ) -> None:
         if rules is None:
             from .rules import default_rules
@@ -310,19 +317,35 @@ class LintEngine:
         self.rules: List[Rule] = list(rules)
         #: S-rule ids to keep from schedule files; None means all.
         self.schedule_rules = schedule_rules
+        #: K-rule ids to keep from step-plan files; None means all.
+        self.plan_rules = plan_rules
 
     def select(self, rule_ids: Sequence[str]) -> "LintEngine":
         """A new engine restricted to the given rule ids.
 
-        Selection spans both the AST rules and the S3xx ids emitted by
-        the communication-schedule checker.
+        Selection spans the AST rules, the S3xx ids emitted by the
+        communication-schedule checker, and the K4xx ids emitted by the
+        step-plan verifier.  An id that is a *prefix* of known rules
+        selects the whole family: ``select(["K", "W"])`` keeps every
+        plan-verifier and concurrency rule.
         """
         from .commcheck import SCHEDULE_RULES
+        from .plancheck import PLAN_RULES
 
         schedule_ids = set(SCHEDULE_RULES.values()) | {"S300"}
-        wanted = set(rule_ids)
-        known = {r.rule_id for r in self.rules} | schedule_ids
-        unknown = wanted - known
+        plan_ids = set(PLAN_RULES.values()) | {"K400"}
+        known = {r.rule_id for r in self.rules} | schedule_ids | plan_ids
+        wanted: Set[str] = set()
+        unknown: Set[str] = set()
+        for rid in rule_ids:
+            if rid in known:
+                wanted.add(rid)
+                continue
+            family = {k for k in known if k.startswith(rid)} if rid else set()
+            if family:
+                wanted |= family
+            else:
+                unknown.add(rid)
         if unknown:
             raise LintError(
                 f"unknown rule id(s) {sorted(unknown)}; "
@@ -331,6 +354,7 @@ class LintEngine:
         return LintEngine(
             [r for r in self.rules if r.rule_id in wanted],
             schedule_rules=wanted & schedule_ids,
+            plan_rules=wanted & plan_ids,
         )
 
     def run(
@@ -339,6 +363,7 @@ class LintEngine:
         baseline: Optional[Set[str]] = None,
     ) -> LintReport:
         from .commcheck import check_schedule_file
+        from .plancheck import check_plan_file
 
         report = LintReport()
         sources: List[SourceFile] = []
@@ -351,6 +376,13 @@ class LintEngine:
                     for v in check_schedule_file(path)
                     if self.schedule_rules is None
                     or v.rule in self.schedule_rules
+                )
+                continue
+            if path.name.endswith(PLAN_SUFFIX):
+                raw.extend(
+                    v
+                    for v in check_plan_file(path)
+                    if self.plan_rules is None or v.rule in self.plan_rules
                 )
                 continue
             try:

@@ -1,0 +1,729 @@
+"""Static verification of step plans — the plan-IR race detector.
+
+The fused :class:`~repro.lbm.stream.StepPlan` gather table is the
+solver's kernel IR, and under the overlapped pipeline it is a genuinely
+concurrent one: interior streaming runs while the packed exchange is in
+flight and the frontier scatter finalizes provisional values.  The S3xx
+checker verifies the *message* schedule; this module verifies the *index
+tables* those messages feed — the class of data-movement/synchronization
+bug the paper's DPCT audit calls the hardest to port correctly.
+
+Five rules, mirroring the S3xx structure:
+
+======  ==============================================================
+K401    a flat destination is written more than once per apply
+        (write/write race whose outcome depends on gather order)
+K402    a gather source is out of bounds or a table has the wrong
+        dtype (``np.take(mode="clip")`` would silently clamp it)
+K403    an *interior* sub-plan reads a ghost source (its streaming
+        runs before the exchange completes), or the interior/frontier
+        partition misclassifies or fails to cover the parent plan
+K404    a frontier cross-link is not covered by exactly one packed
+        payload slot, or sender and receiver disagree on a slot's
+        population (receiver-side table agreement)
+K405    a read-after-write / write-after-write hazard in the
+        phase-ordered overlap pipeline (collide → post → stream →
+        complete → scatter), found by abstract interpretation of the
+        per-phase read/write sets
+======  ==============================================================
+
+:class:`~repro.lbm.distributed.DistributedSolver` runs
+:func:`verify_rank_plans` as an opt-out pre-flight next to the S300
+schedule check, and ``repro lint`` checks any ``*.stepplan.json``
+document it finds (see :func:`check_plan_file` for the format).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.errors import PlanCheckError
+from ..core.planmeta import (
+    duplicate_values,
+    flat_destinations,
+    out_of_range,
+)
+from .engine import Violation
+
+__all__ = [
+    "PLAN_RULES",
+    "PlanIssue",
+    "check_plan_table",
+    "check_partition",
+    "check_exchange",
+    "check_overlap_hazards",
+    "check_rank_states",
+    "verify_rank_plans",
+    "verify_plan",
+    "rank_states_to_dict",
+    "check_plan_file",
+]
+
+#: Rule ids emitted by the verifier, by failure kind.
+PLAN_RULES = {
+    "double-write": "K401",
+    "source-bounds": "K402",
+    "interior-ghost-read": "K403",
+    "exchange-coverage": "K404",
+    "phase-hazard": "K405",
+}
+
+
+@dataclass(frozen=True)
+class PlanIssue:
+    """One plan-verification failure."""
+
+    kind: str  # key into PLAN_RULES
+    message: str
+
+    @property
+    def rule(self) -> str:
+        return PLAN_RULES[self.kind]
+
+
+def _preview(values: np.ndarray, limit: int = 4) -> str:
+    vals = np.asarray(values).reshape(-1)[:limit].tolist()
+    suffix = ", ..." if np.asarray(values).size > limit else ""
+    return f"[{', '.join(str(v) for v in vals)}{suffix}]"
+
+
+def _ghost_slot_mask(q: int, num_local: int, num_owned: int) -> np.ndarray:
+    """Boolean mask over the flattened ``(q, num_local)`` source array
+    that is True on every ghost slot."""
+    mask = np.zeros(q * num_local, dtype=bool)
+    cols = np.zeros(num_local, dtype=bool)
+    cols[num_owned:] = True
+    mask.reshape(q, num_local)[:, :] = cols[None, :]
+    return mask
+
+
+# -- single-table checks (K401 / K402) -------------------------------------
+def check_plan_table(
+    q: int,
+    num_local: int,
+    update_ids: np.ndarray,
+    flat_src: np.ndarray,
+    label: str = "plan",
+) -> List[PlanIssue]:
+    """Verify one flat gather table in isolation.
+
+    * every destination ``(population, node)`` is written at most once
+      per apply (K401);
+    * sources are integer-typed and inside the flattened source array,
+      destinations inside the local numbering (K402).
+    """
+    issues: List[PlanIssue] = []
+    update_ids = np.asarray(update_ids)
+    flat_src = np.asarray(flat_src)
+
+    if not np.issubdtype(flat_src.dtype, np.integer):
+        issues.append(
+            PlanIssue(
+                "source-bounds",
+                f"{label}: gather table dtype is {flat_src.dtype}, not an "
+                "integer type; fractional indices truncate silently",
+            )
+        )
+        return issues
+    if flat_src.shape != (int(q), int(update_ids.size)):
+        issues.append(
+            PlanIssue(
+                "source-bounds",
+                f"{label}: gather table shape {flat_src.shape} does not "
+                f"match (q={q}, num_update={update_ids.size})",
+            )
+        )
+        return issues
+
+    dup = duplicate_values(update_ids)
+    if dup.size:
+        issues.append(
+            PlanIssue(
+                "double-write",
+                f"{label}: {dup.size} node(s) appear more than once in "
+                f"the update set (e.g. {_preview(dup)}); every flat "
+                "destination would be written twice per apply",
+            )
+        )
+    bad_dst = out_of_range(update_ids, num_local)
+    if bad_dst.size:
+        issues.append(
+            PlanIssue(
+                "source-bounds",
+                f"{label}: {bad_dst.size} update id(s) outside "
+                f"[0, {num_local}) (e.g. {_preview(bad_dst)})",
+            )
+        )
+    bad_src = out_of_range(flat_src, q * num_local)
+    if bad_src.size:
+        issues.append(
+            PlanIssue(
+                "source-bounds",
+                f"{label}: {bad_src.size} gather source(s) outside "
+                f"[0, {q * num_local}) (e.g. {_preview(bad_src)}); "
+                "np.take(mode='clip') would silently clamp them",
+            )
+        )
+    return issues
+
+
+# -- partition checks (K403) ------------------------------------------------
+def check_partition(
+    q: int,
+    num_local: int,
+    num_owned: int,
+    parent_ids: np.ndarray,
+    interior_ids: np.ndarray,
+    interior_src: np.ndarray,
+    frontier_ids: np.ndarray,
+    frontier_src: np.ndarray,
+    label: str = "plan",
+) -> List[PlanIssue]:
+    """Verify an interior/frontier split against its parent plan.
+
+    The interior sub-plan streams while the exchange is in flight, so it
+    must be provably ghost-free; the frontier must consist of exactly
+    the columns that do read ghosts; together they must cover the
+    parent's update set once each.
+    """
+    issues: List[PlanIssue] = []
+    interior_src = np.asarray(interior_src, dtype=np.int64)
+    frontier_src = np.asarray(frontier_src, dtype=np.int64)
+
+    ghost = (interior_src % num_local) >= num_owned
+    if ghost.any():
+        cols = np.unique(np.nonzero(ghost)[1])
+        nodes = np.asarray(interior_ids)[cols]
+        issues.append(
+            PlanIssue(
+                "interior-ghost-read",
+                f"{label}: interior sub-plan reads ghost sources at "
+                f"{cols.size} node(s) (e.g. nodes {_preview(nodes)}); "
+                "interior streaming runs before the exchange completes, "
+                "so those reads see stale halo data",
+            )
+        )
+    if frontier_src.size:
+        reads_ghost = ((frontier_src % num_local) >= num_owned).any(axis=0)
+        misclassified = np.flatnonzero(~reads_ghost)
+        if misclassified.size:
+            nodes = np.asarray(frontier_ids)[misclassified]
+            issues.append(
+                PlanIssue(
+                    "interior-ghost-read",
+                    f"{label}: {misclassified.size} frontier node(s) "
+                    f"read no ghost source (e.g. nodes {_preview(nodes)}); "
+                    "they are interior work serialized behind the "
+                    "exchange for no reason",
+                )
+            )
+    merged = np.concatenate(
+        [np.asarray(interior_ids), np.asarray(frontier_ids)]
+    )
+    if not np.array_equal(np.sort(merged), np.sort(np.asarray(parent_ids))):
+        issues.append(
+            PlanIssue(
+                "interior-ghost-read",
+                f"{label}: interior ({np.asarray(interior_ids).size}) + "
+                f"frontier ({np.asarray(frontier_ids).size}) sub-plans do "
+                f"not cover the parent update set "
+                f"({np.asarray(parent_ids).size} nodes) exactly once",
+            )
+        )
+    return issues
+
+
+# -- cross-rank exchange checks (K404) --------------------------------------
+def _cross_links(
+    q: int, num_local: int, num_owned: int, update_ids, flat_src
+):
+    """(dst_flat, src_flat) of the halo-reading links, enumeration-order
+    compatible with :meth:`StepPlan.cross_links`."""
+    flat_src = np.asarray(flat_src, dtype=np.int64)
+    src_node = flat_src % num_local
+    qi, col = np.nonzero(src_node >= num_owned)
+    dst_flat = qi * num_local + np.asarray(update_ids, dtype=np.int64)[col]
+    return dst_flat, flat_src[qi, col]
+
+
+def check_exchange(ranks: Sequence[object]) -> List[PlanIssue]:
+    """Verify the packed-exchange wiring across all ranks (K404).
+
+    Every halo-reading link of a receiver must be fed by exactly one
+    payload slot (``inj_flat``), every slot must be packed by the owning
+    sender (``pack_flat``) with the agreeing length, pack sources must
+    be owned (post-collision) values, and sender and receiver must agree
+    slot by slot on the population each value carries — the
+    receiver-side table agreement the scatter path relies on.
+    """
+    issues: List[PlanIssue] = []
+    by_rank = {int(getattr(st, "rank")): st for st in ranks}
+    for st in ranks:
+        rank = int(getattr(st, "rank"))
+        plan = getattr(st, "step_plan", None)
+        if plan is None:
+            continue
+        q = int(plan.lattice.q)
+        num_local = int(plan.num_local)
+        num_owned = int(getattr(st, "num_owned"))
+        inj_flat: Dict[int, np.ndarray] = getattr(st, "inj_flat")
+        dst_flat, src_flat = _cross_links(
+            q, num_local, num_owned, plan.update_ids, plan.flat_src
+        )
+        label = f"rank {rank}"
+
+        inj_all = (
+            np.concatenate([np.asarray(v) for v in inj_flat.values()])
+            if inj_flat
+            else np.empty(0, dtype=np.int64)
+        )
+        dup = duplicate_values(inj_all)
+        if dup.size:
+            issues.append(
+                PlanIssue(
+                    "exchange-coverage",
+                    f"{label}: {dup.size} frontier destination(s) are fed "
+                    f"by more than one payload slot (e.g. {_preview(dup)})",
+                )
+            )
+        missing = np.setdiff1d(dst_flat, inj_all)
+        if missing.size:
+            issues.append(
+                PlanIssue(
+                    "exchange-coverage",
+                    f"{label}: {missing.size} cross-link destination(s) "
+                    f"have no payload slot (e.g. {_preview(missing)}); "
+                    "their streamed values would keep stale ghost data",
+                )
+            )
+        extra = np.setdiff1d(inj_all, dst_flat)
+        if extra.size:
+            issues.append(
+                PlanIssue(
+                    "exchange-coverage",
+                    f"{label}: {extra.size} payload slot(s) target "
+                    f"destinations with no halo-reading link (e.g. "
+                    f"{_preview(extra)})",
+                )
+            )
+
+        for peer_rank in sorted(inj_flat):
+            inj = np.asarray(inj_flat[peer_rank], dtype=np.int64)
+            peer = by_rank.get(int(peer_rank))
+            if peer is None:
+                issues.append(
+                    PlanIssue(
+                        "exchange-coverage",
+                        f"{label}: expects payloads from unknown rank "
+                        f"{peer_rank}",
+                    )
+                )
+                continue
+            pack: Dict[int, np.ndarray] = getattr(peer, "pack_flat")
+            if rank not in pack:
+                issues.append(
+                    PlanIssue(
+                        "exchange-coverage",
+                        f"{label}: expects a payload from rank "
+                        f"{peer_rank}, but rank {peer_rank} packs "
+                        "nothing for it",
+                    )
+                )
+                continue
+            sent = np.asarray(pack[rank], dtype=np.int64)
+            if sent.size != inj.size:
+                issues.append(
+                    PlanIssue(
+                        "exchange-coverage",
+                        f"rank {peer_rank} -> {label}: pack table has "
+                        f"{sent.size} slot(s) but the receiver scatters "
+                        f"{inj.size}; the payload would mis-scatter",
+                    )
+                )
+                continue
+            peer_plan = getattr(peer, "step_plan", None)
+            if peer_plan is None:
+                continue
+            peer_local = int(peer_plan.num_local)
+            peer_owned = int(getattr(peer, "num_owned"))
+            not_owned = sent[(sent % peer_local) >= peer_owned]
+            if not_owned.size:
+                issues.append(
+                    PlanIssue(
+                        "exchange-coverage",
+                        f"rank {peer_rank} -> {label}: {not_owned.size} "
+                        "pack source(s) read ghost slots of the sender "
+                        f"(e.g. {_preview(not_owned)}); packed values "
+                        "must be owned post-collision data",
+                    )
+                )
+            # receiver-side table agreement: slot i carries the same
+            # population on both sides (node ids differ by numbering)
+            order = {int(v): i for i, v in enumerate(dst_flat.tolist())}
+            idx = np.array(
+                [order.get(int(v), -1) for v in inj.tolist()], dtype=np.int64
+            )
+            known = idx >= 0
+            if known.any():
+                recv_pops = src_flat[idx[known]] // num_local
+                sent_pops = sent[known] // peer_local
+                disagree = np.flatnonzero(recv_pops != sent_pops)
+                if disagree.size:
+                    issues.append(
+                        PlanIssue(
+                            "exchange-coverage",
+                            f"rank {peer_rank} -> {label}: sender and "
+                            f"receiver disagree on the population of "
+                            f"{disagree.size} payload slot(s) (first at "
+                            f"slot {int(disagree[0])}); the tables were "
+                            "not built from the same cross-link "
+                            "enumeration",
+                        )
+                    )
+    return issues
+
+
+# -- phase-ordered hazard analysis (K405) -----------------------------------
+def check_overlap_hazards(st: object) -> List[PlanIssue]:
+    """Abstract-interpret one rank's overlap pipeline for hazards (K405).
+
+    The five phases are ordered by barriers: **collide** (writes owned
+    columns of ``f``) → **post** (reads ``f`` at the pack tables) →
+    **stream** (reads ``f`` everywhere, writes ``f_tmp`` at the flat
+    destinations — provisional where a link's source is a stale ghost)
+    → **complete** (payloads arrive) → **scatter** (writes ``f_tmp`` at
+    the injection tables).  Tracking stale and tainted slot sets through
+    that order finds:
+
+    * a pack table reading a stale ghost slot (read-after-write
+      violation: the value was never produced this step);
+    * a scatter overwriting a destination the stream already finalized
+      (write-after-write against interior-final data);
+    * a provisional destination never finalized by any scatter
+      (stale-ghost value surviving into the owned state).
+    """
+    plan = getattr(st, "step_plan", None)
+    if plan is None:
+        return []
+    rank = int(getattr(st, "rank"))
+    q = int(plan.lattice.q)
+    num_local = int(plan.num_local)
+    num_owned = int(getattr(st, "num_owned"))
+    label = f"rank {rank}"
+    issues: List[PlanIssue] = []
+
+    stale = _ghost_slot_mask(q, num_local, num_owned)
+
+    # phase: post — pack tables read post-collision f
+    pack_flat: Dict[int, np.ndarray] = getattr(st, "pack_flat")
+    for peer in sorted(pack_flat):
+        pack = np.asarray(pack_flat[peer], dtype=np.int64)
+        in_bounds = pack[(pack >= 0) & (pack < stale.size)]
+        bad = in_bounds[stale[in_bounds]]
+        if bad.size:
+            issues.append(
+                PlanIssue(
+                    "phase-hazard",
+                    f"{label}: pack for rank {peer} reads {bad.size} "
+                    f"stale ghost slot(s) (e.g. {_preview(bad)}) in the "
+                    "post phase; no phase has written them this step",
+                )
+            )
+
+    # phase: stream — writes flat destinations; links sourced from stale
+    # slots produce provisional (tainted) values
+    flat_src = np.asarray(plan.flat_src, dtype=np.int64)
+    dst = flat_destinations(plan.update_ids, num_local, q)
+    valid_links = (flat_src >= 0) & (flat_src < stale.size)
+    stale_links = valid_links & stale[np.clip(flat_src, 0, stale.size - 1)]
+    tainted_dst = dst[stale_links]
+    tainted = np.zeros(q * num_local, dtype=bool)
+    in_bounds = (tainted_dst >= 0) & (tainted_dst < tainted.size)
+    tainted[tainted_dst[in_bounds]] = True
+
+    # phase: scatter — injection tables finalize provisional values
+    inj_flat: Dict[int, np.ndarray] = getattr(st, "inj_flat")
+    for peer in sorted(inj_flat):
+        inj = np.asarray(inj_flat[peer], dtype=np.int64)
+        inj = inj[(inj >= 0) & (inj < tainted.size)]
+        final_overwrite = inj[~tainted[inj]]
+        if final_overwrite.size:
+            issues.append(
+                PlanIssue(
+                    "phase-hazard",
+                    f"{label}: scatter of rank {peer}'s payload "
+                    f"overwrites {final_overwrite.size} destination(s) "
+                    f"the stream phase already finalized (e.g. "
+                    f"{_preview(final_overwrite)}); write-after-write "
+                    "against interior-final data",
+                )
+            )
+        tainted[inj] = False
+
+    remaining = np.flatnonzero(tainted)
+    if remaining.size:
+        issues.append(
+            PlanIssue(
+                "phase-hazard",
+                f"{label}: {remaining.size} frontier destination(s) are "
+                f"never finalized by any scatter (e.g. "
+                f"{_preview(remaining)}); their provisional stale-ghost "
+                "values survive into the owned state",
+            )
+        )
+    return issues
+
+
+def _barrier_ghost_coverage(st: object) -> List[PlanIssue]:
+    """Barrier-schedule analogue of the hazard check: every ghost node
+    the plan reads must be refilled by some posted receive."""
+    plan = getattr(st, "step_plan", None)
+    recv_slots: Dict[int, np.ndarray] = getattr(st, "recv_slots", {})
+    if plan is None:
+        return []
+    rank = int(getattr(st, "rank"))
+    num_local = int(plan.num_local)
+    num_owned = int(getattr(st, "num_owned"))
+    src_nodes = np.asarray(plan.flat_src, dtype=np.int64) % num_local
+    ghost_read = np.unique(src_nodes[src_nodes >= num_owned])
+    refilled = (
+        np.unique(
+            np.concatenate(
+                [np.asarray(s) for s in recv_slots.values()]
+            )
+        )
+        if recv_slots
+        else np.empty(0, dtype=np.int64)
+    )
+    uncovered = np.setdiff1d(ghost_read, refilled)
+    if uncovered.size:
+        return [
+            PlanIssue(
+                "phase-hazard",
+                f"rank {rank}: streaming reads {uncovered.size} ghost "
+                f"node(s) no receive refills (e.g. {_preview(uncovered)}); "
+                "those links read stale halo data every step",
+            )
+        ]
+    return []
+
+
+# -- entry points -----------------------------------------------------------
+def check_rank_states(
+    ranks: Sequence[object], overlap: bool = False
+) -> List[PlanIssue]:
+    """All verification failures of the ranks' plan IR (empty when valid).
+
+    ``ranks`` carry the wiring :class:`DistributedSolver` builds:
+    ``step_plan`` (and under overlap ``interior_plan``/``frontier_plan``,
+    ``pack_flat``/``inj_flat``), plus ``recv_slots`` for the barrier
+    ghost-coverage check.  Ranks without a compiled plan (the legacy
+    per-q path) are skipped — there is no IR to verify.
+    """
+    issues: List[PlanIssue] = []
+    for st in ranks:
+        plan = getattr(st, "step_plan", None)
+        if plan is None:
+            continue
+        rank = int(getattr(st, "rank"))
+        q = int(plan.lattice.q)
+        label = f"rank {rank}"
+        issues += check_plan_table(
+            q, plan.num_local, plan.update_ids, plan.flat_src, label=label
+        )
+        interior = getattr(st, "interior_plan", None)
+        frontier = getattr(st, "frontier_plan", None)
+        if overlap and interior is not None and frontier is not None:
+            issues += check_partition(
+                q,
+                plan.num_local,
+                int(getattr(st, "num_owned")),
+                plan.update_ids,
+                interior.update_ids,
+                interior.flat_src,
+                frontier.update_ids,
+                frontier.flat_src,
+                label=label,
+            )
+            issues += check_overlap_hazards(st)
+        else:
+            issues += _barrier_ghost_coverage(st)
+    if overlap:
+        issues += check_exchange(ranks)
+    return issues
+
+
+def verify_rank_plans(
+    ranks: Sequence[object], overlap: bool = False, context: str = ""
+) -> None:
+    """Raise :class:`PlanCheckError` when the ranks' plan IR is invalid."""
+    issues = check_rank_states(ranks, overlap=overlap)
+    if issues:
+        prefix = f"{context}: " if context else ""
+        detail = "\n".join(f"  [{i.rule}] {i.message}" for i in issues)
+        raise PlanCheckError(
+            f"{prefix}step-plan IR failed static verification "
+            f"({len(issues)} issue(s)):\n{detail}"
+        )
+
+
+def verify_plan(plan: object, context: str = "") -> None:
+    """Raise :class:`PlanCheckError` when one single-domain plan's table
+    is invalid (K401/K402; no ghosts, so no partition or exchange)."""
+    issues = check_plan_table(
+        int(plan.lattice.q),
+        int(plan.num_local),
+        plan.update_ids,
+        plan.flat_src,
+        label=context or "plan",
+    )
+    if issues:
+        detail = "\n".join(f"  [{i.rule}] {i.message}" for i in issues)
+        raise PlanCheckError(
+            f"step plan failed static verification "
+            f"({len(issues)} issue(s)):\n{detail}"
+        )
+
+
+# -- serialized plan documents ----------------------------------------------
+class _RankView:
+    """A rank-state stand-in deserialized from a plan document."""
+
+    class _PlanView:
+        def __init__(self, q: int, num_local, update_ids, flat_src):
+            class _Lat:
+                def __init__(self, q: int) -> None:
+                    self.q = q
+
+            self.lattice = _Lat(int(q))
+            self.num_local = int(num_local)
+            self.update_ids = np.asarray(update_ids, dtype=np.int64)
+            # np.asarray preserves a fractional dtype so K402 reports it
+            self.flat_src = np.asarray(flat_src)
+            self.num_update = int(self.update_ids.size)
+
+    def __init__(self, q: int, doc: Dict[str, object]) -> None:
+        self.rank = int(doc.get("rank", 0))
+        num_local = int(doc["num_local"])
+        update_ids = doc["update_ids"]
+        flat_src = doc["flat_src"]
+        self.num_owned = int(doc.get("num_owned", num_local))
+        self.step_plan = self._PlanView(q, num_local, update_ids, flat_src)
+        self.interior_plan = None
+        self.frontier_plan = None
+        if "interior" in doc:
+            sub = doc["interior"]
+            self.interior_plan = self._PlanView(
+                q, num_local, sub["update_ids"], sub["flat_src"]
+            )
+        if "frontier" in doc:
+            sub = doc["frontier"]
+            self.frontier_plan = self._PlanView(
+                q, num_local, sub["update_ids"], sub["flat_src"]
+            )
+        self.pack_flat = {
+            int(k): np.asarray(v, dtype=np.int64)
+            for k, v in (doc.get("pack_flat") or {}).items()
+        }
+        self.inj_flat = {
+            int(k): np.asarray(v, dtype=np.int64)
+            for k, v in (doc.get("inj_flat") or {}).items()
+        }
+        self.recv_slots = {
+            int(k): np.asarray(v, dtype=np.int64)
+            for k, v in (doc.get("recv_slots") or {}).items()
+        }
+
+
+def rank_states_to_dict(
+    ranks: Sequence[object], overlap: bool = False
+) -> Dict[str, object]:
+    """Serialize live rank states into a checkable plan document."""
+    out: List[Dict[str, object]] = []
+    q = 0
+    for st in ranks:
+        plan = getattr(st, "step_plan", None)
+        if plan is None:
+            continue
+        q = int(plan.lattice.q)
+        doc: Dict[str, object] = {
+            "rank": int(getattr(st, "rank")),
+            "num_local": int(plan.num_local),
+            "num_owned": int(getattr(st, "num_owned")),
+            "update_ids": np.asarray(plan.update_ids).tolist(),
+            "flat_src": np.asarray(plan.flat_src).tolist(),
+        }
+        interior = getattr(st, "interior_plan", None)
+        frontier = getattr(st, "frontier_plan", None)
+        if interior is not None and frontier is not None:
+            doc["interior"] = {
+                "update_ids": np.asarray(interior.update_ids).tolist(),
+                "flat_src": np.asarray(interior.flat_src).tolist(),
+            }
+            doc["frontier"] = {
+                "update_ids": np.asarray(frontier.update_ids).tolist(),
+                "flat_src": np.asarray(frontier.flat_src).tolist(),
+            }
+        for attr in ("pack_flat", "inj_flat", "recv_slots"):
+            mapping = getattr(st, attr, None)
+            if mapping:
+                doc[attr] = {
+                    str(k): np.asarray(v).tolist()
+                    for k, v in mapping.items()
+                }
+        out.append(doc)
+    return {"q": q, "overlap": bool(overlap), "ranks": out}
+
+
+def check_plan_file(path: Union[str, Path]) -> List[Violation]:
+    """Check a serialized plan document, returning engine violations.
+
+    The format is the JSON of :func:`rank_states_to_dict`::
+
+        {"q": 19, "overlap": true,
+         "ranks": [{"rank": 0, "num_local": 8, "num_owned": 6,
+                    "update_ids": [...], "flat_src": [[...]],
+                    "pack_flat": {"1": [...]}, "inj_flat": {"1": [...]}}]}
+
+    A bare single-plan document (``{"q", "num_local", "update_ids",
+    "flat_src"}``) is accepted as a one-rank, non-overlap case.
+    """
+    p = Path(path)
+    try:
+        data = json.loads(p.read_text())
+        if not isinstance(data, dict):
+            raise PlanCheckError("document must be a JSON object")
+        if "ranks" in data:
+            q = int(data["q"])
+            overlap = bool(data.get("overlap", False))
+            ranks = [_RankView(q, doc) for doc in data["ranks"]]
+        else:
+            q = int(data["q"])
+            overlap = False
+            ranks = [_RankView(q, data)]
+        issues = check_rank_states(ranks, overlap=overlap)
+    except (OSError, ValueError, KeyError, TypeError, PlanCheckError) as exc:
+        return [
+            Violation(
+                rule="K400",
+                path=str(p),
+                line=1,
+                col=0,
+                message=f"malformed plan document: {exc!r}",
+            )
+        ]
+    return [
+        Violation(
+            rule=issue.rule,
+            path=str(p),
+            line=1,
+            col=0,
+            message=issue.message,
+        )
+        for issue in issues
+    ]

@@ -1,6 +1,6 @@
 """Rule registry for ``repro lint``.
 
-Three families, each guarding a paper invariant:
+Five families, each guarding a paper invariant:
 
 * **conformance (C1xx)** — one algorithm, five identical programming
   surfaces (Sections 5/7; the DPCT warning audit of Table 2 in Python
@@ -11,7 +11,13 @@ Three families, each guarding a paper invariant:
 * **comm-schedule (S3xx)** — the halo-exchange plan is matched,
   unambiguous, and deadlock-free before a step executes (the class of
   bug miniLB and the HemeLB GPU port hit only at scale).  S-rules are
-  emitted by :mod:`repro.lint.commcheck` rather than by AST visitors.
+  emitted by :mod:`repro.lint.commcheck` rather than by AST visitors;
+* **plan IR (K4xx)** — the fused gather/scatter index tables are race-
+  and alias-free (emitted by :mod:`repro.lint.plancheck`, which also
+  runs as the distributed solver's pre-flight);
+* **executor concurrency (W5xx)** — phase bodies submitted to the
+  parallel executor touch only their own rank's state, the service
+  lock, or the controlling thread's telemetry.
 
 :data:`DPCT_CATEGORY_BY_RULE` cross-links every rule id to the Table 2
 warning taxonomy of :mod:`repro.porting.dpct`, so lint findings can be
@@ -24,6 +30,12 @@ from typing import Dict, List
 
 from ..commcheck import SCHEDULE_RULES
 from ..engine import Rule
+from ..plancheck import PLAN_RULES
+from .concurrency import (
+    CrossRankAccessRule,
+    PhaseTelemetryRule,
+    SharedMutationRule,
+)
 from .conformance import (
     DtypeDefaultDriftRule,
     MissingIdentityRule,
@@ -44,6 +56,9 @@ __all__ = [
     "HotLoopRule",
     "HotAllocationRule",
     "DtypeMixRule",
+    "SharedMutationRule",
+    "PhaseTelemetryRule",
+    "CrossRankAccessRule",
 ]
 
 
@@ -57,14 +72,20 @@ def default_rules() -> List[Rule]:
         HotLoopRule(),
         HotAllocationRule(),
         DtypeMixRule(),
+        SharedMutationRule(),
+        PhaseTelemetryRule(),
+        CrossRankAccessRule(),
     ]
 
 
-#: Rule ids by family; the S3xx ids come from the schedule checker.
+#: Rule ids by family; the S3xx ids come from the schedule checker and
+#: the K4xx ids from the step-plan verifier.
 RULE_FAMILIES: Dict[str, List[str]] = {
     "conformance": ["C101", "C102", "C103", "C104"],
     "purity": ["P201", "P202", "P203"],
     "commsched": sorted(SCHEDULE_RULES.values()),
+    "plancheck": sorted(PLAN_RULES.values()),
+    "concurrency": ["W501", "W502", "W503"],
 }
 
 #: Table 2 category for each rule id — the same taxonomy
@@ -88,6 +109,19 @@ DPCT_CATEGORY_BY_RULE: Dict[str, str] = {
     "S303": "Functional equivalence",
     "S304": "Error handling",
     "S305": "Error handling",
+    # plan-IR failures are the data-movement/synchronization bugs the
+    # paper's DPCT audit calls the hardest to port: most produce
+    # silently wrong results, two fault loudly at table-build time
+    "K400": "Error handling",
+    "K401": "Functional equivalence",
+    "K402": "Error handling",
+    "K403": "Functional equivalence",
+    "K404": "Error handling",
+    "K405": "Functional equivalence",
+    # executor-concurrency races corrupt shared state or telemetry
+    "W501": "Functional equivalence",
+    "W502": "Error handling",
+    "W503": "Functional equivalence",
 }
 
 

@@ -24,16 +24,138 @@ list deterministic (rank order) and free of cross-thread interleaving.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import RuntimeSimError
 from ..telemetry.spans import SpanRecord, Tracer, get_tracer
 
-__all__ = ["LockstepExecutor", "ParallelExecutor", "make_executor"]
+__all__ = [
+    "AccessConflict",
+    "AccessRecord",
+    "LockstepExecutor",
+    "ParallelExecutor",
+    "PhaseAccessLog",
+    "make_executor",
+]
 
 PhaseFn = Callable[[int], None]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One shared-buffer access noted by a rank phase body."""
+
+    epoch: int  # barrier epoch (phases_run ordinal at record time)
+    phase: str
+    rank: int
+    buffer: str  # stable buffer identity, e.g. "rank2.f"
+    mode: str  # "read" or "write"
+    locked: bool = False  # taken under the owning service's lock
+
+
+@dataclass(frozen=True)
+class AccessConflict:
+    """Two accesses with no happens-before edge and at least one write."""
+
+    phase: str
+    buffer: str
+    ranks: Tuple[int, ...]
+    modes: Tuple[str, ...]
+
+    def describe(self) -> str:
+        pairs = ", ".join(
+            f"rank {r} {m}" for r, m in zip(self.ranks, self.modes)
+        )
+        return (
+            f"phase {self.phase!r}: unsynchronized accesses to "
+            f"{self.buffer} ({pairs})"
+        )
+
+
+class PhaseAccessLog:
+    """Per-phase shared-buffer access log with a happens-before check.
+
+    The executors' per-phase barrier is the only ordering between rank
+    phase bodies: accesses in *different* phases are ordered by the
+    barrier, accesses in the *same* phase by nothing at all.  Phase
+    bodies (and lock-owning services such as
+    :class:`~repro.runtime.simmpi.SimComm`) note their shared-buffer
+    reads and writes here; :meth:`conflicts` then reports every
+    same-epoch, cross-rank write/write or write/read pair that was not
+    protected by a service lock — the data-race shape the W50x lint
+    rules guard statically.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = -1
+        self._phase = ""
+        self.records: List[AccessRecord] = []
+
+    def begin_phase(self, name: str) -> None:
+        """Advance the barrier epoch (called from the controlling thread)."""
+        with self._lock:
+            self._epoch += 1
+            self._phase = name
+
+    def record(
+        self, rank: int, buffer: str, mode: str, locked: bool = False
+    ) -> None:
+        """Note one access (thread-safe; called from rank phase bodies)."""
+        if mode not in ("read", "write"):
+            raise RuntimeSimError(
+                f"access mode must be 'read' or 'write', got {mode!r}"
+            )
+        with self._lock:
+            self.records.append(
+                AccessRecord(
+                    epoch=self._epoch,
+                    phase=self._phase,
+                    rank=rank,
+                    buffer=buffer,
+                    mode=mode,
+                    locked=locked,
+                )
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+
+    def conflicts(self) -> List[AccessConflict]:
+        """Same-epoch cross-rank conflicting access groups, in log order."""
+        with self._lock:
+            records = list(self.records)
+        groups: Dict[Tuple[int, str], List[AccessRecord]] = {}
+        for rec in records:
+            groups.setdefault((rec.epoch, rec.buffer), []).append(rec)
+        out: List[AccessConflict] = []
+        for (_, buffer), recs in sorted(groups.items()):
+            unlocked = [r for r in recs if not r.locked]
+            writers = {r.rank for r in unlocked if r.mode == "write"}
+            if not writers:
+                continue
+            ranks = {r.rank for r in unlocked}
+            if len(ranks) < 2:
+                continue
+            involved = [
+                r
+                for r in unlocked
+                if r.mode == "write" or r.rank not in writers
+            ]
+            out.append(
+                AccessConflict(
+                    phase=recs[0].phase,
+                    buffer=buffer,
+                    ranks=tuple(r.rank for r in involved),
+                    modes=tuple(r.mode for r in involved),
+                )
+            )
+        return out
 
 
 class LockstepExecutor:
@@ -45,6 +167,8 @@ class LockstepExecutor:
         self.num_ranks = num_ranks
         self.phases_run = 0
         self.tracer = get_tracer() if tracer is None else tracer
+        #: optional PhaseAccessLog advanced once per phase (sanitize mode)
+        self.access_log: Optional[PhaseAccessLog] = None
 
     def run_phase(
         self,
@@ -60,6 +184,8 @@ class LockstepExecutor:
         targets: Iterable[int] = (
             range(self.num_ranks) if ranks is None else ranks
         )
+        if self.access_log is not None:
+            self.access_log.begin_phase(name or f"phase{self.phases_run}")
         tracer = self.tracer
         traced = name is not None and tracer.enabled
         for rank in targets:
@@ -106,6 +232,8 @@ class ParallelExecutor:
         self.num_ranks = num_ranks
         self.phases_run = 0
         self.tracer = get_tracer() if tracer is None else tracer
+        #: optional PhaseAccessLog advanced once per phase (sanitize mode)
+        self.access_log: Optional[PhaseAccessLog] = None
         self._pool = ThreadPoolExecutor(
             max_workers=min(num_ranks, max_workers or num_ranks),
             thread_name_prefix="repro-rank",
@@ -129,6 +257,8 @@ class ParallelExecutor:
         for rank in targets:
             if not 0 <= rank < self.num_ranks:
                 raise RuntimeSimError(f"phase rank {rank} out of range")
+        if self.access_log is not None:
+            self.access_log.begin_phase(name or f"phase{self.phases_run}")
         tracer = self.tracer
         traced = name is not None and tracer.enabled
 
@@ -140,14 +270,16 @@ class ParallelExecutor:
         body = timed if traced else fn
         futures = [self._pool.submit(body, rank) for rank in targets]
         first_exc: Optional[BaseException] = None
+        first_rank = -1
         results = []
-        for fut in futures:
+        for rank, fut in zip(targets, futures):
             try:
                 results.append(fut.result())
             except BaseException as exc:  # re-raised after the barrier
                 results.append(None)
                 if first_exc is None:
                     first_exc = exc
+                    first_rank = rank
         if traced:
             depth = (
                 len(tracer._stack) if isinstance(tracer, Tracer) else 0
@@ -167,6 +299,15 @@ class ParallelExecutor:
                 )
         self.phases_run += 1
         if first_exc is not None:
+            # keep the originating rank and phase identifiable after the
+            # barrier re-raise (the traceback alone only shows the body)
+            origin = f"[rank {first_rank} phase {name or 'phase'!r}]"
+            if first_exc.args and isinstance(first_exc.args[0], str):
+                first_exc.args = (
+                    f"{origin} {first_exc.args[0]}",
+                ) + first_exc.args[1:]
+            else:
+                first_exc.args = (origin,) + tuple(first_exc.args)
             raise first_exc
 
     def run_step(self, phases: List[PhaseFn]) -> None:

@@ -47,6 +47,10 @@ class SimComm:
         # serializes queue/log mutation so rank phases may run on the
         # parallel executor's worker threads
         self._lock = threading.Lock()
+        #: optional PhaseAccessLog (sanitize mode): queue traffic is
+        #: noted as lock-protected so the happens-before check can
+        #: distinguish it from raw shared-array access
+        self.access_log = None
 
     # -- helpers -----------------------------------------------------------
     def _check_rank(self, rank: int, role: str) -> None:
@@ -68,6 +72,10 @@ class SimComm:
         if src == dst:
             raise RuntimeSimError("rank cannot send to itself")
         data = np.array(buf, copy=True)
+        if self.access_log is not None:
+            self.access_log.record(
+                src, f"comm.queue[{src}->{dst}#{tag}]", "write", locked=True
+            )
         with self._lock:
             if self.debug:
                 key = (src, dst, tag)
@@ -87,6 +95,10 @@ class SimComm:
         """Dequeue the next message from ``src`` to ``dst``."""
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
+        if self.access_log is not None:
+            self.access_log.record(
+                dst, f"comm.queue[{src}->{dst}#{tag}]", "read", locked=True
+            )
         with self._lock:
             queue = self._queues.get((src, dst, tag))
             if not queue:

@@ -1,0 +1,190 @@
+"""Runtime sanitizer: NaN canaries, epoch tracking, seeded-bug capture.
+
+The acceptance test of the whole subsystem is
+``test_redirected_scatter_caught_only_when_sanitized``: a payload-slot
+redirect that the legacy path executes silently (producing wrong
+results) raises a :class:`SanitizeError` on the first sanitized step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SanitizeError
+from repro.decomp import axis_decompose
+from repro.geometry import CylinderSpec, make_cylinder
+from repro.lbm import DistributedSolver, Solver, SolverConfig
+from repro.lbm.sanitize import StepSanitizer, check_finite
+from repro.telemetry.metrics import get_registry
+
+CYL_CONFIG = dict(
+    tau=0.8, force=(1e-6, 0.0, 0.0), periodic=(True, False, False)
+)
+STEPS = 6
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return make_cylinder(CylinderSpec(scale=0.5))
+
+
+def make_solver(grid, num_ranks=3, **kw):
+    config = SolverConfig(**CYL_CONFIG, **kw)
+    return DistributedSolver(axis_decompose(grid, num_ranks), config)
+
+
+class TestCheckFinite:
+    def test_clean_buffer_passes(self):
+        f = np.ones((3, 8))
+        check_finite(f, 6, "t")  # should not raise
+
+    def test_nan_in_owned_column_raises(self):
+        f = np.ones((3, 8))
+        f[1, 2] = np.nan
+        with pytest.raises(SanitizeError, match="NaN canary"):
+            check_finite(f, 6, "t")
+
+    def test_nan_in_ghost_column_is_ignored(self):
+        # ghost poison is the sanitizer's own canary, not a failure
+        f = np.ones((3, 8))
+        f[:, 6:] = np.nan
+        check_finite(f, 6, "t")
+
+
+class TestCleanRuns:
+    """sanitize=True must be invisible on correct schedules."""
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    @pytest.mark.parametrize("executor", ["lockstep", "parallel"])
+    def test_bitwise_equal_to_unsanitized(self, grid, overlap, executor):
+        plain = make_solver(grid, overlap=overlap, executor=executor)
+        sanitized = make_solver(
+            grid, overlap=overlap, executor=executor, sanitize=True
+        )
+        plain.step(STEPS)
+        sanitized.step(STEPS)
+        assert np.array_equal(
+            plain.gather_f().copy(), sanitized.gather_f()
+        )
+
+    def test_single_rank_sanitized(self, grid):
+        solver = make_solver(grid, num_ranks=1, sanitize=True)
+        solver.step(STEPS)  # no halo at all; canaries must not trip
+
+    def test_single_domain_solver_sanitized(self, grid):
+        config = SolverConfig(**CYL_CONFIG, sanitize=True)
+        reference = Solver(grid, SolverConfig(**CYL_CONFIG))
+        sanitized = Solver(grid, config)
+        reference.step(STEPS)
+        sanitized.step(STEPS)
+        assert np.array_equal(reference.f, sanitized.f)
+
+    def test_steps_checked_counter_advances(self, grid):
+        counter = get_registry().counter("sanitize.steps_checked")
+        before = counter.value
+        make_solver(grid, overlap=True, sanitize=True).step(STEPS)
+        assert counter.value == before + STEPS
+
+    def test_ghost_poison_counter_advances(self, grid):
+        counter = get_registry().counter("sanitize.ghost_slots_poisoned")
+        before = counter.value
+        solver = make_solver(grid, sanitize=True)
+        ghost_slots = sum(
+            st.f.shape[0] * (st.f.shape[1] - st.num_owned)
+            for st in solver.ranks
+        )
+        solver.step(2)
+        assert counter.value == before + 2 * ghost_slots
+
+
+class TestSeededBugs:
+    """Deliberately broken wiring, injected after the clean pre-flight."""
+
+    def _redirect_scatter(self, solver):
+        # drop one frontier destination by scattering its payload value
+        # onto a neighbouring slot instead — shapes all agree, so the
+        # step executes; the skipped destination keeps its provisional
+        # stale-ghost value
+        st = next(s for s in solver.ranks if s.inj_flat)
+        src = sorted(st.inj_flat)[0]
+        inj = st.inj_flat[src].copy()
+        inj[-1] = inj[-2]
+        st.inj_flat[src] = inj
+
+    def test_redirected_scatter_caught_only_when_sanitized(self, grid):
+        legacy = make_solver(grid, overlap=True)
+        reference = make_solver(grid, overlap=True)
+        self._redirect_scatter(legacy)
+        legacy.step(1)  # executes silently — the bug the paper class hits
+        reference.step(1)
+        assert not np.array_equal(
+            legacy.gather_f().copy(), reference.gather_f()
+        ), "the seeded bug must actually corrupt the results"
+
+        sanitized = make_solver(grid, overlap=True, sanitize=True)
+        self._redirect_scatter(sanitized)
+        with pytest.raises(SanitizeError, match="never finalized"):
+            sanitized.step(1)
+
+    def test_violations_counter_increments(self, grid):
+        counter = get_registry().counter("sanitize.violations")
+        before = counter.value
+        solver = make_solver(grid, overlap=True, sanitize=True)
+        self._redirect_scatter(solver)
+        with pytest.raises(SanitizeError):
+            solver.step(1)
+        assert counter.value == before + 1
+
+
+class TestEpochTracking:
+    """Unit-level checks of the freshness state machine."""
+
+    def _sanitizer(self, grid, overlap=False):
+        solver = make_solver(grid, overlap=overlap)
+        return solver, StepSanitizer(solver.ranks, overlap=overlap)
+
+    def test_barrier_stale_ghost_detected(self, grid):
+        solver, san = self._sanitizer(grid)
+        san.begin_step(solver.ranks, 0)
+        st = next(s for s in solver.ranks if s.recv_slots)
+        # no on_unpack calls at all: every ghost this rank reads is stale
+        with pytest.raises(SanitizeError, match="not refilled"):
+            san.before_stream(st)
+
+    def test_barrier_fresh_after_all_unpacks(self, grid):
+        solver, san = self._sanitizer(grid)
+        san.begin_step(solver.ranks, 0)
+        st = next(s for s in solver.ranks if s.recv_slots)
+        for src in st.recv_slots:
+            san.on_unpack(st, src)
+        san.before_stream(st)  # should not raise
+
+    def test_partial_unpack_still_stale(self, grid):
+        solver, san = self._sanitizer(grid)
+        st = next(
+            s for s in solver.ranks if len(s.recv_slots) >= 2
+        )
+        san.begin_step(solver.ranks, 0)
+        san.on_unpack(st, sorted(st.recv_slots)[0])
+        with pytest.raises(SanitizeError, match="not refilled"):
+            san.before_stream(st)
+
+    def test_double_scatter_detected(self, grid):
+        solver, san = self._sanitizer(grid, overlap=True)
+        st = next(s for s in solver.ranks if s.inj_flat)
+        src = sorted(st.inj_flat)[0]
+        san.begin_step(solver.ranks, 0)
+        san.on_interior_stream(st)
+        san.on_payload(st, src)
+        san.on_scatter(st, src, st.inj_flat[src])
+        with pytest.raises(SanitizeError, match="double scatter"):
+            san.on_scatter(st, src, st.inj_flat[src])
+
+    def test_unscattered_payload_detected(self, grid):
+        solver, san = self._sanitizer(grid, overlap=True)
+        st = next(s for s in solver.ranks if s.inj_flat)
+        src = sorted(st.inj_flat)[0]
+        san.begin_step(solver.ranks, 0)
+        san.on_interior_stream(st)
+        san.on_payload(st, src)  # arrives, but no on_scatter follows
+        with pytest.raises(SanitizeError, match="never\n?.*scattered"):
+            san.end_step(solver.ranks, 0)

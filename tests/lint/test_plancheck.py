@@ -1,0 +1,343 @@
+"""Plan-IR verification (K40x), including intentionally-broken fixtures.
+
+The dogfood run over the live tree came back clean, so every rule is
+proven here the other way round: take the real rank states the
+distributed solver builds, break each invariant deliberately, and assert
+the matching K40x rule fires — plus the solver pre-flight, the
+serialized ``*.stepplan.json`` path, and engine discovery/selection.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PlanCheckError
+from repro.decomp import axis_decompose
+from repro.geometry import CylinderSpec, make_cylinder
+from repro.lbm import DistributedSolver, SolverConfig
+from repro.lint import (
+    LintEngine,
+    PLAN_RULES,
+    check_plan_file,
+    check_rank_states,
+    rank_states_to_dict,
+    verify_plan,
+    verify_rank_plans,
+)
+from repro.lint.plancheck import (
+    check_exchange,
+    check_overlap_hazards,
+    check_partition,
+    check_plan_table,
+)
+
+CYL_CONFIG = dict(
+    tau=0.8, force=(1e-6, 0.0, 0.0), periodic=(True, False, False)
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return make_cylinder(CylinderSpec(scale=0.5))
+
+
+def make_solver(grid, num_ranks=3, validate_plan=True, **kw):
+    config = SolverConfig(**CYL_CONFIG, **kw)
+    return DistributedSolver(
+        axis_decompose(grid, num_ranks), config, validate_plan=validate_plan
+    )
+
+
+def _rules(issues):
+    return sorted({i.rule for i in issues})
+
+
+class TestPlanTable:
+    """K401 / K402 on hand-built gather tables."""
+
+    def _table(self):
+        # q=2, num_local=4: identity gather
+        update_ids = np.arange(4, dtype=np.int64)
+        flat_src = np.arange(8, dtype=np.int64).reshape(2, 4)
+        return update_ids, flat_src
+
+    def test_clean_table_passes(self):
+        ids, src = self._table()
+        assert check_plan_table(2, 4, ids, src) == []
+
+    def test_duplicate_destination_is_k401(self):
+        ids, src = self._table()
+        ids[1] = ids[0]
+        issues = check_plan_table(2, 4, ids, src)
+        assert _rules(issues) == ["K401"]
+        assert "written twice" in issues[0].message
+
+    def test_out_of_range_source_is_k402(self):
+        ids, src = self._table()
+        src[0, 0] = 8  # == q * num_local, one past the end
+        issues = check_plan_table(2, 4, ids, src)
+        assert _rules(issues) == ["K402"]
+        assert "clip" in issues[0].message
+
+    def test_fractional_dtype_is_k402(self):
+        ids, src = self._table()
+        issues = check_plan_table(2, 4, ids, src.astype(np.float64))
+        assert _rules(issues) == ["K402"]
+        assert "integer" in issues[0].message
+
+    def test_shape_mismatch_is_k402(self):
+        ids, src = self._table()
+        issues = check_plan_table(2, 4, ids, src[:, :3])
+        assert _rules(issues) == ["K402"]
+
+    def test_verify_plan_raises_with_rule_id(self):
+        ids, src = self._table()
+        ids[2] = ids[3]
+
+        class _Plan:
+            class lattice:
+                q = 2
+
+            num_local = 4
+            update_ids = ids
+            flat_src = src
+
+        with pytest.raises(PlanCheckError, match=r"\[K401\]"):
+            verify_plan(_Plan())
+
+
+class TestPartition:
+    """K403 on a hand-built interior/frontier split.
+
+    q=2, num_local=4, num_owned=3 (node 3 is the ghost): nodes 0 and 1
+    are interior, node 2 reads the ghost and is frontier.
+    """
+
+    def _split(self):
+        parent_ids = np.arange(3, dtype=np.int64)
+        interior_ids = np.array([0, 1], dtype=np.int64)
+        interior_src = np.array([[0, 1], [4, 5]], dtype=np.int64)
+        frontier_ids = np.array([2], dtype=np.int64)
+        frontier_src = np.array([[3], [7]], dtype=np.int64)  # ghost node 3
+        return (
+            parent_ids,
+            interior_ids,
+            interior_src,
+            frontier_ids,
+            frontier_src,
+        )
+
+    def test_clean_split_passes(self):
+        assert check_partition(2, 4, 3, *self._split()) == []
+
+    def test_interior_ghost_read_is_k403(self):
+        parent, i_ids, i_src, f_ids, f_src = self._split()
+        i_src = i_src.copy()
+        i_src[0, 1] = 3  # interior node 1 now reads ghost node 3
+        issues = check_partition(2, 4, 3, parent, i_ids, i_src, f_ids, f_src)
+        assert "K403" in _rules(issues)
+        assert "stale halo" in issues[0].message
+
+    def test_misclassified_frontier_is_k403(self):
+        parent, i_ids, i_src, f_ids, f_src = self._split()
+        f_src = f_src.copy()
+        f_src[:, 0] = (2, 6)  # frontier node 2 reads no ghost at all
+        issues = check_partition(2, 4, 3, parent, i_ids, i_src, f_ids, f_src)
+        assert "K403" in _rules(issues)
+        assert "no ghost source" in issues[0].message
+
+    def test_coverage_gap_is_k403(self):
+        parent, i_ids, i_src, f_ids, f_src = self._split()
+        issues = check_partition(
+            2, 4, 3, parent, i_ids[:1], i_src[:, :1], f_ids, f_src
+        )
+        assert "K403" in _rules(issues)
+        assert "cover" in issues[-1].message
+
+
+class TestRealRankStates:
+    """Break the solver's own overlap wiring, one invariant at a time."""
+
+    def test_clean_overlap_states_pass(self, grid):
+        solver = make_solver(grid, overlap=True)
+        assert check_rank_states(solver.ranks, overlap=True) == []
+
+    def test_clean_barrier_states_pass(self, grid):
+        solver = make_solver(grid)
+        assert check_rank_states(solver.ranks, overlap=False) == []
+
+    def test_duplicate_update_id_is_k401(self, grid):
+        solver = make_solver(grid, overlap=True, validate_plan=False)
+        plan = solver.ranks[0].step_plan
+        plan.update_ids[1] = plan.update_ids[0]
+        issues = check_rank_states(solver.ranks, overlap=True)
+        assert "K401" in _rules(issues)
+
+    def test_redirected_payload_slot_is_k404_and_k405(self, grid):
+        # the seeded bug of the sanitizer acceptance test, caught
+        # statically: one frontier destination is fed twice, another
+        # never finalized
+        solver = make_solver(grid, overlap=True, validate_plan=False)
+        st = next(s for s in solver.ranks if s.inj_flat)
+        src = sorted(st.inj_flat)[0]
+        inj = st.inj_flat[src].copy()
+        inj[-1] = inj[-2]
+        st.inj_flat[src] = inj
+        rules = _rules(check_rank_states(solver.ranks, overlap=True))
+        assert "K404" in rules
+        assert "K405" in rules
+
+    def test_missing_pack_table_is_k404(self, grid):
+        solver = make_solver(grid, overlap=True, validate_plan=False)
+        st = next(s for s in solver.ranks if s.inj_flat)
+        peer_rank = sorted(st.inj_flat)[0]
+        peer = next(s for s in solver.ranks if s.rank == peer_rank)
+        del peer.pack_flat[st.rank]
+        issues = check_exchange(solver.ranks)
+        assert "K404" in _rules(issues)
+        assert any("packs nothing" in i.message for i in issues)
+
+    def test_pack_of_ghost_slot_is_k405(self, grid):
+        solver = make_solver(grid, overlap=True, validate_plan=False)
+        st = next(s for s in solver.ranks if s.pack_flat)
+        peer = sorted(st.pack_flat)[0]
+        # redirect the first pack source to one of the sender's own
+        # ghost slots: nothing has written it when the post phase reads
+        st.pack_flat[peer][0] = st.num_owned
+        issues = check_overlap_hazards(st)
+        assert "K405" in _rules(issues)
+        assert any("stale ghost slot" in i.message for i in issues)
+
+    def test_interior_ghost_read_is_k403(self, grid):
+        solver = make_solver(grid, overlap=True, validate_plan=False)
+        st = solver.ranks[0]
+        st.interior_plan.flat_src[0, 0] = st.num_owned  # ghost node, q=0
+        rules = _rules(check_rank_states(solver.ranks, overlap=True))
+        assert "K403" in rules
+
+    def test_uncovered_barrier_ghost_is_k405(self, grid):
+        solver = make_solver(grid, validate_plan=False)
+        st = next(s for s in solver.ranks if s.recv_slots)
+        st.recv_slots.pop(sorted(st.recv_slots)[0])
+        issues = check_rank_states(solver.ranks, overlap=False)
+        assert _rules(issues) == ["K405"]
+        assert "no receive refills" in issues[0].message
+
+    def test_verify_rank_plans_raises_with_context(self, grid):
+        solver = make_solver(grid, overlap=True, validate_plan=False)
+        plan = solver.ranks[0].step_plan
+        plan.update_ids[1] = plan.update_ids[0]
+        with pytest.raises(PlanCheckError, match=r"(?s)broken: .*\[K401\]"):
+            verify_rank_plans(solver.ranks, overlap=True, context="broken")
+
+
+class TestSolverPreflight:
+    """The pre-flight runs at construction, next to the S300 check."""
+
+    def test_preflight_runs_by_default(self, grid, monkeypatch):
+        import repro.lint.plancheck as plancheck
+
+        calls = []
+        orig = plancheck.verify_rank_plans
+        monkeypatch.setattr(
+            plancheck,
+            "verify_rank_plans",
+            lambda *a, **kw: calls.append(kw) or orig(*a, **kw),
+        )
+        make_solver(grid, overlap=True)
+        assert len(calls) == 1 and calls[0]["overlap"] is True
+
+    def test_preflight_opt_out(self, grid, monkeypatch):
+        import repro.lint.plancheck as plancheck
+
+        calls = []
+        monkeypatch.setattr(
+            plancheck, "verify_rank_plans", lambda *a, **kw: calls.append(1)
+        )
+        make_solver(grid, validate_plan=False)
+        assert calls == []
+
+    def test_all_decompositions_preflight_clean(self, grid):
+        # acceptance criterion: no false positives on working configs
+        for num_ranks in (1, 2, 4):
+            for overlap in (False, True):
+                solver = make_solver(grid, num_ranks, overlap=overlap)
+                assert check_rank_states(
+                    solver.ranks, overlap=overlap
+                ) == []
+
+
+class TestPlanDocuments:
+    """The serialized ``*.stepplan.json`` path and engine discovery."""
+
+    def _doc(self, grid, overlap=True, num_ranks=2):
+        solver = make_solver(grid, num_ranks, overlap=overlap)
+        return rank_states_to_dict(solver.ranks, overlap=overlap)
+
+    def test_round_trip_is_clean(self, grid, tmp_path):
+        p = tmp_path / "cyl.stepplan.json"
+        p.write_text(json.dumps(self._doc(grid)))
+        assert check_plan_file(p) == []
+
+    def test_broken_document_reports_rule(self, grid, tmp_path):
+        doc = self._doc(grid)
+        ids = doc["ranks"][0]["update_ids"]
+        ids[1] = ids[0]
+        p = tmp_path / "dup.stepplan.json"
+        p.write_text(json.dumps(doc))
+        violations = check_plan_file(p)
+        # the duplicated id also perturbs the sub-plan coverage, so the
+        # double-write finding leads a cascade rather than standing alone
+        assert violations[0].rule == "K401"
+        assert violations[0].path == str(p)
+
+    def test_bare_single_plan_document(self, tmp_path):
+        doc = {
+            "q": 2,
+            "num_local": 4,
+            "update_ids": [0, 1, 2, 2],
+            "flat_src": np.arange(8).reshape(2, 4).tolist(),
+        }
+        p = tmp_path / "single.stepplan.json"
+        p.write_text(json.dumps(doc))
+        assert [v.rule for v in check_plan_file(p)] == ["K401"]
+
+    def test_malformed_document_is_k400(self, tmp_path):
+        p = tmp_path / "bad.stepplan.json"
+        p.write_text("{not json")
+        violations = check_plan_file(p)
+        assert [v.rule for v in violations] == ["K400"]
+        assert "malformed" in violations[0].message
+
+    def test_engine_discovers_plan_files(self, grid, tmp_path):
+        doc = self._doc(grid)
+        doc["ranks"][0]["flat_src"][0][0] = 10**9
+        (tmp_path / "broken.stepplan.json").write_text(json.dumps(doc))
+        report = LintEngine().run([tmp_path])
+        assert [v.rule for v in report.violations] == ["K402"]
+
+    def test_engine_family_select(self, tmp_path):
+        doc = {
+            "q": 2,
+            "num_local": 4,
+            "update_ids": [0, 1, 2, 2],
+            "flat_src": np.arange(8).reshape(2, 4).tolist(),
+        }
+        doc["flat_src"][0][0] = 10**9
+        (tmp_path / "broken.stepplan.json").write_text(json.dumps(doc))
+        all_k = LintEngine().select(["K"]).run([tmp_path])
+        assert sorted(v.rule for v in all_k.violations) == ["K401", "K402"]
+        only = LintEngine().select(["K402"]).run([tmp_path])
+        assert [v.rule for v in only.violations] == ["K402"]
+        none = LintEngine().select(["S"]).run([tmp_path])
+        assert none.violations == []
+
+    def test_every_plan_rule_has_an_id(self):
+        assert sorted(PLAN_RULES.values()) == [
+            "K401",
+            "K402",
+            "K403",
+            "K404",
+            "K405",
+        ]
