@@ -155,10 +155,23 @@ def _metric_paths(result: Dict[str, Any]) -> Tuple[List[str], List[str]]:
     relative: List[str] = []
     absolute: List[str] = []
     if kind == "kernels":
-        for name in sorted(result.get("kernels", {})):
+        kernels = result.get("kernels", {})
+        for name in sorted(kernels):
             relative.append(f"kernels.{name}.speedup")
             absolute.append(f"kernels.{name}.fused_mflups")
+            # compiled-tier columns (compiled_serial_speedup, ...)
+            # gate alongside the NumPy ones when the baseline has them
+            entry = kernels.get(name) or {}
+            for key in sorted(entry):
+                if key in ("speedup", "fused_mflups"):
+                    continue
+                if key.endswith("_speedup"):
+                    relative.append(f"kernels.{name}.{key}")
+                elif key.endswith("_mflups") and key != "legacy_mflups":
+                    absolute.append(f"kernels.{name}.{key}")
         relative.append("step_speedup")
+        if "compiled_step_speedup" in result:
+            relative.append("compiled_step_speedup")
     elif kind == "overlap":
         ranks = result.get("ranks", [])
         for i, rank in enumerate(ranks):

@@ -195,10 +195,13 @@ def config_hash(config: Dict[str, Any]) -> str:
 def config_signature(record: Dict[str, Any]) -> str:
     """What must agree for two results' absolute numbers to compare.
 
-    Benchmark kind, workload, and the knobs that change the timed work
-    (scale, steps, reps, rank counts), collapsed to a stable
-    :func:`config_hash`.  Metadata like output paths or timestamps never
-    participates.
+    Benchmark kind, workload, the knobs that change the timed work
+    (scale, steps, reps, rank counts), and the kernel backend tier,
+    collapsed to a stable :func:`config_hash`.  Metadata like output
+    paths or timestamps never participates.  The backend normalises to
+    ``"numpy"`` when absent, so pre-compiled-tier history keeps its
+    signature, and compiled runs form their own baseline family that
+    gates independently.
     """
     ranks = record.get("ranks")
     rank_counts: List[Any] = []
@@ -214,5 +217,6 @@ def config_signature(record: Dict[str, Any]) -> str:
             "steps": record.get("steps"),
             "reps": record.get("reps"),
             "rank_counts": rank_counts,
+            "backend": record.get("backend") or "numpy",
         }
     )

@@ -220,6 +220,7 @@ def _solver_rows(
             "fused": bool(r.get("fused", True)),
             "overlap": bool(r.get("overlap", False)),
             "executor": str(r.get("executor", "lockstep")),
+            "backend": str(r.get("backend", "numpy")),
             "fluid_nodes": int(r["fluid_nodes"]),
             "steps": int(r["steps"]),
             "mflups": float(r["mflups"]),
@@ -230,10 +231,66 @@ def _solver_rows(
     rows.sort(
         key=lambda r: (
             r["geometry"], r["num_ranks"], not r["fused"], r["overlap"],
-            r["executor"],
+            r["executor"], r["backend"],
         )
     )
     return rows
+
+
+def _host_portability(
+    rows: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Pennycook PP of the host kernel tiers, over *measured* runs.
+
+    Unlike :func:`_portability` (which prices the paper's systems
+    through the performance model), this pivot uses the wall-clock
+    MFLUPS of actual solver records: at each coordinate
+    ``(geometry, ranks, mode)`` a backend's application efficiency is
+    its throughput over the best backend's there, its platform
+    efficiency per geometry is the mean over that geometry's
+    coordinates, and PP is the harmonic mean across the geometry zoo.
+    Empty unless at least two backends ran, so NumPy-only campaigns are
+    unchanged.
+    """
+    backends = sorted({r["backend"] for r in rows})
+    if len(backends) < 2:
+        return {"geometries": [], "per_backend": {}}
+    geometries = sorted({r["geometry"] for r in rows})
+    best: Dict[Tuple[str, int, bool, bool, str], float] = {}
+    for r in rows:
+        key = (
+            r["geometry"], r["num_ranks"], r["fused"], r["overlap"],
+            r["executor"],
+        )
+        best[key] = max(best.get(key, 0.0), r["mflups"])
+    per_geom: Dict[str, Dict[str, List[float]]] = {
+        g: {} for g in geometries
+    }
+    for r in rows:
+        key = (
+            r["geometry"], r["num_ranks"], r["fused"], r["overlap"],
+            r["executor"],
+        )
+        top = best[key]
+        if top <= 0:
+            continue
+        per_geom[r["geometry"]].setdefault(r["backend"], []).append(
+            min(r["mflups"] / top, 1.0)
+        )
+
+    def _mean_eff(geometry: str, backend: str) -> float:
+        samples = per_geom[geometry].get(backend)
+        return sum(samples) / len(samples) if samples else 0.0
+
+    per_backend: Dict[str, Any] = {}
+    for backend in backends:
+        effs = [_mean_eff(g, backend) for g in geometries]
+        per_backend[backend] = {
+            "pp": performance_portability(effs),
+            "mean_efficiency": dict(zip(geometries, effs)),
+            "supported": [g for g, e in zip(geometries, effs) if e > 0],
+        }
+    return {"geometries": geometries, "per_backend": per_backend}
 
 
 def build_report(store: ResultStore) -> Dict[str, Any]:
@@ -248,12 +305,14 @@ def build_report(store: ResultStore) -> Dict[str, Any]:
     solver = _ok_results(records, "solver")
     micro = _ok_results(records, "microbench")
     scaling = _scaling_rows(perf)
+    solver_rows = _solver_rows(solver)
     return {
         "counts": store.counts(),
         "scaling": scaling,
         "composition": _composition_rows(perf, solver),
         "portability": _portability(scaling),
-        "solver": _solver_rows(solver),
+        "host_portability": _host_portability(solver_rows),
+        "solver": solver_rows,
         "microbench": micro,
     }
 
@@ -337,6 +396,35 @@ def _render_portability_text(port: Dict[str, Any]) -> List[str]:
     ]
 
 
+def _render_host_portability_text(port: Dict[str, Any]) -> List[str]:
+    per_backend = port.get("per_backend", {})
+    if not per_backend:
+        return []
+    geometries = port["geometries"]
+    headers = ["backend", "PP"] + geometries
+    rows = []
+    for backend, entry in sorted(
+        per_backend.items(), key=lambda kv: -kv[1]["pp"]
+    ):
+        rows.append(
+            [backend, f"{entry['pp']:.3f}"]
+            + [
+                f"{entry['mean_efficiency'][g]:.2f}" for g in geometries
+            ]
+        )
+    return [
+        render_table(
+            headers,
+            rows,
+            title=(
+                "host-tier performance portability (measured solver "
+                "runs, geometry zoo)"
+            ),
+        ),
+        "",
+    ]
+
+
 def _render_solver_text(rows: Sequence[Dict[str, Any]]) -> List[str]:
     if not rows:
         return []
@@ -350,6 +438,8 @@ def _render_solver_text(rows: Sequence[Dict[str, Any]]) -> List[str]:
             mode += "+overlap"
         if r["executor"] != "lockstep":
             mode += f"/{r['executor']}"
+        if r.get("backend", "numpy") != "numpy":
+            mode += f"@{r['backend']}"
         body.append(
             [
                 r["geometry"],
@@ -412,5 +502,10 @@ def render_report(
     lines.extend(_render_scaling_text(report["scaling"]))
     lines.extend(_render_composition_text(report["composition"]))
     lines.extend(_render_portability_text(report["portability"]))
+    lines.extend(
+        _render_host_portability_text(
+            report.get("host_portability", {})
+        )
+    )
     lines.extend(_render_solver_text(report["solver"]))
     return "\n".join(lines).rstrip() + "\n"

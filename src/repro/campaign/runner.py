@@ -57,6 +57,7 @@ _PARAMS: Dict[str, Dict[str, Any]] = {
         "fused": (False, True),
         "overlap": (False, False),
         "executor": (False, "lockstep"),
+        "backend": (False, "numpy"),
     },
     "perf": {
         "machine": (True, None),
@@ -72,6 +73,7 @@ _PARAMS: Dict[str, Dict[str, Any]] = {
         "steps": (False, 5),
         "reps": (False, 1),
         "rank_counts": (False, (2, 4)),
+        "backend": (False, "numpy"),
     },
 }
 
@@ -103,6 +105,22 @@ def _resolved_params(cell: Cell) -> Dict[str, Any]:
 
 def _prune_reason(cell: Cell, params: Dict[str, Any]) -> Optional[str]:
     """Runner-level reason to drop a valid-looking cell, or None."""
+    backend = str(params.get("backend") or "numpy")
+    if backend != "numpy":
+        from ..models.compiled import COMPILED_BACKENDS, compiled_available
+
+        if backend not in COMPILED_BACKENDS:
+            raise CampaignError(
+                f"sweep {cell.sweep!r}: unknown backend {backend!r}; "
+                f"expected 'numpy' or one of "
+                f"{', '.join(COMPILED_BACKENDS)}"
+            )
+        if not compiled_available():
+            return (
+                f"backend {backend!r} unavailable on this host "
+                f"(no compiled provider: numba not installed and no "
+                f"working C compiler)"
+            )
     if cell.runner != "perf":
         return None
     from ..analysis.sweep import workload_schedule
@@ -201,6 +219,7 @@ def _run_solver_cell(params: Dict[str, Any]) -> Dict[str, Any]:
         fused=bool(params["fused"]),
         overlap=bool(params["overlap"]),
         executor=str(params["executor"]),
+        backend=str(params["backend"]),
     )
     app = HarveyApp(config, tracer=tracer)
     report = app.run(int(params["steps"]))
@@ -218,6 +237,7 @@ def _run_solver_cell(params: Dict[str, Any]) -> Dict[str, Any]:
         "fused": config.fused,
         "overlap": config.overlap,
         "executor": config.executor,
+        "backend": config.backend,
         "composition": _tracer_composition(tracer),
     }
 
@@ -274,10 +294,12 @@ def _run_microbench_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     if bench == "kernels":
         from ..microbench.kernels import run_kernel_bench
 
+        backend = str(params["backend"])
         result = run_kernel_bench(
             scale=float(params["scale"]),
             steps=int(params["steps"]),
             reps=int(params["reps"]),
+            backend=None if backend == "numpy" else backend,
         )
     elif bench == "overlap":
         from ..microbench.overlap import run_overlap_bench

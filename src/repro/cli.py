@@ -137,23 +137,29 @@ def _cmd_proxy(args: argparse.Namespace) -> int:
 
 
 def _cmd_harvey(args: argparse.Namespace) -> int:
+    from .core.errors import BackendUnavailableError
     from .harvey import HarveyApp, HarveyConfig
 
     resolution = max(args.resolution, 2.5) if args.quick else args.resolution
     ranks = min(args.ranks, 2) if args.quick else args.ranks
     steps = min(args.steps, 5) if args.quick else args.steps
     telemetry = _make_telemetry(args)
-    app = HarveyApp(
-        HarveyConfig(
-            workload=args.workload,
-            resolution=resolution,
-            num_ranks=ranks,
-            overlap=args.overlap,
-            executor=args.executor,
-            sanitize=args.sanitize,
-        ),
-        tracer=telemetry.tracer if telemetry else None,
-    )
+    try:
+        app = HarveyApp(
+            HarveyConfig(
+                workload=args.workload,
+                resolution=resolution,
+                num_ranks=ranks,
+                overlap=args.overlap,
+                executor=args.executor,
+                sanitize=args.sanitize,
+                backend=args.backend,
+            ),
+            tracer=telemetry.tracer if telemetry else None,
+        )
+    except BackendUnavailableError as exc:
+        print(f"error: backend {args.backend!r}: {exc}", file=sys.stderr)
+        return 2
     if telemetry:
         telemetry.attach_app(app)
     report = app.run(steps)
@@ -192,29 +198,42 @@ def _append_bench_history(result, args: argparse.Namespace) -> None:
 
 
 def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from .core.errors import BackendUnavailableError
     from .microbench import run_kernel_bench
 
     scale = 0.5 if args.quick else args.scale
     steps = 5 if args.quick else args.steps
     reps = 2 if args.quick else args.reps
-    result = run_kernel_bench(scale=scale, steps=steps, reps=reps)
+    try:
+        result = run_kernel_bench(
+            scale=scale, steps=steps, reps=reps, backend=args.backend
+        )
+    except BackendUnavailableError as exc:
+        print(f"error: backend {args.backend!r}: {exc}", file=sys.stderr)
+        return 2
     print(result.format_text())
     if args.output:
         result.write(args.output)
         print(f"written to {args.output}")
     _append_bench_history(result, args)
     if args.assert_speedup is not None:
-        if result.step_speedup < args.assert_speedup:
+        # with a compiled backend the gate is the compiled tier's step
+        # speedup over the fused NumPy step; without one it is the
+        # fused-over-legacy speedup
+        if result.backend is not None:
+            label = "compiled step speedup"
+            speedup = result.compiled_step_speedup or 0.0
+        else:
+            label = "step speedup"
+            speedup = result.step_speedup
+        if speedup < args.assert_speedup:
             print(
-                f"error: step speedup {result.step_speedup:.2f}x below "
+                f"error: {label} {speedup:.2f}x below "
                 f"required {args.assert_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1
-        print(
-            f"step speedup {result.step_speedup:.2f}x >= "
-            f"{args.assert_speedup:.2f}x"
-        )
+        print(f"{label} {speedup:.2f}x >= {args.assert_speedup:.2f}x")
     return 0
 
 
@@ -255,7 +274,7 @@ def _cmd_bench_overlap(args: argparse.Namespace) -> int:
 def _cmd_profile_run(args: argparse.Namespace) -> int:
     import json
 
-    from .core.errors import ReproError
+    from .core.errors import BackendUnavailableError, ReproError
     from .telemetry import get_registry, write_metrics
     from .telemetry.profile import (
         render_profile,
@@ -276,7 +295,11 @@ def _cmd_profile_run(args: argparse.Namespace) -> int:
             bandwidth_gbs=args.bandwidth,
             machine=args.machine,
             tracer=tracer,
+            backend=args.backend,
         )
+    except BackendUnavailableError as exc:
+        print(f"error: backend {args.backend!r}: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -310,12 +333,27 @@ def _gate_current_result(kind: str, baseline: dict, args: argparse.Namespace):
     if kind == "kernels":
         from .microbench import run_kernel_bench
 
+        backend = config.get("backend")
+        if backend is not None:
+            from .models.compiled import compiled_available
+
+            if not compiled_available():
+                print(
+                    f"note: baseline backend {backend!r} unavailable "
+                    "here; re-running NumPy-only (compiled metrics "
+                    "will be skipped as missing)",
+                    file=sys.stderr,
+                )
+                backend = None
         if args.quick:
-            return run_kernel_bench(scale=0.5, steps=5, reps=2).to_dict()
+            return run_kernel_bench(
+                scale=0.5, steps=5, reps=2, backend=backend
+            ).to_dict()
         return run_kernel_bench(
             scale=config.get("scale", 1.0),
             steps=config.get("steps", 20),
             reps=config.get("reps", 3),
+            backend=backend,
         ).to_dict()
     from .microbench import run_overlap_bench
 
@@ -739,6 +777,20 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_arg(
+    parser: argparse.ArgumentParser, default: str = "numpy"
+) -> None:
+    from .models.compiled import COMPILED_BACKENDS
+
+    parser.add_argument(
+        "--backend",
+        choices=["numpy", *COMPILED_BACKENDS],
+        default=default,
+        help="kernel execution backend (default: %(default)s); the "
+        "compiled tiers need numba or a host C compiler",
+    )
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out",
@@ -799,6 +851,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="CI preset: coarse resolution, <=2 ranks, <=5 steps",
     )
+    _add_backend_arg(p)
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_harvey)
 
@@ -897,8 +950,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pb.add_argument(
         "--assert-speedup", type=float, default=None, metavar="MIN",
-        help="exit 1 unless full-step fused speedup is at least MIN",
+        help="exit 1 unless the full-step speedup (fused over legacy; "
+        "compiled over fused when --backend is compiled) is at least "
+        "MIN",
     )
+    _add_backend_arg(pb)
     pb.set_defaults(func=_cmd_bench_kernels)
 
     po = bsub.add_parser(
@@ -1005,6 +1061,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="also write the profile document as JSON",
     )
+    _add_backend_arg(pr)
     _add_telemetry_args(pr)
     pr.set_defaults(func=_cmd_profile_run)
 

@@ -35,6 +35,11 @@ class ModelError(ReproError):
     """Raised by programming-model backends (bad launch configs, spaces)."""
 
 
+class BackendUnavailableError(ModelError):
+    """Raised when a compiled backend is requested but no provider (numba
+    or a working C compiler) is present on the host."""
+
+
 class HardwareError(ReproError):
     """Raised for unknown systems or invalid hardware specifications."""
 

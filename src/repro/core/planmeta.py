@@ -26,6 +26,8 @@ __all__ = [
     "split_flat",
     "ghost_links",
     "flat_destinations",
+    "kernel_tables",
+    "kernel_abi_issues",
 ]
 
 
@@ -92,3 +94,50 @@ def flat_destinations(
     ids = np.asarray(update_ids, dtype=np.int64)
     off = np.arange(int(q), dtype=np.int64)[:, None] * int(num_local)
     return off + ids[None, :]
+
+
+def kernel_tables(
+    flat_src: np.ndarray, update_ids: np.ndarray, num_local: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The 1-D ``(src, dst)`` link tables a compiled kernel launches over.
+
+    Flattens the ``(q, n_upd)`` gather table and the matching
+    :func:`flat_destinations` into parallel int64 C-contiguous arrays —
+    the exact ABI (see K406) the compiled stream kernel binds through
+    ctypes/numba.  Copies only when the input violates that ABI.
+    """
+    table = np.ascontiguousarray(flat_src, dtype=np.int64)
+    q = table.shape[0]
+    src = table.reshape(-1)
+    dst = flat_destinations(update_ids, num_local, q).reshape(-1)
+    return src, np.ascontiguousarray(dst)
+
+
+def kernel_abi_issues(flat_src: np.ndarray, update_ids: np.ndarray):
+    """Violations of the compiled-kernel table ABI, as message strings.
+
+    The compiled kernels index through raw pointers: both tables must be
+    int64 (a narrower integer type reads garbage strides; K402 already
+    rejects non-integer dtypes) and the gather table must be
+    C-contiguous (the kernel addresses ``flat_src[qi * n_upd + node]``).
+    Shared by :func:`repro.lint.plancheck.check_plan_table` (K406).
+    """
+    issues = []
+    table = np.asarray(flat_src)
+    ids = np.asarray(update_ids)
+    if np.issubdtype(table.dtype, np.integer) and table.dtype != np.int64:
+        issues.append(
+            f"flat_src dtype {table.dtype} violates the kernel ABI "
+            "(compiled gather kernels require int64 index tables)"
+        )
+    if not table.flags["C_CONTIGUOUS"]:
+        issues.append(
+            "flat_src is not C-contiguous; compiled kernels address "
+            "flat_src[qi * n_upd + node] over a dense row-major table"
+        )
+    if np.issubdtype(ids.dtype, np.integer) and ids.dtype != np.int64:
+        issues.append(
+            f"update_ids dtype {ids.dtype} violates the kernel ABI "
+            "(destination columns are computed in int64)"
+        )
+    return issues

@@ -91,6 +91,7 @@ class HarveyApp:
             overlap=self.config.overlap,
             executor=self.config.executor,
             sanitize=self.config.sanitize,
+            backend=self.config.backend,
         )
         return DistributedSolver(self.partition, solver_cfg, tracer=self.tracer)
 

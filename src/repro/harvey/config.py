@@ -45,6 +45,11 @@ class HarveyConfig:
     sanitize:
         Run with the runtime sanitizer (NaN canaries, epoch tracking,
         access logging — see :mod:`repro.lbm.sanitize`) enabled.
+    backend:
+        Kernel execution backend passed through to
+        :class:`~repro.lbm.solver.SolverConfig`: ``"numpy"`` or one of
+        the compiled tiers (``"compiled"``, ``"compiled-serial"``,
+        ``"compiled-parallel"``).
     """
 
     workload: str = "aorta"
@@ -57,6 +62,7 @@ class HarveyConfig:
     overlap: bool = False
     executor: str = "lockstep"
     sanitize: bool = False
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.workload not in geometry_names():

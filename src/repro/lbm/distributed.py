@@ -369,6 +369,24 @@ class DistributedSolver:
                         (q, slots.size), dtype=np.float64
                     )
 
+        self._kern = None
+        self._kern_tables: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        if self.config.backend != "numpy":
+            # one compiled engine (lattice + collision are shared); the
+            # per-rank plan IR binds through its 1-D link tables, so both
+            # the barrier and the overlapped schedules run compiled
+            from ..models.compiled import CompiledKernels
+
+            self._kern = CompiledKernels(
+                self.lattice,
+                self.collision,
+                backend=self.config.backend,
+                fastmath=self.config.fastmath,
+            )
+            for st in self.ranks:
+                assert st.step_plan is not None
+                self._kern_tables[st.rank] = st.step_plan.kernel_tables()
+
         if self._overlap:
             # interior/frontier split plus the packed cross-link
             # exchange: the receiver enumerates its halo-sourced links
@@ -442,6 +460,10 @@ class DistributedSolver:
         st = self.ranks[rank]
         if self._san is not None:
             self._san.access_log.record(rank, f"rank{st.rank}.f", "write")
+        if self._kern is not None:
+            # owned nodes are the prefix of the local numbering
+            self._kern.collide(st.f, st.num_owned)
+            return
         self.collision.apply(
             self.lattice, st.f, st.owned_ids, workspace=st.workspace
         )
@@ -517,7 +539,10 @@ class DistributedSolver:
             self._san.access_log.record(
                 rank, f"rank{st.rank}.f_tmp", "write"
             )
-        if st.step_plan is not None:
+        if self._kern is not None:
+            src, dst = self._kern_tables[rank]
+            self._kern.stream(st.f, st.f_tmp, src, dst)
+        elif st.step_plan is not None:
             st.step_plan.apply(st.f, st.f_tmp)
         else:
             for qi, qi_opp, dst, src, bounce in st.plans:
@@ -572,7 +597,11 @@ class DistributedSolver:
                 rank, f"rank{st.rank}.f_tmp", "write"
             )
             self._san.on_interior_stream(st)
-        st.step_plan.apply(st.f, st.f_tmp)
+        if self._kern is not None:
+            src, dst = self._kern_tables[rank]
+            self._kern.stream(st.f, st.f_tmp, src, dst)
+        else:
+            st.step_plan.apply(st.f, st.f_tmp)
 
     def _phase_exchange_complete_overlap(self, rank: int) -> None:
         st = self.ranks[rank]

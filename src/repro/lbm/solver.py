@@ -66,6 +66,22 @@ class SolverConfig:
         canaries in ghost columns, ghost/payload epoch tracking, and
         per-phase shared-buffer access logging with a happens-before
         conflict check.  Costly; intended for tests and debugging.
+    backend:
+        Kernel execution tier: ``"numpy"`` (default, the reference
+        vectorised kernels) or a compiled variant — ``"compiled"``
+        (parallel when the provider can thread, serial otherwise),
+        ``"compiled-serial"``, ``"compiled-parallel"`` — executing the
+        StepPlan IR through :mod:`repro.models.compiled` (numba or
+        generated C).  Compiled backends require ``fused`` and are
+        incompatible with ``sanitize`` (fastmath code generation assumes
+        no NaNs, which breaks the sanitizer's NaN-canary protocol, and
+        the compiled phases bypass its access log).
+    fastmath:
+        Allow fast-math code generation in compiled backends
+        (``-ffast-math`` / numba ``fastmath=True``).  Reassociation
+        breaks bit-for-bit reproducibility against the NumPy kernels;
+        disable for the exact-mode equivalence band.  Ignored by the
+        NumPy backend.
     """
 
     tau: float = 0.8
@@ -82,6 +98,8 @@ class SolverConfig:
     executor: str = "lockstep"
     overlap: bool = False
     sanitize: bool = False
+    backend: str = "numpy"
+    fastmath: bool = True
 
     def __post_init__(self) -> None:
         if self.collision not in ("bgk", "trt", "mrt"):
@@ -102,6 +120,26 @@ class SolverConfig:
             )
         if self.collision == "mrt" and self.lattice != "D3Q19":
             raise ConfigError("MRT collision is implemented for D3Q19")
+        known_backends = ("numpy", "compiled") + (
+            "compiled-serial", "compiled-parallel"
+        )
+        if self.backend not in known_backends:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{', '.join(known_backends)}"
+            )
+        if self.backend != "numpy":
+            if not self.fused:
+                raise ConfigError(
+                    "compiled backends execute the fused StepPlan IR; "
+                    "set fused=True"
+                )
+            if self.sanitize:
+                raise ConfigError(
+                    "sanitize=True requires backend='numpy': compiled "
+                    "kernels bypass the access log and fast-math code "
+                    "generation breaks the NaN-canary protocol"
+                )
         if self.tau <= 0.5:
             raise ConfigError(
                 f"tau must exceed 0.5 for stability, got {self.tau}"
@@ -162,6 +200,22 @@ class Solver:
             from ..lint.plancheck import verify_plan
 
             verify_plan(self.step_plan, context="single-domain plan")
+        if config.backend != "numpy":
+            # deferred import: the compiled tier is optional and the
+            # models package imports lbm-free modules only
+            from ..models.compiled import CompiledKernels
+
+            self._kern: Optional[CompiledKernels] = CompiledKernels(
+                self.lattice,
+                self.collision,
+                backend=config.backend,
+                fastmath=config.fastmath,
+            )
+            assert self.step_plan is not None
+            self._kern_src, self._kern_dst = self.step_plan.kernel_tables()
+            self._kern_flat = np.ascontiguousarray(self.step_plan.flat_src)
+        else:
+            self._kern = None
         self.time = 0
         self.fluid_updates = 0
         # byte/update counters for the profiling layer, cached once and
@@ -203,6 +257,9 @@ class Solver:
         """Advance ``num_steps`` iterations of collide-stream-boundary."""
         if num_steps < 0:
             raise ConfigError("num_steps must be non-negative")
+        if self._kern is not None:
+            self._step_compiled(num_steps)
+            return
         for _ in range(num_steps):
             self.collision.apply(
                 self.lattice, self.f, self.all_ids, workspace=self._workspace
@@ -229,6 +286,51 @@ class Solver:
             self._stream_bytes_counter.inc(
                 num_steps * self._stream_bytes_per_step
             )
+
+    def _step_compiled(self, num_steps: int) -> None:
+        """Compiled-backend stepping (collide/stream through the kernel IR).
+
+        With no open boundaries the whole window runs as the single-pass
+        fused pipeline: one collide, ``num_steps - 1`` fused
+        stream+collide sweeps, one final stream.  Writing the operator
+        sequence per step as ``x_k = S(C(x_{k-1}))`` and ``c_k =
+        C(x_k)``, the fused sweep computes ``c_k = C(S(c_{k-1}))`` — the
+        identical operator chain, but each sweep reads and writes every
+        population exactly once (the paper's one-pass byte accounting,
+        ~2x less traffic than collide-then-stream).  With an inlet or
+        outlet the boundary update must see the post-stream state every
+        step, so the two-kernel path runs instead.
+        """
+        if num_steps == 0:
+            return
+        kern = self._kern
+        assert kern is not None
+        n = self.num_nodes
+        if self.inlet is None and self.outlet is None:
+            kern.collide(self.f, n)
+            for _ in range(num_steps - 1):
+                kern.fused_step(self.f, self._f_tmp, self._kern_flat)
+                self.f, self._f_tmp = self._f_tmp, self.f
+            kern.stream(self.f, self._f_tmp, self._kern_src, self._kern_dst)
+            self.f, self._f_tmp = self._f_tmp, self.f
+            self.time += num_steps
+        else:
+            for _ in range(num_steps):
+                kern.collide(self.f, n)
+                kern.stream(
+                    self.f, self._f_tmp, self._kern_src, self._kern_dst
+                )
+                self.f, self._f_tmp = self._f_tmp, self.f
+                self.time += 1
+                if self.inlet is not None:
+                    self.inlet.apply(self.lattice, self.f, self.time)
+                if self.outlet is not None:
+                    self.outlet.apply(self.lattice, self.f, self.time)
+        self.fluid_updates += num_steps * n
+        self._flups_counter.inc(num_steps * n)
+        self._stream_bytes_counter.inc(
+            num_steps * self._stream_bytes_per_step
+        )
 
     # -- observables ---------------------------------------------------------
     @property

@@ -26,6 +26,7 @@ from ..core.kernels import (
     stream_pull_kernel,
 )
 from ..core.lattice import Lattice
+from ..core.planmeta import kernel_tables as planmeta_kernel_tables
 from ..geometry.voxel import VoxelGrid
 
 __all__ = ["QPlan", "StepPlan", "Connectivity"]
@@ -247,6 +248,30 @@ class StepPlan:
         q = self.lattice.q
         off = np.arange(q, dtype=np.int64)[:, None] * self.num_local
         return off + self.update_ids[None, :]
+
+    @property
+    def is_prefix(self) -> bool:
+        """Whether the update set is the prefix of the local numbering.
+
+        Prefix plans (single-domain, distributed owned-before-ghost) let
+        compiled kernels write destination columns directly.
+        """
+        return self._prefix
+
+    def kernel_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The plan as kernel IR: 1-D ``(src, dst)`` flat link tables.
+
+        Int64 C-contiguous, computed once and cached — what the compiled
+        backend's stream kernel launches over (K406 ABI; see
+        :func:`repro.core.planmeta.kernel_tables`).
+        """
+        cached = getattr(self, "_kernel_tables", None)
+        if cached is None:
+            cached = planmeta_kernel_tables(
+                self.flat_src, self.update_ids, self.num_local
+            )
+            self._kernel_tables = cached
+        return cached
 
     def apply(self, f_src: np.ndarray, f_dst: np.ndarray) -> None:
         """Stream + bounce all populations from ``f_src`` into ``f_dst``.

@@ -25,6 +25,10 @@ K405    a read-after-write / write-after-write hazard in the
         phase-ordered overlap pipeline (collide → post → stream →
         complete → scatter), found by abstract interpretation of the
         per-phase read/write sets
+K406    an index table violates the compiled-kernel ABI: the flat
+        gather table and update ids must be int64 and the gather table
+        C-contiguous (the compiled tier indexes them through raw
+        pointers as ``flat_src[qi * n_upd + node]``)
 ======  ==============================================================
 
 :class:`~repro.lbm.distributed.DistributedSolver` runs
@@ -46,6 +50,7 @@ from ..core.errors import PlanCheckError
 from ..core.planmeta import (
     duplicate_values,
     flat_destinations,
+    kernel_abi_issues,
     out_of_range,
 )
 from .engine import Violation
@@ -71,6 +76,7 @@ PLAN_RULES = {
     "interior-ghost-read": "K403",
     "exchange-coverage": "K404",
     "phase-hazard": "K405",
+    "kernel-abi": "K406",
 }
 
 
@@ -115,7 +121,9 @@ def check_plan_table(
     * every destination ``(population, node)`` is written at most once
       per apply (K401);
     * sources are integer-typed and inside the flattened source array,
-      destinations inside the local numbering (K402).
+      destinations inside the local numbering (K402);
+    * the tables honour the compiled-kernel ABI — int64 dtype and a
+      C-contiguous gather table (K406).
     """
     issues: List[PlanIssue] = []
     update_ids = np.asarray(update_ids)
@@ -169,6 +177,8 @@ def check_plan_table(
                 "np.take(mode='clip') would silently clamp them",
             )
         )
+    for message in kernel_abi_issues(flat_src, update_ids):
+        issues.append(PlanIssue("kernel-abi", f"{label}: {message}"))
     return issues
 
 

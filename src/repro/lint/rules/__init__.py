@@ -118,6 +118,7 @@ DPCT_CATEGORY_BY_RULE: Dict[str, str] = {
     "K403": "Functional equivalence",
     "K404": "Error handling",
     "K405": "Functional equivalence",
+    "K406": "Functional equivalence",
     # executor-concurrency races corrupt shared state or telemetry
     "W501": "Functional equivalence",
     "W502": "Error handling",

@@ -1,0 +1,167 @@
+"""Provider detection for the compiled backend tier.
+
+The compiled tier has two interchangeable providers:
+
+``numba``
+    ``@njit(parallel=..., fastmath=..., cache=True)`` over the pure-Python
+    loop kernels in :mod:`repro.models.compiled.kernels_py`.  Preferred
+    when importable (``pip install .[compiled]``).
+``cgen``
+    The same kernels emitted as portable C99, compiled on first use with
+    the host C compiler (``-O3 [-fopenmp] [-ffast-math]``) and loaded
+    through :mod:`ctypes`.  Used when numba is absent but a working
+    compiler is found — which is what makes the tier measurable on plain
+    CI runners.
+
+When neither is present the tier degrades gracefully: availability
+queries return ``False``, requesting a compiled backend raises
+:class:`~repro.core.errors.BackendUnavailableError` with an install
+hint, and every NumPy path is untouched.
+
+``REPRO_COMPILED_PROVIDER`` overrides detection: ``auto`` (default),
+``numba``, ``cgen``, or ``none`` (force-unavailable; used by CI's
+clean-degradation legs and the unavailability tests).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Dict, Optional
+
+from ...core.errors import BackendUnavailableError, ConfigError
+
+__all__ = [
+    "COMPILED_BACKENDS",
+    "PROVIDER_ENV",
+    "compiled_available",
+    "compiled_provider",
+    "parallel_supported",
+    "availability_report",
+    "normalize_backend",
+    "require_compiled",
+    "reset_detection_cache",
+]
+
+#: Backend names the solver layer accepts beyond the NumPy default.
+#: ``compiled`` resolves to the parallel variant when the provider can
+#: thread (OpenMP / numba prange), the serial variant otherwise.
+COMPILED_BACKENDS = ("compiled", "compiled-serial", "compiled-parallel")
+
+PROVIDER_ENV = "REPRO_COMPILED_PROVIDER"
+
+_INSTALL_HINT = (
+    "install numba (`pip install .[compiled]`) or ensure a host C "
+    "compiler (cc/gcc/clang) is on PATH"
+)
+
+# detection results cached per environment-override value so tests can
+# flip the env var without stale answers
+_cache: Dict[str, Optional[str]] = {}
+
+
+def reset_detection_cache() -> None:
+    """Drop memoised provider detection (tests flip the env override)."""
+    _cache.clear()
+
+
+def _numba_importable() -> bool:
+    try:
+        importlib.import_module("numba")
+    except Exception:
+        return False
+    return True
+
+
+def _cgen_usable() -> bool:
+    from . import csrc
+
+    return csrc.compiler_works()
+
+
+def _detect(mode: str) -> Optional[str]:
+    if mode == "none":
+        return None
+    if mode == "numba":
+        return "numba" if _numba_importable() else None
+    if mode == "cgen":
+        return "cgen" if _cgen_usable() else None
+    if mode != "auto":
+        raise ConfigError(
+            f"unknown {PROVIDER_ENV} value {mode!r}; expected "
+            "'auto', 'numba', 'cgen' or 'none'"
+        )
+    if _numba_importable():
+        return "numba"
+    if _cgen_usable():
+        return "cgen"
+    return None
+
+
+def compiled_provider() -> Optional[str]:
+    """The active provider name (``"numba"``/``"cgen"``) or ``None``."""
+    mode = os.environ.get(PROVIDER_ENV, "auto").strip().lower()
+    if mode not in _cache:
+        _cache[mode] = _detect(mode)
+    return _cache[mode]
+
+
+def compiled_available() -> bool:
+    """Whether any compiled provider is usable on this host."""
+    return compiled_provider() is not None
+
+
+def parallel_supported() -> bool:
+    """Whether the active provider can actually run threaded kernels.
+
+    Numba always can (prange); cgen can only when the trial compile
+    accepted ``-fopenmp``.  A ``compiled-parallel`` request still works
+    without thread support — the kernels just run serially — so this is
+    reporting, not gating.
+    """
+    provider = compiled_provider()
+    if provider == "numba":
+        return True
+    if provider == "cgen":
+        from . import csrc
+
+        return csrc.openmp_supported()
+    return False
+
+
+def availability_report() -> Dict[str, object]:
+    """Machine-readable availability summary (CLI/tests)."""
+    provider = compiled_provider()
+    return {
+        "available": provider is not None,
+        "provider": provider,
+        "parallel": parallel_supported(),
+        "backends": list(COMPILED_BACKENDS),
+        "override": os.environ.get(PROVIDER_ENV, "auto"),
+    }
+
+
+def normalize_backend(backend: str) -> str:
+    """Resolve the ``compiled`` alias to a concrete variant."""
+    if backend == "compiled":
+        return (
+            "compiled-parallel" if parallel_supported() else "compiled-serial"
+        )
+    return backend
+
+
+def require_compiled(backend: str) -> str:
+    """Return the active provider for ``backend`` or raise with a hint."""
+    if backend not in COMPILED_BACKENDS:
+        raise ConfigError(
+            f"unknown compiled backend {backend!r}; expected one of "
+            f"{', '.join(COMPILED_BACKENDS)}"
+        )
+    provider = compiled_provider()
+    if provider is None:
+        raise BackendUnavailableError(
+            f"backend {backend!r} is unavailable on this host: numba is "
+            f"not installed and no working C compiler was found; "
+            f"{_INSTALL_HINT}"
+        )
+    return provider

@@ -23,6 +23,7 @@ from .sycl import SYCLModel
 
 __all__ = [
     "MODEL_NAMES",
+    "COMPILED_MODEL_NAME",
     "AVAILABILITY",
     "ModelVariant",
     "create_model",
@@ -41,6 +42,17 @@ MODEL_NAMES: Tuple[str, ...] = (
     "kokkos-sycl",
     "kokkos-openacc",
 )
+
+#: The host compiled tier (numba / generated C).  Not part of the paper's
+#: per-system availability matrix: it runs wherever a provider exists on
+#: the *current* host, so it is resolved by probe rather than by table.
+COMPILED_MODEL_NAME = "compiled"
+
+
+def _compiled_backends() -> Tuple[str, ...]:
+    from .compiled import COMPILED_BACKENDS
+
+    return COMPILED_BACKENDS
 
 #: Which model runs on which system (paper Figs. 5-6 legends).
 AVAILABILITY: Dict[str, Tuple[str, ...]] = {
@@ -73,6 +85,12 @@ def native_model_name(machine: Machine) -> str:
 
 
 def is_available(model_name: str, machine: Machine) -> bool:
+    if model_name in _compiled_backends():
+        # host tier: availability is a property of this host, not of the
+        # paper's per-system porting matrix
+        from .compiled import compiled_available
+
+        return compiled_available()
     avail = AVAILABILITY.get(machine.name)
     if avail is None:
         # custom machines: everything runs
@@ -122,4 +140,12 @@ def create_model(
     if name.startswith("kokkos-"):
         backend = name.split("-", 1)[1]
         return KokkosModel(backend, device)
-    raise ModelError(f"unknown model {name!r}; available: {MODEL_NAMES}")
+    if name in _compiled_backends():
+        # raises BackendUnavailableError when no provider exists
+        from .compiled import CompiledModel
+
+        return CompiledModel(device, backend=name)
+    raise ModelError(
+        f"unknown model {name!r}; available: "
+        f"{MODEL_NAMES + _compiled_backends()}"
+    )

@@ -141,6 +141,7 @@ def run_profile(
     tau: float = 0.8,
     force_x: float = 1e-5,
     tracer: Optional[Tracer] = None,
+    backend: str = "numpy",
 ) -> Dict[str, Any]:
     """Profile the distributed step on the periodic cylinder.
 
@@ -151,6 +152,10 @@ def run_profile(
     Table-1 system to quote the simulated model prediction for.  Pass a
     ``tracer`` to keep the spans for a subsequent trace export
     (:func:`write_profile_trace`); one is created internally otherwise.
+    ``backend`` selects the kernel tier
+    (:class:`~repro.lbm.solver.SolverConfig`), so the achieved-GB/s and
+    architectural-efficiency tables compare NumPy against the compiled
+    kernels on equal footing.
     """
     # solver imports stay deferred: telemetry loads early in the
     # package's import cycle
@@ -175,6 +180,7 @@ def run_profile(
             periodic=(True, False, False),
             overlap=overlap,
             executor=executor,
+            backend=backend,
         ),
         tracer=tracer,
     )
@@ -251,6 +257,7 @@ def run_profile(
         "window_steps": int(window_steps),
         "overlap": bool(overlap),
         "executor": executor,
+        "backend": backend,
         "fluid_nodes": fluid_nodes,
         "bytes_per_update": BYTES_PER_UPDATE_D3Q19,
         "host": host_fingerprint(),
@@ -291,7 +298,8 @@ def render_profile(profile: Dict[str, Any]) -> str:
     head = [
         f"profile: {profile['workload']} scale={profile['scale']:g} "
         f"ranks={profile['num_ranks']} steps={profile['steps']} "
-        f"({schedule} schedule, {profile['executor']} executor)",
+        f"({schedule} schedule, {profile['executor']} executor, "
+        f"{profile.get('backend', 'numpy')} backend)",
         f"host STREAM bound: {profile['host_bandwidth_gbs']:.2f} GB/s "
         f"-> {profile['bound_mflups']:.1f} MFLUPS "
         f"(Eq. 1 at {profile['bytes_per_update']} B/update)",

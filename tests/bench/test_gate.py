@@ -126,6 +126,40 @@ class TestCompareResults:
         assert "kernels.step.fused_mflups" in skipped
         assert "host fingerprints differ" in skipped["kernels.step.fused_mflups"]
 
+    def test_compiled_tier_metrics_are_gated(self):
+        def tiered(serial_speedup):
+            doc = kernels_result(speedup=3.0)
+            doc["backend"] = "compiled"
+            for entry in doc["kernels"].values():
+                entry["compiled_serial_seconds"] = 0.1
+                entry["compiled_serial_mflups"] = 100.0 * serial_speedup
+                entry["compiled_serial_speedup"] = serial_speedup
+            doc["compiled_step_speedup"] = serial_speedup
+            return doc
+
+        base = tiered(4.0)
+        bad = tiered(4.0 * 0.5)  # -50% compiled regression
+        bad["meta"]["config"] = base["meta"]["config"]
+        report = compare_results(base, bad, tolerance=0.15)
+        assert report.exit_code == 1
+        regressed = {c.metric for c in report.regressions}
+        assert "kernels.step.compiled_serial_speedup" in regressed
+        assert "compiled_step_speedup" in regressed
+        # the NumPy-tier ratios are untouched and stay green
+        assert "step_speedup" not in regressed
+        # legacy MFLUPS never gates (it is the denominator, not a goal)
+        all_metrics = {c.metric for c in report.comparisons}
+        assert not any("legacy_mflups" in m for m in all_metrics)
+
+    def test_compiled_and_numpy_results_are_different_families(self):
+        base = kernels_result()
+        tiered = kernels_result()
+        tiered["backend"] = "compiled"
+        report = compare_results(base, tiered)
+        skipped = dict(report.skipped)
+        assert "kernels.step.fused_mflups" in skipped
+        assert "configs differ" in skipped["kernels.step.fused_mflups"]
+
     def test_noise_history_widens_the_band(self):
         base = kernels_result(speedup=3.0)
         current = kernels_result(speedup=3.0 * 0.8)  # -20% > 15% band

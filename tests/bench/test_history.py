@@ -132,6 +132,18 @@ class TestConfigSignature:
         b = {"benchmark": "overlap", "ranks": [{"num_ranks": 4}]}
         assert config_signature(a) != config_signature(b)
 
+    def test_backend_separates_baseline_families(self):
+        a = {"benchmark": "kernels", "scale": 1.0, "steps": 20}
+        b = dict(a, backend="compiled")
+        assert config_signature(a) != config_signature(b)
+
+    def test_absent_backend_means_numpy(self):
+        # pre-compiled-tier history has no backend key; it must keep
+        # comparing against explicit-numpy runs
+        a = {"benchmark": "kernels", "scale": 1.0, "steps": 20}
+        b = dict(a, backend="numpy")
+        assert config_signature(a) == config_signature(b)
+
 
 class TestConfigHash:
     def test_stable_16_hex_digits(self):

@@ -113,6 +113,36 @@ class TestBuildReport:
             "aneurysm", "bifurcation", "cylinder", "stenosis",
         ]
 
+    def test_host_portability_empty_without_second_backend(self, store):
+        report = build_report(store)
+        assert report["host_portability"] == {
+            "geometries": [], "per_backend": {},
+        }
+
+    def test_host_portability_over_measured_backends(self, store):
+        # add a compiled twin for each zoo geometry at half the numpy
+        # throughput on one, equal on the rest
+        speeds = {"cylinder": 0.5, "stenosis": 1.0,
+                  "bifurcation": 1.0, "aneurysm": 1.0}
+        for geometry, mflups in speeds.items():
+            cell = Cell(
+                sweep="zoo", runner="solver",
+                params={"geometry": geometry, "backend": "compiled"},
+            )
+            doc = solver_result(geometry, mflups=mflups)
+            doc["backend"] = "compiled"
+            store.put(cell, "ok", result=doc)
+        hp = build_report(store)["host_portability"]
+        assert hp["geometries"] == sorted(speeds)
+        numpy_pp = hp["per_backend"]["numpy"]["pp"]
+        compiled_pp = hp["per_backend"]["compiled"]["pp"]
+        assert numpy_pp == pytest.approx(1.0)  # numpy is best everywhere
+        assert 0 < compiled_pp < 1.0
+        assert hp["per_backend"]["compiled"]["mean_efficiency"][
+            "cylinder"
+        ] == pytest.approx(0.5)
+        assert hp["per_backend"]["compiled"]["supported"] == sorted(speeds)
+
     def test_error_records_excluded_from_pivots(self, store):
         report = build_report(store)
         assert all(r["geometry"] != "bad" for r in report["solver"])

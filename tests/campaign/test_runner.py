@@ -109,6 +109,44 @@ class TestPlanning:
         plan = plan_campaign(spec)
         assert [c.params["n_gpus"] for c in plan.cells] == [256]
 
+    def test_unavailable_compiled_backend_pruned_not_failed(self, monkeypatch):
+        from repro.models.compiled import PROVIDER_ENV, reset_detection_cache
+
+        spec = CampaignSpec(
+            name="t",
+            sweeps=(
+                SweepSpec(
+                    name="s", runner="solver",
+                    axes={"backend": ("numpy", "compiled")},
+                    fixed={"geometry": "cylinder", "steps": 1},
+                ),
+            ),
+        )
+        monkeypatch.setenv(PROVIDER_ENV, "none")
+        reset_detection_cache()
+        try:
+            plan = plan_campaign(spec)
+        finally:
+            reset_detection_cache()
+        assert len(plan.cells) == 1
+        assert plan.cells[0].params["backend"] == "numpy"
+        assert len(plan.pruned) == 1
+        assert "unavailable" in plan.pruned[0].reason
+
+    def test_unknown_backend_is_a_spec_error(self):
+        spec = CampaignSpec(
+            name="t",
+            sweeps=(
+                SweepSpec(
+                    name="s", runner="solver",
+                    axes={"backend": ("fortran",)},
+                    fixed={"geometry": "cylinder", "steps": 1},
+                ),
+            ),
+        )
+        with pytest.raises(CampaignError, match="fortran"):
+            plan_campaign(spec)
+
     def test_defaults_participate_in_identity(self):
         explicit = CampaignSpec(
             name="a",

@@ -5,6 +5,15 @@ preallocated halo packing) is a pure performance refactor: every test
 here pins ``np.array_equal`` — not ``allclose`` — against the legacy
 ``fused=False`` path, across collision operators, boundary styles, and
 the single-domain/distributed split.
+
+The compiled tier (:mod:`repro.models.compiled`) executes the same
+StepPlan IR through JIT/C kernels, pinned in two modes:
+
+* **exact** (``fastmath=False``): BGK is bit-identical to the NumPy
+  path; TRT/MRT differ only by scalar-vs-BLAS reduction order, banded
+  at ``rtol=1e-10 / atol=1e-14`` (measured ~1e-15 over 12 steps);
+* **fastmath** (the default build): reassociation adds ~1e-16 on this
+  workload, banded at ``rtol=1e-8 / atol=1e-11``.
 """
 
 import numpy as np
@@ -17,9 +26,20 @@ from repro.geometry.cylinder import CylinderSpec, make_cylinder
 from repro.lbm.distributed import DistributedSolver
 from repro.lbm.solver import Solver, SolverConfig
 from repro.lbm.stream import Connectivity
+from repro.models.compiled import compiled_available
 from repro.telemetry import get_registry
 
 STEPS = 12
+
+compiled_only = pytest.mark.skipif(
+    not compiled_available(),
+    reason="no compiled provider (numba or host C compiler) available",
+)
+
+#: exact mode: fastmath off; only reduction order may differ from BLAS
+EXACT_TOL = dict(rtol=1e-10, atol=1e-14)
+#: fastmath mode: reassociation/contraction allowed in the kernels
+FASTMATH_TOL = dict(rtol=1e-8, atol=1e-11)
 
 
 def periodic_grid():
@@ -174,3 +194,105 @@ def test_halo_pack_byte_counters_increment():
 
 def test_fused_is_the_default():
     assert SolverConfig(tau=0.8).fused is True
+
+
+# -- compiled tier -----------------------------------------------------------
+
+def compiled_periodic_config(collision, *, fastmath, backend="compiled"):
+    return SolverConfig(
+        tau=0.8,
+        collision=collision,
+        force=(1e-5, 0.0, 0.0),
+        periodic=(True, False, False),
+        fused=True,
+        backend=backend,
+        fastmath=fastmath,
+    )
+
+
+def compiled_inlet_config(collision, *, fastmath):
+    return SolverConfig(
+        tau=0.8,
+        collision=collision,
+        inlet_velocity=(0.05, 0.0, 0.0),
+        fused=True,
+        backend="compiled",
+        fastmath=fastmath,
+    )
+
+
+@compiled_only
+@pytest.mark.parametrize("collision", ["bgk", "trt", "mrt"])
+def test_compiled_single_domain_exact_mode(collision):
+    grid = periodic_grid()
+    ref = Solver(grid, periodic_config(collision, fused=True))
+    comp = Solver(grid, compiled_periodic_config(collision, fastmath=False))
+    ref.step(STEPS)
+    comp.step(STEPS)
+    if collision == "bgk":
+        # scalar BGK has no reductions beyond the ascending-q moment
+        # sums the NumPy kernels also use: bit-identical
+        assert np.array_equal(ref.f, comp.f)
+    np.testing.assert_allclose(comp.f, ref.f, **EXACT_TOL)
+
+
+@compiled_only
+@pytest.mark.parametrize("collision", ["bgk", "trt", "mrt"])
+def test_compiled_single_domain_fastmath_banded(collision):
+    grid = periodic_grid()
+    ref = Solver(grid, periodic_config(collision, fused=True))
+    comp = Solver(grid, compiled_periodic_config(collision, fastmath=True))
+    ref.step(STEPS)
+    comp.step(STEPS)
+    np.testing.assert_allclose(comp.f, ref.f, **FASTMATH_TOL)
+
+
+@compiled_only
+@pytest.mark.parametrize("collision", ["bgk", "trt"])
+def test_compiled_inlet_outlet_exact_mode(collision):
+    grid = inlet_grid()
+    ref = Solver(grid, inlet_config(collision, fused=True))
+    comp = Solver(grid, compiled_inlet_config(collision, fastmath=False))
+    ref.step(STEPS)
+    comp.step(STEPS)
+    np.testing.assert_allclose(comp.f, ref.f, **EXACT_TOL)
+
+
+@compiled_only
+@pytest.mark.parametrize("overlap", [False, True])
+def test_compiled_distributed_bgk_bitwise(overlap):
+    import dataclasses
+
+    grid = periodic_grid()
+    part = grid_decompose(grid, 3)
+    base = periodic_config("bgk", fused=True)
+    ref = DistributedSolver(part, dataclasses.replace(base, overlap=overlap))
+    comp = DistributedSolver(
+        part,
+        dataclasses.replace(
+            base, overlap=overlap, backend="compiled", fastmath=False
+        ),
+    )
+    ref.step(STEPS)
+    comp.step(STEPS)
+    assert np.array_equal(ref.gather_f(), comp.gather_f())
+
+
+@compiled_only
+def test_compiled_serial_and_parallel_agree_bitwise():
+    grid = periodic_grid()
+    serial = Solver(
+        grid,
+        compiled_periodic_config(
+            "bgk", fastmath=False, backend="compiled-serial"
+        ),
+    )
+    parallel = Solver(
+        grid,
+        compiled_periodic_config(
+            "bgk", fastmath=False, backend="compiled-parallel"
+        ),
+    )
+    serial.step(STEPS)
+    parallel.step(STEPS)
+    assert np.array_equal(serial.f, parallel.f)

@@ -91,6 +91,27 @@ class TestPlanTable:
         issues = check_plan_table(2, 4, ids, src[:, :3])
         assert _rules(issues) == ["K402"]
 
+    def test_int32_gather_table_is_k406(self):
+        # fits in int32 and gathers correctly in NumPy — but handed to a
+        # compiled kernel the raw-pointer strides would read garbage
+        ids, src = self._table()
+        issues = check_plan_table(2, 4, ids, src.astype(np.int32))
+        assert _rules(issues) == ["K406"]
+        assert "int64" in issues[0].message
+
+    def test_noncontiguous_gather_table_is_k406(self):
+        ids, src = self._table()
+        transposed_view = np.asfortranarray(src)
+        issues = check_plan_table(2, 4, ids, transposed_view)
+        assert _rules(issues) == ["K406"]
+        assert "C-contiguous" in issues[0].message
+
+    def test_int32_update_ids_is_k406(self):
+        ids, src = self._table()
+        issues = check_plan_table(2, 4, ids.astype(np.int32), src)
+        assert _rules(issues) == ["K406"]
+        assert "update_ids" in issues[0].message
+
     def test_verify_plan_raises_with_rule_id(self):
         ids, src = self._table()
         ids[2] = ids[3]
@@ -340,4 +361,5 @@ class TestPlanDocuments:
             "K403",
             "K404",
             "K405",
+            "K406",
         ]

@@ -1,0 +1,208 @@
+"""The compiled backend tier: availability, engine, model surface.
+
+Kernel-level physics equivalence lives in
+``tests/lbm/test_fused_equivalence.py``; this module covers the
+provider plumbing — detection and override, graceful degradation when
+no provider exists, the registry integration, and the generic
+:class:`~repro.models.compiled.CompiledModel` surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import BackendUnavailableError, ConfigError
+from repro.core.lattice import D3Q19
+from repro.hardware.systems import get_machine
+from repro.lbm.solver import SolverConfig
+from repro.models.compiled import (
+    COMPILED_BACKENDS,
+    PROVIDER_ENV,
+    CompiledKernels,
+    availability_report,
+    collision_op_code,
+    compiled_available,
+    normalize_backend,
+    require_compiled,
+    reset_detection_cache,
+)
+from repro.models.registry import create_model, is_available
+
+compiled_only = pytest.mark.skipif(
+    not compiled_available(),
+    reason="no compiled provider (numba or host C compiler) available",
+)
+
+
+@pytest.fixture
+def no_provider(monkeypatch):
+    """Force the tier unavailable, as on a bare host."""
+    monkeypatch.setenv(PROVIDER_ENV, "none")
+    reset_detection_cache()
+    yield
+    reset_detection_cache()
+
+
+class TestAvailability:
+    def test_report_shape(self):
+        report = availability_report()
+        assert set(report) >= {
+            "available", "provider", "parallel", "backends", "override",
+        }
+        assert report["backends"] == list(COMPILED_BACKENDS)
+
+    def test_forced_unavailable(self, no_provider):
+        assert compiled_available() is False
+        report = availability_report()
+        assert report["available"] is False
+        assert report["provider"] is None
+        assert report["parallel"] is False
+
+    def test_require_raises_with_install_hint(self, no_provider):
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            require_compiled("compiled")
+
+    def test_require_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError, match="unknown compiled backend"):
+            require_compiled("compiled-quantum")
+
+    def test_normalize_resolves_alias(self):
+        assert normalize_backend("compiled-serial") == "compiled-serial"
+        assert normalize_backend("compiled") in (
+            "compiled-serial",
+            "compiled-parallel",
+        )
+
+    def test_bad_override_value(self, monkeypatch):
+        monkeypatch.setenv(PROVIDER_ENV, "fortran")
+        reset_detection_cache()
+        try:
+            with pytest.raises(ConfigError, match="fortran"):
+                compiled_available()
+        finally:
+            reset_detection_cache()
+
+
+class TestSolverConfigGating:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            SolverConfig(tau=0.8, backend="fortran")
+
+    def test_compiled_requires_fused(self):
+        with pytest.raises(ConfigError, match="fused"):
+            SolverConfig(tau=0.8, backend="compiled", fused=False)
+
+    def test_compiled_rejects_sanitize(self):
+        with pytest.raises(ConfigError, match="sanitize"):
+            SolverConfig(tau=0.8, backend="compiled", sanitize=True)
+
+    def test_numpy_default_ignores_provider(self, no_provider):
+        # a bare host must build numpy solvers exactly as before
+        cfg = SolverConfig(tau=0.8)
+        assert cfg.backend == "numpy"
+
+
+class TestRegistry:
+    def test_compiled_availability_is_host_probe(self):
+        machine = get_machine("Summit")
+        for name in COMPILED_BACKENDS:
+            assert is_available(name, machine) == compiled_available()
+
+    def test_unavailable_everywhere_without_provider(self, no_provider):
+        machine = get_machine("Polaris")
+        for name in COMPILED_BACKENDS:
+            assert is_available(name, machine) is False
+
+    def test_paper_models_unaffected(self, no_provider):
+        machine = get_machine("Summit")
+        assert is_available("cuda", machine) is True
+        assert is_available("sycl", machine) is False
+
+    def test_create_model_raises_without_provider(self, no_provider):
+        with pytest.raises(BackendUnavailableError):
+            create_model("compiled")
+
+    @compiled_only
+    def test_create_model_builds_compiled(self):
+        model = create_model("compiled-serial")
+        assert model.name == "compiled"
+
+
+def _collision(name):
+    return SolverConfig(tau=0.8, collision=name).make_collision()
+
+
+class TestCollisionOpCode:
+    def test_duck_typed_dispatch(self):
+        assert collision_op_code(_collision("bgk")) == 0
+        assert collision_op_code(_collision("trt")) == 1
+        assert collision_op_code(_collision("mrt")) == 2
+
+
+@compiled_only
+class TestCompiledKernels:
+    def make(self, backend="compiled-serial", fastmath=False):
+        return CompiledKernels(
+            D3Q19, _collision("bgk"), backend=backend, fastmath=fastmath,
+        )
+
+    def test_collide_matches_reference(self):
+        from repro.core.kernels import bgk_collide_kernel
+
+        kern = self.make()
+        rng = np.random.default_rng(3)
+        n = 100
+        f = np.ascontiguousarray(
+            D3Q19.equilibrium(
+                1.0 + 0.01 * rng.random(n), 0.01 * rng.random((n, 3))
+            )
+        )
+        ref = f.copy()
+        bgk_collide_kernel(D3Q19, ref, np.arange(n, dtype=np.int64),
+                           omega=1.0 / 0.8)
+        kern.collide(f, n)
+        assert np.array_equal(ref, f)
+
+    def test_stream_matches_flat_gather(self):
+        kern = self.make()
+        rng = np.random.default_rng(5)
+        n_links = 64
+        size = D3Q19.q * 16
+        src = rng.integers(0, size, n_links).astype(np.int64)
+        dst = np.random.default_rng(6).permutation(size)[:n_links].astype(
+            np.int64
+        )
+        f_src = rng.random(size)
+        f_dst = np.zeros(size)
+        kern.stream(f_src, f_dst, src, dst)
+        ref = np.zeros(size)
+        ref[dst] = f_src[src]
+        assert np.array_equal(ref, f_dst)
+
+
+@compiled_only
+class TestCompiledModelSurface:
+    """CompiledModel implements the generic C101-C104 backend surface."""
+
+    def make(self):
+        from repro.models.compiled import CompiledModel
+
+        return CompiledModel()
+
+    def test_alloc_and_transfers_ledger(self):
+        model = self.make()
+        view = model.alloc("x", (64,))
+        host = np.arange(64.0)
+        model.to_device(view, host)
+        out = np.empty(64)
+        model.to_host(out, view)
+        assert np.array_equal(out, host)
+        assert model.device.h2d_bytes() == host.nbytes
+        assert model.device.d2h_bytes() == host.nbytes
+
+    def test_launch_covers_index_space(self):
+        model = self.make()
+        seen = []
+        model.launch("k", 100, lambda idx: seen.extend(idx.tolist()))
+        model.synchronize()
+        assert sorted(seen) == list(range(100))
+        assert model.launch_count == 1
