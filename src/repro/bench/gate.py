@@ -180,6 +180,18 @@ def _metric_paths(result: Dict[str, Any]) -> Tuple[List[str], List[str]]:
             relative.append(f"ranks.{i}.overlap_speedup")
             relative.append(f"ranks.{i}.halo_reduction")
             absolute.append(f"ranks.{i}.modes.overlap.mflups")
+            # executor-scaling columns (parallel efficiency per mode)
+            # gate alongside when the baseline recorded them; on 1-core
+            # hosts compare_results annotates these instead of gating
+            modes = rank.get("modes") or {}
+            for mode in sorted(modes):
+                entry = modes.get(mode) or {}
+                if mode == "lockstep" or not isinstance(entry, dict):
+                    continue
+                if "parallel_efficiency" in entry:
+                    relative.append(
+                        f"ranks.{i}.modes.{mode}.parallel_efficiency"
+                    )
     else:
         raise BenchmarkError(
             f"unknown benchmark kind {kind!r}; expected kernels or overlap"
@@ -245,6 +257,29 @@ def compare_results(
         )
     relative, absolute = _metric_paths(baseline)
     report = DriftReport(benchmark=str(kind))
+
+    # executor-scaling metrics (thread/process rows, parallel
+    # efficiencies) are meaningless on a host that cannot run ranks
+    # concurrently: annotate them as core-bound instead of gating
+    cpu_count = (
+        ((current.get("meta") or {}).get("host") or {}).get("cpu_count")
+    )
+    core_bound = isinstance(cpu_count, int) and cpu_count <= 1
+
+    def is_executor_scaling(metric: str) -> bool:
+        return "parallel" in metric or "process" in metric
+
+    if core_bound:
+        reason = (
+            f"core-bound host (cpu_count={cpu_count}): executor-scaling "
+            "metric annotated, not gated"
+        )
+        for metric in [m for m in relative if is_executor_scaling(m)]:
+            relative.remove(metric)
+            report.skipped.append((metric, reason))
+        for metric in [m for m in absolute if is_executor_scaling(m)]:
+            absolute.remove(metric)
+            report.skipped.append((metric, reason))
 
     same_config = config_signature(baseline) == config_signature(current)
     same_host = fingerprints_match(

@@ -196,12 +196,14 @@ def config_signature(record: Dict[str, Any]) -> str:
     """What must agree for two results' absolute numbers to compare.
 
     Benchmark kind, workload, the knobs that change the timed work
-    (scale, steps, reps, rank counts), and the kernel backend tier,
-    collapsed to a stable :func:`config_hash`.  Metadata like output
-    paths or timestamps never participates.  The backend normalises to
-    ``"numpy"`` when absent, so pre-compiled-tier history keeps its
-    signature, and compiled runs form their own baseline family that
-    gates independently.
+    (scale, steps, reps, rank counts), the kernel backend tier, and
+    the executor tiers timed, collapsed to a stable
+    :func:`config_hash`.  Metadata like output paths or timestamps
+    never participates.  The backend normalises to ``"numpy"`` and the
+    executor list to the two in-process tiers when absent, so
+    pre-process-tier history stays self-consistent, while runs that
+    add the process executor form their own baseline family that gates
+    independently.
     """
     ranks = record.get("ranks")
     rank_counts: List[Any] = []
@@ -209,6 +211,14 @@ def config_signature(record: Dict[str, Any]) -> str:
         rank_counts = [
             r.get("num_ranks") for r in ranks if isinstance(r, dict)
         ]
+    meta = record.get("meta") or {}
+    config = meta.get("config") or {}
+    # executor family: results that timed different executor tiers did
+    # different work.  Pre-process-tier records carried no executors
+    # field and always timed the two in-process tiers.  (The host's
+    # core budget gates comparability too, but that rides on the host
+    # fingerprint match — ``fingerprints_match`` keys on cpu_count.)
+    executors = config.get("executors") or ["lockstep", "parallel"]
     return config_hash(
         {
             "benchmark": record.get("benchmark"),
@@ -218,5 +228,6 @@ def config_signature(record: Dict[str, Any]) -> str:
             "reps": record.get("reps"),
             "rank_counts": rank_counts,
             "backend": record.get("backend") or "numpy",
+            "executors": sorted(str(e) for e in executors),
         }
     )

@@ -222,7 +222,10 @@ def _run_solver_cell(params: Dict[str, Any]) -> Dict[str, Any]:
         backend=str(params["backend"]),
     )
     app = HarveyApp(config, tracer=tracer)
-    report = app.run(int(params["steps"]))
+    try:
+        report = app.run(int(params["steps"]))
+    finally:
+        app.close()  # process-executor cells: join workers, unlink segments
     return {
         "kind": "solver",
         "geometry": report.workload,

@@ -162,8 +162,11 @@ def _cmd_harvey(args: argparse.Namespace) -> int:
         return 2
     if telemetry:
         telemetry.attach_app(app)
-    report = app.run(steps)
-    lb = app.load_balance()
+    try:
+        report = app.run(steps)
+        lb = app.load_balance()
+    finally:
+        app.close()
     print(
         f"harvey: workload={report.workload} ranks={report.num_ranks} "
         f"steps={report.steps} fluid={report.fluid_nodes}"
@@ -247,7 +250,8 @@ def _cmd_bench_overlap(args: argparse.Namespace) -> int:
     steps = 8 if args.quick else args.steps
     reps = 5 if args.quick else args.reps
     result = run_overlap_bench(
-        scale=scale, steps=steps, reps=reps, rank_counts=args.ranks
+        scale=scale, steps=steps, reps=reps, rank_counts=args.ranks,
+        executors=args.executors,
     )
     print(result.format_text())
     if args.output:
@@ -268,6 +272,28 @@ def _cmd_bench_overlap(args: argparse.Namespace) -> int:
             f"overlap speedup {worst:.2f}x >= {args.assert_speedup:.2f}x "
             f"at >= {args.min_ranks} ranks"
         )
+    if args.assert_scaling is not None:
+        if result.core_bound:
+            print(
+                "scaling assertion skipped: host has 1 CPU core, so "
+                "process-executor rows are core-bound, not scaling"
+            )
+        else:
+            worst = result.min_speedup_vs_single(
+                "overlap+process", min_ranks=args.min_ranks
+            )
+            if worst < args.assert_scaling:
+                print(
+                    f"error: overlap+process speedup {worst:.2f}x over "
+                    f"single-rank at >= {args.min_ranks} ranks below "
+                    f"required {args.assert_scaling:.2f}x",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"overlap+process scaling {worst:.2f}x >= "
+                f"{args.assert_scaling:.2f}x at >= {args.min_ranks} ranks"
+            )
     return 0
 
 
@@ -357,13 +383,17 @@ def _gate_current_result(kind: str, baseline: dict, args: argparse.Namespace):
         ).to_dict()
     from .microbench import run_overlap_bench
 
+    executors = config.get("executors")
     if args.quick:
-        return run_overlap_bench(scale=0.5, steps=8, reps=5).to_dict()
+        return run_overlap_bench(
+            scale=0.5, steps=8, reps=5, executors=executors
+        ).to_dict()
     return run_overlap_bench(
         scale=config.get("scale", 1.0),
         steps=config.get("steps", 20),
         reps=config.get("reps", 3),
         rank_counts=config.get("rank_counts", (2, 4, 8)),
+        executors=executors,
     ).to_dict()
 
 
@@ -839,7 +869,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the overlapped interior/frontier pipeline",
     )
     p.add_argument(
-        "--executor", choices=["lockstep", "parallel"], default="lockstep",
+        "--executor", choices=["lockstep", "parallel", "process"],
+        default="lockstep",
         help="rank-phase executor (default: lockstep)",
     )
     p.add_argument(
@@ -960,7 +991,13 @@ def build_parser() -> argparse.ArgumentParser:
     po = bsub.add_parser(
         "overlap",
         help="MFLUPS of the distributed step: barrier vs overlapped "
-        "pipeline, lockstep vs thread-pool executor",
+        "pipeline, lockstep vs thread-pool vs process executor",
+    )
+    po.add_argument(
+        "--executor", action="append", dest="executors", default=None,
+        choices=["lockstep", "parallel", "process"], metavar="TIER",
+        help="executor tier to time (repeatable; default: lockstep "
+        "and parallel; lockstep is always included)",
     )
     po.add_argument(
         "--scale", type=float, default=1.0,
@@ -994,6 +1031,13 @@ def build_parser() -> argparse.ArgumentParser:
     po.add_argument(
         "--min-ranks", type=int, default=4,
         help="rank-count floor for --assert-speedup (default: 4)",
+    )
+    po.add_argument(
+        "--assert-scaling", type=float, default=None, metavar="MIN",
+        help="exit 1 unless the worst overlap+process speedup over the "
+        "single-rank run at >= --min-ranks ranks is at least MIN "
+        "(skipped with a note on 1-core hosts, where executor rows "
+        "are core-bound)",
     )
     po.set_defaults(func=_cmd_bench_overlap)
     for bench_parser in (pb, po):
@@ -1040,7 +1084,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="step schedule to profile (default: overlap)",
     )
     pr.add_argument(
-        "--executor", choices=["lockstep", "parallel"], default="lockstep",
+        "--executor", choices=["lockstep", "parallel", "process"],
+        default="lockstep",
         help="rank-phase executor (default: lockstep)",
     )
     pr.add_argument(

@@ -122,6 +122,21 @@ class HarveyApp:
             comm_bytes=self.solver.comm.log.total_bytes(),
         )
 
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Release solver resources (worker processes, shared segments).
+
+        A no-op for in-process executors; idempotent."""
+        close = getattr(self.solver, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "HarveyApp":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- performance projection ---------------------------------------------------
     def performance_on(
         self,

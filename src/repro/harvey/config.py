@@ -41,7 +41,8 @@ class HarveyConfig:
         Run the distributed step as the overlapped interior/frontier
         pipeline; requires ``fused``.
     executor:
-        Rank-phase executor: ``"lockstep"`` or ``"parallel"``.
+        Rank-phase executor: ``"lockstep"``, ``"parallel"`` or
+        ``"process"`` (forked workers over shared-memory segments).
     sanitize:
         Run with the runtime sanitizer (NaN canaries, epoch tracking,
         access logging — see :mod:`repro.lbm.sanitize`) enabled.
@@ -78,10 +79,10 @@ class HarveyConfig:
             raise ConfigError("tau must exceed 0.5")
         if not 0 < self.steady_inlet_speed <= 0.3:
             raise ConfigError("steady inlet speed must be in (0, 0.3]")
-        if self.executor not in ("lockstep", "parallel"):
+        if self.executor not in ("lockstep", "parallel", "process"):
             raise ConfigError(
                 f"unknown executor {self.executor!r}; "
-                "expected 'lockstep' or 'parallel'"
+                "expected 'lockstep', 'parallel' or 'process'"
             )
         if self.overlap and not self.fused:
             raise ConfigError(

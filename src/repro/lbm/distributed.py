@@ -44,6 +44,24 @@ Ranks execute each phase through the configured executor
 (``SolverConfig.executor``): ``"lockstep"`` runs them serially,
 ``"parallel"`` dispatches them onto a thread pool with a per-phase
 barrier (the fused NumPy kernels release the GIL).
+
+Process tier
+------------
+``executor="process"`` runs the same phase bodies on persistent forked
+worker processes (:mod:`repro.runtime.procexec`) for true multicore
+rank parallelism.  The ``f`` double buffer is then allocated in
+:mod:`repro.runtime.shmem` segments (so workers mutate the pages the
+parent observes), and the halo payloads cross through per-pair
+shared-memory rings instead of SimComm's in-process queues — the
+``*_proc`` exchange phases below mirror the in-process ones line for
+line, with ``RingTransport.send``/``recv_into`` in place of
+``isend``/``wait``.  The parent still owns the SimComm for collectives
+and the event log (ring traffic is logged per step from the static
+wiring), mirrors the worker-side buffer swaps on its own rank states,
+and ships its mutable scalars (boundary time, step epoch) to workers
+through the per-phase context hook.  Physics stays bit-for-bit equal to
+the lockstep schedule — pinned by
+``tests/lbm/test_process_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -60,6 +78,7 @@ from ..geometry.flags import INLET, OUTLET
 from .boundary import PressureOutlet, VelocityInlet
 from .solver import SolverConfig
 from .stream import StepPlan
+from ..runtime.events import CommEvent
 from ..runtime.executor import make_executor
 from ..runtime.requests import Request, irecv, isend, waitall
 from ..runtime.simmpi import SimComm
@@ -99,6 +118,9 @@ class RankState:
     pack_flat: Dict[int, np.ndarray] = field(default_factory=dict)
     pack_bufs: Dict[int, np.ndarray] = field(default_factory=dict)
     inj_flat: Dict[int, np.ndarray] = field(default_factory=dict)
+    # process-tier staging: received overlap payloads, per source rank
+    # (the ring transport pops into these; empty off the process path)
+    pay_bufs: Dict[int, np.ndarray] = field(default_factory=dict)
 
     @property
     def num_owned(self) -> int:
@@ -157,6 +179,11 @@ class DistributedSolver:
         self.fluid_updates = 0
         self._fused = bool(config.fused)
         self._overlap = bool(config.overlap)
+        self._procmode = config.executor == "process"
+        self._shm = None  # SegmentRegistry, allocated in _build()
+        self._rings = None  # RingTransport, wired in _build()
+        self._ring_traffic: List[Tuple[int, int, int]] = []
+        self._halo_step_bytes = 0
         self._san = None  # StepSanitizer, attached after _build()
         registry = get_registry()
         self._halo_packed = registry.counter("lbm.halo.bytes_packed")
@@ -226,6 +253,10 @@ class DistributedSolver:
         return out
 
     def _build(self) -> None:
+        if self._procmode and self._shm is None:
+            from ..runtime.shmem import SegmentRegistry
+
+            self._shm = SegmentRegistry()
         grid = self.grid
         coords, index_map = grid.compact_ids()
         self._coords = coords
@@ -298,6 +329,14 @@ class DistributedSolver:
             u0 = np.zeros((n_local, 3))
             rho = np.full(n_local, self.config.rho0)
             f = self.lattice.equilibrium(rho, u0)
+            if self._shm is not None:
+                # process tier: the double buffer must live in shared
+                # segments so forked workers mutate the pages the parent
+                # observes (everything else is inherited copy-on-write)
+                f = self._shm.share(f"rank{r}.f", f)
+                f_tmp = self._shm.ndarray(f"rank{r}.f_tmp", f.shape, f.dtype)
+            else:
+                f_tmp = np.empty_like(f)
 
             inlet_nodes = owned_local[flags_at[owned] == INLET]
             outlet_nodes = owned_local[flags_at[owned] == OUTLET]
@@ -320,7 +359,7 @@ class DistributedSolver:
                     owned_global=owned,
                     ghost_global=ghosts,
                     f=f,
-                    f_tmp=np.empty_like(f),
+                    f_tmp=f_tmp,
                     plans=plans,
                     send_ids={},
                     recv_slots={},
@@ -428,6 +467,34 @@ class DistributedSolver:
                     peer.pack_bufs[st.rank] = np.empty(
                         int(src_local.size), dtype=np.float64
                     )
+
+        if self._procmode:
+            # wire one SPSC ring per ordered neighbour pair, sized to the
+            # active schedule's packed payload; the same send lists the
+            # S300 checker verifies define which pairs exist
+            from ..runtime.shmem import RingTransport
+
+            pairs: List[Tuple[int, int, int]] = []
+            if self._overlap:
+                for st in self.ranks:
+                    for dst, pack in st.pack_flat.items():
+                        pairs.append((st.rank, dst, int(pack.size)))
+                    for src, inj in st.inj_flat.items():
+                        st.pay_bufs[src] = np.empty(
+                            int(inj.size), dtype=np.float64
+                        )
+            else:
+                for st in self.ranks:
+                    for dst, ids in st.send_ids.items():
+                        pairs.append((st.rank, dst, int(q * ids.size)))
+            assert self._shm is not None
+            self._rings = RingTransport(self._shm, pairs)
+            self._ring_traffic = [
+                (src, dst, items * 8) for src, dst, items in pairs
+            ]
+            self._halo_step_bytes = sum(
+                nbytes for _, _, nbytes in self._ring_traffic
+            )
 
         # preallocated observables (gather_f / mass are allocation-free)
         self._owned_total = int(
@@ -640,6 +707,120 @@ class DistributedSolver:
             tmp_flat[inj] = payloads[src]
         st.f, st.f_tmp = st.f_tmp, st.f
 
+    # -- process-tier phases -----------------------------------------------
+    # Ring-transport variants of the exchange phases, dispatched to the
+    # forked workers; they mirror the in-process bodies with
+    # RingTransport.send/recv_into in place of isend/wait, and stage
+    # worker-locally (send_bufs/pack_bufs/pay_bufs) around the shared
+    # rings.  No _pending slot is needed: rings are pull-based and the
+    # per-phase barrier orders post before complete.
+
+    def _phase_exchange_post_proc(self, rank: int) -> None:
+        st = self.ranks[rank]
+        if self._san is not None:
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "read")
+        f_flat = st.f.reshape(-1)
+        for dst in st.send_ids:
+            buf = st.send_bufs[dst]
+            np.take(f_flat, st.send_flat[dst], out=buf, mode="clip")
+            self._rings.send(st.rank, dst, buf)
+
+    def _phase_exchange_complete_proc(self, rank: int) -> None:
+        st = self.ranks[rank]
+        san = self._san
+        if san is not None:
+            san.access_log.record(rank, f"rank{st.rank}.f", "write")
+        for src, slots in st.recv_slots.items():
+            buf = st.recv_bufs[src]
+            self._rings.recv_into(st.rank, src, buf)
+            st.f[:, slots] = buf
+            if san is not None:
+                san.on_unpack(st, src)
+
+    def _phase_exchange_post_overlap_proc(self, rank: int) -> None:
+        st = self.ranks[rank]
+        if self._san is not None:
+            self._san.access_log.record(rank, f"rank{st.rank}.f", "read")
+        f_flat = st.f.reshape(-1)
+        for dst, pack in st.pack_flat.items():
+            buf = st.pack_bufs[dst]
+            np.take(f_flat, pack, out=buf, mode="clip")
+            self._rings.send(st.rank, dst, buf)
+
+    def _phase_exchange_complete_overlap_proc(self, rank: int) -> None:
+        st = self.ranks[rank]
+        san = self._san
+        for src in st.inj_flat:
+            self._rings.recv_into(st.rank, src, st.pay_bufs[src])
+            if san is not None:
+                san.on_payload(st, src)
+
+    def _phase_stream_frontier_proc(self, rank: int) -> None:
+        st = self.ranks[rank]
+        san = self._san
+        if san is not None:
+            san.access_log.record(rank, f"rank{st.rank}.f_tmp", "write")
+        tmp_flat = st.f_tmp.reshape(-1)
+        for src, inj in st.inj_flat.items():
+            if san is not None:
+                san.on_scatter(st, src, inj)
+            tmp_flat[inj] = st.pay_bufs[src]
+        st.f, st.f_tmp = st.f_tmp, st.f
+
+    # -- process-tier support ----------------------------------------------
+    def _apply_phase_context(self, ctx: Dict[str, int]) -> None:
+        """Worker-side hook: apply the controlling process's mutable
+        scalars before a phase body runs (plain attribute writes made in
+        the parent after the fork are invisible here)."""
+        self.time = int(ctx["time"])
+        if self._san is not None:
+            self._san.begin_worker_step(self.ranks, int(ctx["step"]))
+
+    def _phase_ctx(self, step_id: int) -> Optional[Dict[str, int]]:
+        if not self._procmode:
+            return None
+        return {"time": self.time, "step": step_id}
+
+    def _mirror_swap(self) -> None:
+        """Mirror the worker-side double-buffer swap on the parent's rank
+        states, so observables (gather_f, mass) read the live buffer."""
+        for st in self.ranks:
+            st.f, st.f_tmp = st.f_tmp, st.f
+
+    def _account_ring_step(self, step: int) -> None:
+        """Per-step traffic accounting for the ring transport.
+
+        The rings bypass SimComm, so the event log and the halo byte
+        counters are fed from the static wiring — the exact bytes each
+        ring carried this step."""
+        log = self.comm.log
+        for src, dst, nbytes in self._ring_traffic:
+            log.record(
+                CommEvent(src=src, dst=dst, nbytes=nbytes, tag=1, step=step)
+            )
+        self._halo_packed.inc(self._halo_step_bytes)
+        self._halo_unpacked.inc(self._halo_step_bytes)
+
+    def close(self) -> None:
+        """Release executor workers and shared-memory segments.
+
+        Idempotent.  Required for the process tier (worker processes and
+        ``/dev/shm`` segments are freed here, though atexit hooks cover
+        abandoned solvers); joins the thread pool for the parallel
+        executor; a no-op for lockstep.  The solver cannot step again
+        after closing."""
+        shut = getattr(self.executor, "shutdown", None)
+        if shut is not None:
+            shut()
+        if self._shm is not None:
+            self._shm.close()
+
+    def __enter__(self) -> "DistributedSolver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- stepping drivers --------------------------------------------------
     def step(self, num_steps: int = 1) -> None:
         if self._overlap:
@@ -649,58 +830,123 @@ class DistributedSolver:
 
     def _step_barrier(self, num_steps: int) -> None:
         ex = self.executor
+        proc = self._procmode
+        post = (
+            self._phase_exchange_post_proc
+            if proc
+            else self._phase_exchange_post
+        )
+        complete = (
+            self._phase_exchange_complete_proc
+            if proc
+            else self._phase_exchange_complete
+        )
         for _ in range(num_steps):
             self.comm.set_step(self.time)
+            step_id = self.time
             if self._san is not None:
                 self._san.begin_step(self.ranks, self.time)
             with self.tracer.span("step", step=self.time):
                 # phase 1: collide on owned nodes
-                ex.run_phase(self._phase_collide, name="collide")
+                ex.run_phase(
+                    self._phase_collide,
+                    name="collide",
+                    ctx=self._phase_ctx(step_id),
+                )
                 # phase 2: halo exchange (post, then complete — both
                 # halves categorize as communication time)
-                ex.run_phase(self._phase_exchange_post, name="exchange")
                 ex.run_phase(
-                    self._phase_exchange_complete, name="exchange"
+                    post, name="exchange", ctx=self._phase_ctx(step_id)
+                )
+                ex.run_phase(
+                    complete, name="exchange", ctx=self._phase_ctx(step_id)
                 )
                 # phase 3: pull-stream into owned nodes
-                ex.run_phase(self._phase_stream, name="stream")
+                ex.run_phase(
+                    self._phase_stream,
+                    name="stream",
+                    ctx=self._phase_ctx(step_id),
+                )
+                if proc:
+                    # workers swapped their own rank's double buffer;
+                    # mirror it on the parent's states
+                    self._mirror_swap()
                 self.time += 1
                 # phase 4: boundary conditions
-                ex.run_phase(self._phase_boundary, name="boundary")
+                ex.run_phase(
+                    self._phase_boundary,
+                    name="boundary",
+                    ctx=self._phase_ctx(step_id),
+                )
                 self.fluid_updates += self._owned_total
+            if proc:
+                self._account_ring_step(step_id)
             if self._san is not None:
                 self._san.end_step(self.ranks, self.time - 1)
         self._count_step_work(num_steps)
 
     def _step_overlapped(self, num_steps: int) -> None:
         ex = self.executor
+        proc = self._procmode
+        post = (
+            self._phase_exchange_post_overlap_proc
+            if proc
+            else self._phase_exchange_post_overlap
+        )
+        complete = (
+            self._phase_exchange_complete_overlap_proc
+            if proc
+            else self._phase_exchange_complete_overlap
+        )
+        frontier = (
+            self._phase_stream_frontier_proc
+            if proc
+            else self._phase_stream_frontier
+        )
         for _ in range(num_steps):
             self.comm.set_step(self.time)
+            step_id = self.time
             if self._san is not None:
                 self._san.begin_step(self.ranks, self.time)
             with self.tracer.span("step", step=self.time):
-                ex.run_phase(self._phase_collide, name="collide")
+                ex.run_phase(
+                    self._phase_collide,
+                    name="collide",
+                    ctx=self._phase_ctx(step_id),
+                )
                 # the overlap window: interior streaming runs between
                 # exchange post and completion, hiding communication
                 # behind ~num_interior/num_owned of the stream work
                 with self.tracer.span("overlap_window"):
                     ex.run_phase(
-                        self._phase_exchange_post_overlap,
+                        post,
                         name="exchange",
+                        ctx=self._phase_ctx(step_id),
                     )
                     ex.run_phase(
-                        self._phase_stream_interior, name="interior"
+                        self._phase_stream_interior,
+                        name="interior",
+                        ctx=self._phase_ctx(step_id),
                     )
                     ex.run_phase(
-                        self._phase_exchange_complete_overlap,
+                        complete,
                         name="exchange",
+                        ctx=self._phase_ctx(step_id),
                     )
                 ex.run_phase(
-                    self._phase_stream_frontier, name="frontier"
+                    frontier, name="frontier", ctx=self._phase_ctx(step_id)
                 )
+                if proc:
+                    self._mirror_swap()
                 self.time += 1
-                ex.run_phase(self._phase_boundary, name="boundary")
+                ex.run_phase(
+                    self._phase_boundary,
+                    name="boundary",
+                    ctx=self._phase_ctx(step_id),
+                )
                 self.fluid_updates += self._owned_total
+            if proc:
+                self._account_ring_step(step_id)
             if self._san is not None:
                 self._san.end_step(self.ranks, self.time - 1)
         self._count_step_work(num_steps)

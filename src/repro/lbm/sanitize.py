@@ -135,6 +135,33 @@ class StepSanitizer:
                 prov[:] = False
         self._poison_counter.inc(poisoned)
 
+    def begin_worker_step(self, ranks: Sequence[object], step: int) -> None:
+        """Process-tier hook: reset per-step freshness state in a forked
+        worker without re-poisoning.
+
+        The ghost columns live in shared-memory segments and were
+        already poisoned by the controlling process's :meth:`begin_step`;
+        the epoch dictionaries, however, are per-process, so each worker
+        resets its own copies when it first sees a new step (the solver
+        calls this from its phase-context hook).  Idempotent within a
+        step.  Cross-process access-log conflict checking degrades to
+        each process's local view — the NaN-canary and epoch checks keep
+        full strength because they read the shared buffers."""
+        if step == self._step:
+            return
+        self._step = step
+        self.access_log.clear()
+        for st in ranks:
+            rank = int(st.rank)
+            self._fresh[rank] = set()
+            self._payload_pending[rank] = set()
+            size = st.f.shape[0] * st.f.shape[1]
+            prov = self._provisional.get(rank)
+            if prov is None or prov.size != size:
+                self._provisional[rank] = np.zeros(size, dtype=bool)
+            else:
+                prov[:] = False
+
     def on_unpack(self, st: object, src: int) -> None:
         """Barrier path: rank ``st`` unpacked ``src``'s payload into its
         ghost slots this step."""

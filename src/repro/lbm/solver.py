@@ -54,8 +54,12 @@ class SolverConfig:
         path; ``False`` is a one-release escape hatch.
     executor:
         How the distributed solver runs rank phases: ``"lockstep"``
-        (serial, the default) or ``"parallel"`` (thread pool with a
-        per-phase barrier).  Ignored by the single-domain solver.
+        (serial, the default), ``"parallel"`` (thread pool with a
+        per-phase barrier), or ``"process"`` (persistent forked worker
+        processes over shared-memory buffers and ring transports — true
+        multicore rank parallelism; requires ``fused`` and a platform
+        with the POSIX fork start method).  Ignored by the
+        single-domain solver.
     overlap:
         Run the distributed step as the interior/frontier pipeline with
         a packed cross-link halo exchange posted before interior
@@ -107,10 +111,16 @@ class SolverConfig:
                 f"unknown collision {self.collision!r}; "
                 "expected 'bgk', 'trt' or 'mrt'"
             )
-        if self.executor not in ("lockstep", "parallel"):
+        if self.executor not in ("lockstep", "parallel", "process"):
             raise ConfigError(
                 f"unknown executor {self.executor!r}; "
-                "expected 'lockstep' or 'parallel'"
+                "expected 'lockstep', 'parallel' or 'process'"
+            )
+        if self.executor == "process" and not self.fused:
+            raise ConfigError(
+                "executor='process' requires the fused step-plan engine "
+                "(fused=True): the shared-memory ring transport carries "
+                "the fused plan's packed halo buffers"
             )
         if self.overlap and not self.fused:
             raise ConfigError(

@@ -34,6 +34,8 @@ from ..plancheck import PLAN_RULES
 from .concurrency import (
     CrossRankAccessRule,
     PhaseTelemetryRule,
+    ProcessPhasePicklableRule,
+    SegmentNameRule,
     SharedMutationRule,
 )
 from .conformance import (
@@ -59,6 +61,8 @@ __all__ = [
     "SharedMutationRule",
     "PhaseTelemetryRule",
     "CrossRankAccessRule",
+    "ProcessPhasePicklableRule",
+    "SegmentNameRule",
 ]
 
 
@@ -75,6 +79,8 @@ def default_rules() -> List[Rule]:
         SharedMutationRule(),
         PhaseTelemetryRule(),
         CrossRankAccessRule(),
+        ProcessPhasePicklableRule(),
+        SegmentNameRule(),
     ]
 
 
@@ -85,7 +91,7 @@ RULE_FAMILIES: Dict[str, List[str]] = {
     "purity": ["P201", "P202", "P203"],
     "commsched": sorted(SCHEDULE_RULES.values()),
     "plancheck": sorted(PLAN_RULES.values()),
-    "concurrency": ["W501", "W502", "W503"],
+    "concurrency": ["W501", "W502", "W503", "W504", "W505"],
 }
 
 #: Table 2 category for each rule id — the same taxonomy
@@ -119,10 +125,13 @@ DPCT_CATEGORY_BY_RULE: Dict[str, str] = {
     "K404": "Error handling",
     "K405": "Functional equivalence",
     "K406": "Functional equivalence",
-    # executor-concurrency races corrupt shared state or telemetry
+    # executor-concurrency races corrupt shared state or telemetry;
+    # process-tier findings fault loudly at dispatch or cleanup time
     "W501": "Functional equivalence",
     "W502": "Error handling",
     "W503": "Functional equivalence",
+    "W504": "Error handling",
+    "W505": "Error handling",
 }
 
 

@@ -19,12 +19,21 @@ W502    tracer span emission inside a phase body (span lists are
 W503    cross-rank state access — indexing ``self.ranks`` with
         anything but the phase's own rank parameter, or iterating
         all ranks from a worker thread
+W504    nested function or lambda inside a phase body — the
+        process executor dispatches phases to forked workers by
+        method name or pickle, and closures capturing local
+        state are unpicklable (and silently stale under fork)
+W505    direct ``SharedMemory(...)`` construction outside the
+        segment registry — ad-hoc segments escape the canonical
+        ``repro-<pid>-…`` naming, the atexit unlink, and the
+        leak detector
 ======  ======================================================
 
 The scope is a name contract like the P2xx "hot" contract: functions
 named ``_phase_*`` are executor-submitted closures.  A store guarded by
 ``with self._lock:`` (any context manager whose expression names a
-lock) is considered protected.
+lock) is considered protected.  W505 applies module-wide and exempts
+:mod:`repro.runtime.shmem` itself, the one place segments are made.
 """
 
 from __future__ import annotations
@@ -40,6 +49,8 @@ __all__ = [
     "SharedMutationRule",
     "PhaseTelemetryRule",
     "CrossRankAccessRule",
+    "ProcessPhasePicklableRule",
+    "SegmentNameRule",
 ]
 
 _PHASE_RE = re.compile(r"^_phase_")
@@ -255,3 +266,70 @@ class CrossRankAccessRule(Rule):
                         "a worker thread must not sweep every rank's "
                         "state",
                     )
+
+
+class ProcessPhasePicklableRule(Rule):
+    rule_id = "W504"
+    description = (
+        "the process executor ships phase bodies to forked workers by "
+        "method name or pickle; a nested function or lambda closes "
+        "over local state that cannot be pickled and goes stale under "
+        "fork"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        for fn in phase_functions(src.tree):
+            for node, _ in _guarded_statements(fn):
+                if isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ):
+                    kind = (
+                        "lambda"
+                        if isinstance(node, ast.Lambda)
+                        else f"nested function {node.name!r}"
+                    )
+                    yield self.violation(
+                        src,
+                        node,
+                        f"{kind} inside phase body {fn.name!r}; the "
+                        "process executor cannot dispatch "
+                        "closure-captured state to worker processes — "
+                        "hoist it to a method or module-level function",
+                    )
+
+
+class SegmentNameRule(Rule):
+    rule_id = "W505"
+    description = (
+        "shared-memory segments must be allocated through the "
+        "SegmentRegistry helper so their names carry the canonical "
+        "repro-<pid> prefix, register for the atexit unlink, and stay "
+        "visible to the /dev/shm leak detector"
+    )
+
+    #: the one module allowed to touch the raw constructor
+    _EXEMPT_SUFFIX = "runtime/shmem.py"
+
+    def check_file(self, src: SourceFile) -> Iterator[Violation]:
+        path = str(getattr(src, "path", "")).replace("\\", "/")
+        if path.endswith(self._EXEMPT_SUFFIX):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name == "SharedMemory":
+                yield self.violation(
+                    src,
+                    node,
+                    "direct SharedMemory() construction outside "
+                    "repro.runtime.shmem; allocate segments through "
+                    "SegmentRegistry so they are named, tracked, and "
+                    "unlinked",
+                )

@@ -137,6 +137,16 @@ class DistributedModelEngine:
         from ..telemetry.metrics import get_registry
         from ..telemetry.spans import get_tracer
 
+        if config.executor == "process":
+            # the engine's rank state (simulated device buffers, SimComm
+            # queues) lives in ordinary process memory, not shared
+            # segments, so forked workers would mutate invisible copies
+            raise ModelError(
+                "the programming-model distributed engine supports "
+                "executor='lockstep' or 'parallel' only; the process "
+                "tier needs shared-memory rank state, which the "
+                "reference solver provides (lbm.distributed)"
+            )
         reference = DistributedSolver(
             partition, config, comm=SimComm(partition.num_ranks)
         )

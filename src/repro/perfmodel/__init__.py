@@ -19,6 +19,13 @@ from .model import (
     streamcollide_time,
 )
 from .fit import FitResult, fit_sc_efficiency
+from .hostexec import (
+    GIL_RELEASE_FRACTION,
+    overlap_step_time,
+    parallel_efficiency,
+    predicted_speedup,
+    rank_concurrency,
+)
 from .sensitivity import (
     Sensitivity,
     dominant_resource,
@@ -60,6 +67,11 @@ __all__ = [
     "SECTION_COUNTS",
     "FitResult",
     "fit_sc_efficiency",
+    "GIL_RELEASE_FRACTION",
+    "rank_concurrency",
+    "parallel_efficiency",
+    "predicted_speedup",
+    "overlap_step_time",
     "Sensitivity",
     "sensitivity_analysis",
     "sensitivity_sweep",

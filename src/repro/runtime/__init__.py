@@ -1,17 +1,29 @@
 """Simulated MPI runtime: communicator, non-blocking requests, event
-log, lockstep and parallel executors."""
+log, and the lockstep / thread-parallel / process-parallel executors
+(plus the shared-memory transport and real-MPI adapter the process and
+MPI tiers use)."""
 
 from .events import CommEvent, EventLog
 from .executor import LockstepExecutor, ParallelExecutor, make_executor
+from .mpicomm import MPIComm, mpi_available
+from .procexec import ProcessExecutor, fork_available
 from .requests import Request, irecv, isend, waitall
+from .shmem import RingBuffer, RingTransport, SegmentRegistry
 from .simmpi import SimComm
 
 __all__ = [
     "CommEvent",
     "EventLog",
     "SimComm",
+    "MPIComm",
+    "mpi_available",
     "LockstepExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
+    "fork_available",
+    "SegmentRegistry",
+    "RingBuffer",
+    "RingTransport",
     "make_executor",
     "Request",
     "isend",

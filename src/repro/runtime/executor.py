@@ -175,11 +175,15 @@ class LockstepExecutor:
         fn: PhaseFn,
         ranks: Optional[Sequence[int]] = None,
         name: Optional[str] = None,
+        ctx: Optional[dict] = None,
     ) -> None:
         """Invoke ``fn(rank)`` for every rank (or a subset, in order).
 
         With an enabled tracer and a ``name``, each rank's call is
-        wrapped in a span of that name tagged with the rank.
+        wrapped in a span of that name tagged with the rank.  ``ctx``
+        exists for signature parity with the process executor (which
+        ships it to the workers); in-process the phase bodies read the
+        owning object's attributes directly, so it is ignored.
         """
         targets: Iterable[int] = (
             range(self.num_ranks) if ranks is None else ranks
@@ -244,6 +248,7 @@ class ParallelExecutor:
         fn: PhaseFn,
         ranks: Optional[Sequence[int]] = None,
         name: Optional[str] = None,
+        ctx: Optional[dict] = None,
     ) -> None:
         """Invoke ``fn(rank)`` for every rank (or a subset) concurrently.
 
@@ -332,6 +337,13 @@ def make_executor(kind: str, num_ranks: int, tracer=None):
         return LockstepExecutor(num_ranks, tracer=tracer)
     if kind == "parallel":
         return ParallelExecutor(num_ranks, tracer=tracer)
+    if kind == "process":
+        # deferred import: the process tier pulls in multiprocessing and
+        # the shared-memory substrate, which lockstep users never need
+        from .procexec import ProcessExecutor
+
+        return ProcessExecutor(num_ranks, tracer=tracer)
     raise RuntimeSimError(
-        f"unknown executor {kind!r}; expected 'lockstep' or 'parallel'"
+        f"unknown executor {kind!r}; expected 'lockstep', 'parallel' "
+        "or 'process'"
     )

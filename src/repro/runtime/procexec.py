@@ -1,0 +1,328 @@
+"""Process-based rank executor: true multicore phase parallelism.
+
+:class:`ProcessExecutor` keeps one persistent worker process per rank
+and dispatches the same per-rank phase bodies the lockstep and thread
+executors run — same bulk-synchronous schedule, same per-phase barrier,
+but without the GIL: each rank's collide/stream/boundary kernels run on
+their own core.
+
+How state crosses the process boundary
+--------------------------------------
+Workers are forked (POSIX ``fork`` start method) lazily on the *first*
+``run_phase`` call, after the owning solver is fully built.  Everything
+the phase bodies read — plans, index tables, boundary objects — is
+inherited copy-on-write; the arrays the phases *mutate* (the ``f``
+double buffer, halo pack buffers, ring transports) must live in
+:mod:`repro.runtime.shmem` segments allocated before the fork, so the
+parent and every worker address the same physical pages.  Nothing is
+pickled on the hot path: a bound method of the registered target is
+sent as its name; any other callable must pickle by reference (the W504
+lint rule bans closure-captured phase callables for exactly this
+reason).
+
+Telemetry and errors keep the thread-executor contract: each worker
+times its own phase interval (``time.perf_counter`` is the system-wide
+``CLOCK_MONOTONIC`` on Linux, so intervals are comparable across
+processes) and the controlling process appends one span per rank in
+rank order after the barrier; the first worker exception is re-raised
+in the caller with a ``[rank N phase ...]`` prefix — picklable
+exceptions cross as themselves, others as
+:class:`~repro.core.errors.RuntimeSimError` carrying the worker
+traceback.  A worker that dies mid-phase (crash, kill) surfaces as a
+``RuntimeSimError`` and shuts the executor down.
+
+Per-phase ``ctx`` dicts carry the controlling process's mutable scalars
+(step counter, boundary time) to the workers; the target applies them
+through its ``_apply_phase_context`` hook before the body runs, since
+plain attribute writes in the parent are invisible after the fork.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import BackendUnavailableError, RuntimeSimError
+from ..telemetry.spans import SpanRecord, Tracer, get_tracer
+from .executor import PhaseAccessLog
+
+__all__ = ["ProcessExecutor", "fork_available"]
+
+PhaseFn = Callable[[int], None]
+
+_CMD_PHASE = "phase"
+_CMD_STOP = "stop"
+
+
+def fork_available() -> bool:
+    """True when the POSIX ``fork`` start method exists on this host."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker_main(rank: int, conn, target: Optional[object]) -> None:
+    """Worker loop: receive phase commands, run them, ack with timing.
+
+    Exits through ``os._exit`` so the parent's inherited atexit hooks
+    (segment unlink, executor shutdown) never run in a child.
+    """
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == _CMD_STOP:
+                break
+            _, spec, ctx = msg
+            try:
+                kind, payload = spec
+                if kind == "method":
+                    fn = getattr(target, payload)
+                else:
+                    fn = pickle.loads(payload)
+                if ctx is not None and target is not None:
+                    hook = getattr(target, "_apply_phase_context", None)
+                    if hook is not None:
+                        hook(ctx)
+                t0 = time.perf_counter()
+                fn(rank)
+                duration = time.perf_counter() - t0
+                conn.send(("ok", t0, duration))
+            except BaseException as exc:
+                try:
+                    blob: Optional[bytes] = pickle.dumps(exc)
+                except Exception:
+                    blob = None
+                try:
+                    conn.send(("err", blob, traceback.format_exc()))
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+class ProcessExecutor:
+    """Runs per-rank phase bodies on persistent worker processes.
+
+    Same ``run_phase``/``run_step`` surface as the thread executors plus
+    ``ctx`` (per-phase context applied worker-side) and ``close()``.
+    Construction only checks the platform; workers fork on first use so
+    they inherit the fully-built solver.
+    """
+
+    def __init__(self, num_ranks: int, tracer=None) -> None:
+        if num_ranks < 1:
+            raise RuntimeSimError("executor needs at least one rank")
+        if not fork_available():
+            raise BackendUnavailableError(
+                "the process executor needs the POSIX 'fork' start "
+                "method (workers inherit the solver's shared-memory "
+                "segments); this platform does not provide it — use "
+                "executor='parallel' or 'lockstep'"
+            )
+        import multiprocessing
+
+        self.num_ranks = num_ranks
+        self.phases_run = 0
+        self.tracer = get_tracer() if tracer is None else tracer
+        #: optional PhaseAccessLog advanced once per phase (sanitize mode);
+        #: conflict detection degrades to the controlling process's view —
+        #: worker-side records stay in the workers.
+        self.access_log: Optional[PhaseAccessLog] = None
+        self._mp = multiprocessing.get_context("fork")
+        self._creator_pid = os.getpid()
+        self._target: Optional[object] = None
+        self._workers: List[Tuple[Any, Any]] = []  # (Process, Connection)
+        self._started = False
+        self._closed = False
+        atexit.register(self.close)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self, target: Optional[object] = None) -> None:
+        """Fork the workers (idempotent).  ``target`` is the object whose
+        bound methods dispatch by name — normally the owning solver."""
+        if self._started:
+            return
+        if self._closed:
+            raise RuntimeSimError("process executor already closed")
+        self._target = target
+        for rank in range(self.num_ranks):
+            parent_conn, child_conn = self._mp.Pipe()
+            proc = self._mp.Process(
+                target=_worker_main,
+                args=(rank, child_conn, target),
+                daemon=True,
+                name=f"repro-rank-{rank}",
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+        self._started = True
+
+    def close(self) -> None:
+        """Stop the workers and release the pipes (idempotent).
+
+        Runs only in the creating process; forked children inherit the
+        executor object (and the parent's atexit stack is skipped by the
+        worker's ``os._exit``), but a pid guard keeps any stray call
+        harmless.
+        """
+        if self._closed or os.getpid() != self._creator_pid:
+            return
+        self._closed = True
+        for proc, conn in self._workers:
+            try:
+                conn.send((_CMD_STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc, conn in self._workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._workers = []
+
+    # thread-executor name, kept so generic teardown paths work
+    def shutdown(self) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- dispatch --------------------------------------------------------
+    def _spec_for(self, fn: PhaseFn) -> Tuple[str, Any]:
+        bound_to = getattr(fn, "__self__", None)
+        if self._target is not None and bound_to is self._target:
+            return ("method", fn.__name__)
+        try:
+            return ("pickle", pickle.dumps(fn))
+        except Exception as exc:
+            raise RuntimeSimError(
+                f"phase callable {getattr(fn, '__name__', fn)!r} cannot "
+                "cross the process boundary: it is neither a method of "
+                "the executor's target nor picklable by reference "
+                f"({exc}); see lint rule W504"
+            ) from None
+
+    def run_phase(
+        self,
+        fn: PhaseFn,
+        ranks: Optional[Sequence[int]] = None,
+        name: Optional[str] = None,
+        ctx: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Invoke ``fn(rank)`` on every rank's worker, barrier at the end.
+
+        ``ctx`` (optional) is applied on each worker via the target's
+        ``_apply_phase_context`` hook before the body runs.
+        """
+        if self._closed:
+            raise RuntimeSimError(
+                "process executor is closed; its workers are gone"
+            )
+        if not self._started:
+            self.start(getattr(fn, "__self__", None))
+        targets: List[int] = list(
+            range(self.num_ranks) if ranks is None else ranks
+        )
+        for rank in targets:
+            if not 0 <= rank < self.num_ranks:
+                raise RuntimeSimError(f"phase rank {rank} out of range")
+        if self.access_log is not None:
+            self.access_log.begin_phase(name or f"phase{self.phases_run}")
+        spec = self._spec_for(fn)
+        for rank in targets:
+            _, conn = self._workers[rank]
+            try:
+                conn.send((_CMD_PHASE, spec, ctx))
+            except (BrokenPipeError, OSError):
+                self.close()
+                raise RuntimeSimError(
+                    f"rank {rank} worker process is gone; cannot "
+                    f"dispatch phase {name or fn.__name__!r}"
+                ) from None
+
+        first_exc: Optional[BaseException] = None
+        first_rank = -1
+        timings: List[Optional[Tuple[float, float]]] = []
+        dead: Optional[int] = None
+        for rank in targets:
+            proc, conn = self._workers[rank]
+            try:
+                ack = conn.recv()
+            except (EOFError, OSError):
+                timings.append(None)
+                if dead is None:
+                    dead = rank
+                continue
+            if ack[0] == "ok":
+                timings.append((ack[1], ack[2]))
+                continue
+            timings.append(None)
+            if first_exc is None:
+                first_rank = rank
+                _, blob, tb = ack
+                if blob is not None:
+                    try:
+                        first_exc = pickle.loads(blob)
+                    except Exception:
+                        first_exc = None
+                if first_exc is None:
+                    first_exc = RuntimeSimError(
+                        f"worker failed:\n{tb.rstrip()}"
+                    )
+        if dead is not None:
+            self.close()
+            raise RuntimeSimError(
+                f"rank {dead} worker process died during phase "
+                f"{name or 'phase'!r}; executor shut down and shared "
+                "segments remain owned (and unlinked) by the parent"
+            )
+        tracer = self.tracer
+        if name is not None and tracer.enabled:
+            depth = len(tracer._stack) if isinstance(tracer, Tracer) else 0
+            for rank, timing in zip(targets, timings):
+                if timing is None:
+                    continue
+                start, duration = timing
+                tracer.spans.append(
+                    SpanRecord(
+                        name=name,
+                        start_s=start,
+                        duration_s=duration,
+                        depth=depth,
+                        rank=rank,
+                    )
+                )
+        self.phases_run += 1
+        if first_exc is not None:
+            origin = f"[rank {first_rank} phase {name or 'phase'!r}]"
+            if first_exc.args and isinstance(first_exc.args[0], str):
+                first_exc.args = (
+                    f"{origin} {first_exc.args[0]}",
+                ) + first_exc.args[1:]
+            else:
+                first_exc.args = (origin,) + tuple(first_exc.args)
+            raise first_exc
+
+    def run_step(self, phases: List[PhaseFn]) -> None:
+        """Run a full iteration: each phase across all ranks, in order."""
+        for fn in phases:
+            self.run_phase(fn)

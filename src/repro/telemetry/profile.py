@@ -242,6 +242,10 @@ def run_profile(
         bandwidth_gbs * 1e9,
         steps,
     )
+    # release process-tier workers and shared segments (no-op for the
+    # in-process executors; a crash mid-profile is covered by the
+    # daemon-worker flag and the registry's atexit unlink)
+    solver.close()
     total_wall = sum(s["seconds"] for s in windows)
     total_comm = sum(s["comm_seconds"] for s in windows)
     total_hidden = sum(s["hidden_seconds"] for s in windows)

@@ -1,0 +1,134 @@
+"""Bit-exact equivalence of the process-executor tier.
+
+The forked-worker tier (shared-memory double buffer, ring halo
+transport) is a pure execution-resource change: the same bulk-
+synchronous schedule runs, so every collision operator, both step
+schedules, and every rank count must produce ``np.array_equal`` state
+against the lockstep in-process run — not ``allclose``.  Also pins the
+sanitizer riding the process tier, config validation, and the no-leaked-
+segments guarantee on clean close.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.decomp import grid_decompose
+from repro.geometry.cylinder import CylinderSpec, make_cylinder
+from repro.lbm.distributed import DistributedSolver
+from repro.lbm.solver import SolverConfig
+from repro.runtime.procexec import fork_available
+from repro.runtime.shmem import leaked_segments
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="needs the POSIX fork start method"
+)
+
+STEPS = 8
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return make_cylinder(CylinderSpec(scale=0.5, periodic=True))
+
+
+def config(collision="bgk", **kw):
+    return SolverConfig(
+        tau=0.8,
+        collision=collision,
+        force=(1e-5, 0.0, 0.0),
+        periodic=(True, False, False),
+        **kw,
+    )
+
+
+def run_process(partition, cfg_kwargs, steps=STEPS):
+    solver = DistributedSolver(
+        partition, config(executor="process", **cfg_kwargs)
+    )
+    try:
+        solver.step(steps)
+        return solver.gather_f(), solver.mass()
+    finally:
+        solver.close()
+
+
+class TestProcessEquivalence:
+    @pytest.mark.parametrize("collision", ["bgk", "trt", "mrt"])
+    @pytest.mark.parametrize("overlap", [False, True])
+    @pytest.mark.parametrize("num_ranks", [2, 4])
+    def test_bitwise_vs_lockstep(self, grid, collision, overlap, num_ranks):
+        part = grid_decompose(grid, num_ranks)
+        ref = DistributedSolver(
+            part, config(collision=collision, overlap=overlap)
+        )
+        ref.step(STEPS)
+        f_proc, mass_proc = run_process(
+            part, dict(collision=collision, overlap=overlap)
+        )
+        assert np.array_equal(ref.gather_f(), f_proc)
+        assert ref.mass() == mass_proc
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_sanitized_process_run(self, grid, overlap):
+        # the sanitizer's canaries/epochs work across the fork: ghosts
+        # are poisoned parent-side in shared pages, workers reset their
+        # local epoch dicts via the phase-context hook
+        part = grid_decompose(grid, 2)
+        ref = DistributedSolver(part, config())
+        ref.step(STEPS)
+        f_proc, _ = run_process(part, dict(overlap=overlap, sanitize=True))
+        assert np.array_equal(ref.gather_f(), f_proc)
+
+    def test_observables_match(self, grid):
+        part = grid_decompose(grid, 2)
+        ref = DistributedSolver(part, config())
+        ref.step(STEPS)
+        solver = DistributedSolver(part, config(executor="process"))
+        try:
+            solver.step(STEPS)
+            assert np.array_equal(ref.velocity(), solver.velocity())
+            assert ref.mass() == solver.mass()
+        finally:
+            solver.close()
+
+    def test_halo_traffic_accounted(self, grid):
+        part = grid_decompose(grid, 2)
+        solver = DistributedSolver(part, config(executor="process"))
+        try:
+            solver.step(2)
+            # ring traffic lands in the parent's comm event log and the
+            # packed-byte counters, one entry per wired pair per step
+            assert solver.comm.log.total_bytes() > 0
+            assert solver.halo_bytes_per_step() > 0
+        finally:
+            solver.close()
+
+
+class TestLifecycleAndValidation:
+    def test_no_leaked_segments_after_close(self, grid):
+        before = leaked_segments(os.getpid())
+        part = grid_decompose(grid, 2)
+        solver = DistributedSolver(part, config(executor="process"))
+        solver.step(2)
+        assert leaked_segments(os.getpid()) != before  # segments live
+        solver.close()
+        assert leaked_segments(os.getpid()) == before
+        solver.close()  # idempotent
+
+    def test_context_manager_cleans_up(self, grid):
+        before = leaked_segments(os.getpid())
+        part = grid_decompose(grid, 2)
+        with DistributedSolver(part, config(executor="process")) as solver:
+            solver.step(2)
+        assert leaked_segments(os.getpid()) == before
+
+    def test_process_requires_fused(self):
+        with pytest.raises(ConfigError, match="fused"):
+            config(executor="process", fused=False)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigError):
+            config(executor="forked")

@@ -203,3 +203,112 @@ class TestScopeAndSuppression:
         """
         violations = lint(tmp_path, source, rules=[rule])
         assert {v.rule for v in violations} == {rule}
+
+
+class TestProcessPhasePicklable:
+    def test_lambda_in_phase_body_fires(self, tmp_path):
+        violations = lint(
+            tmp_path,
+            """
+            class Solver:
+                def _phase_pack(self, rank):
+                    st = self.ranks[rank]
+                    st.apply(lambda x: x + rank)
+            """,
+            rules=["W504"],
+        )
+        assert [v.rule for v in violations] == ["W504"]
+        assert "lambda" in violations[0].message
+
+    def test_nested_function_fires(self, tmp_path):
+        violations = lint(
+            tmp_path,
+            """
+            class Solver:
+                def _phase_stream(self, rank):
+                    def kernel():
+                        return rank
+                    kernel()
+            """,
+            rules=["W504"],
+        )
+        assert [v.rule for v in violations] == ["W504"]
+        assert "nested function 'kernel'" in violations[0].message
+
+    def test_plain_phase_body_is_clean(self, tmp_path):
+        violations = lint(
+            tmp_path,
+            """
+            class Solver:
+                def _phase_stream(self, rank):
+                    st = self.ranks[rank]
+                    st.f, st.f_tmp = st.f_tmp, st.f
+            """,
+            rules=["W504"],
+        )
+        assert violations == []
+
+    def test_nested_def_outside_phase_is_exempt(self, tmp_path):
+        violations = lint(
+            tmp_path,
+            """
+            def build_plan():
+                def helper():
+                    return 1
+                return helper
+            """,
+            rules=["W504"],
+        )
+        assert violations == []
+
+
+class TestSegmentName:
+    def test_direct_shared_memory_call_fires(self, tmp_path):
+        violations = lint(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def grab():
+                return shared_memory.SharedMemory(create=True, size=64)
+            """,
+            rules=["W505"],
+        )
+        assert [v.rule for v in violations] == ["W505"]
+        assert "SegmentRegistry" in violations[0].message
+
+    def test_bare_name_call_fires(self, tmp_path):
+        violations = lint(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def grab():
+                return SharedMemory(create=True, size=64)
+            """,
+            rules=["W505"],
+        )
+        assert [v.rule for v in violations] == ["W505"]
+
+    def test_registry_helper_is_clean(self, tmp_path):
+        violations = lint(
+            tmp_path,
+            """
+            def grab(registry):
+                return registry.ndarray("rank0.f", (19, 128))
+            """,
+            rules=["W505"],
+        )
+        assert violations == []
+
+    def test_shmem_module_itself_is_exempt(self):
+        report = (
+            LintEngine()
+            .select(["W505"])
+            .run(["src/repro/runtime/shmem.py"])
+        )
+        assert report.violations == []
+
+    def test_live_tree_is_clean_under_process_rules(self):
+        report = LintEngine().select(["W504", "W505"]).run(["src/repro"])
+        assert report.violations == []

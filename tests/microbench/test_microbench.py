@@ -127,6 +127,7 @@ class TestHostStream:
 class TestOverlapBench:
     def test_quick_run_structure(self):
         from repro.microbench import (
+            DEFAULT_EXECUTORS,
             OVERLAP_BENCH_MODES,
             run_overlap_bench,
         )
@@ -135,11 +136,21 @@ class TestOverlapBench:
             scale=0.5, steps=2, reps=1, rank_counts=(2, 4)
         )
         assert [r.num_ranks for r in result.ranks] == [2, 4]
+        default_modes = {
+            m
+            for m, (_, ex) in OVERLAP_BENCH_MODES.items()
+            if ex in DEFAULT_EXECUTORS
+        }
+        assert result.single_rank["seconds"] > 0
         for rr in result.ranks:
-            assert set(rr.timings) == set(OVERLAP_BENCH_MODES)
+            assert set(rr.timings) == default_modes
             for t in rr.timings.values():
                 assert t.seconds > 0
                 assert t.mflups > 0
+                assert t.speedup_vs_single > 0
+                assert t.parallel_efficiency == pytest.approx(
+                    t.speedup_vs_single / rr.num_ranks
+                )
             # the packed exchange moves strictly fewer bytes
             assert (
                 rr.timings["overlap"].halo_bytes_per_step

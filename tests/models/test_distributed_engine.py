@@ -96,6 +96,18 @@ class TestStagingObservability:
         with pytest.raises(ModelError):
             engine.step(-1)
 
+    def test_process_executor_rejected(self, cylinder):
+        # engine rank state lives in ordinary memory, not shared
+        # segments — only the reference solver runs the process tier
+        config = SolverConfig(
+            tau=0.8,
+            force=(1e-6, 0, 0),
+            periodic=(True, False, False),
+            executor="process",
+        )
+        with pytest.raises(ModelError, match="process"):
+            DistributedModelEngine(axis_decompose(cylinder, 2), config)
+
 
 class TestCrossBackendConsistency:
     def test_two_backends_identical_distributed(self, cylinder, cyl_config):

@@ -1,0 +1,174 @@
+"""Process executor: dispatch, barriers, errors, and cleanup."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RuntimeSimError
+from repro.runtime.procexec import ProcessExecutor, fork_available
+from repro.runtime.shmem import SegmentRegistry, leaked_segments
+from repro.telemetry.spans import Tracer
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="needs the POSIX fork start method"
+)
+
+
+class Counter:
+    """A target whose bound methods mutate a shared-segment array."""
+
+    def __init__(self, registry: SegmentRegistry, num_ranks: int) -> None:
+        self.cells = registry.ndarray("cells", (num_ranks,))
+        self.scale = 1.0
+        self.applied_ctx = None
+
+    def _apply_phase_context(self, ctx) -> None:
+        self.scale = float(ctx["scale"])
+
+    def bump(self, rank: int) -> None:
+        self.cells[rank] += self.scale
+
+    def boom(self, rank: int) -> None:
+        if rank == 1:
+            raise ValueError("bad rank state")
+        self.cells[rank] += 1.0
+
+    def die(self, rank: int) -> None:
+        if rank == 0:
+            os._exit(13)
+        self.cells[rank] += 1.0
+
+
+def crash_free(rank: int) -> None:
+    """Module-level phase: picklable by reference."""
+
+
+class TestDispatch:
+    def test_bound_method_over_shared_segment(self):
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 3)
+            ex = ProcessExecutor(3)
+            try:
+                ex.start(target)
+                ex.run_phase(target.bump)
+                ex.run_phase(target.bump)
+                assert np.array_equal(target.cells, [2.0, 2.0, 2.0])
+            finally:
+                ex.close()
+
+    def test_ctx_applied_worker_side(self):
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 2)
+            ex = ProcessExecutor(2)
+            try:
+                ex.run_phase(target.bump, ctx={"scale": 5.0})
+                assert np.array_equal(target.cells, [5.0, 5.0])
+                # parent's own attribute is untouched: ctx crosses, the
+                # plain attribute write would not have
+                assert target.scale == 1.0
+            finally:
+                ex.close()
+
+    def test_module_level_callable_pickles(self):
+        ex = ProcessExecutor(2)
+        try:
+            ex.run_phase(crash_free)  # must not raise
+        finally:
+            ex.close()
+
+    def test_unpicklable_callable_rejected_with_w504_hint(self):
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 2)
+            ex = ProcessExecutor(2)
+            try:
+                ex.start(target)
+                captured = {}
+                with pytest.raises(RuntimeSimError, match="W504"):
+                    ex.run_phase(lambda rank: captured.update(r=rank))
+            finally:
+                ex.close()
+
+    def test_rank_subset_and_range_check(self):
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 3)
+            ex = ProcessExecutor(3)
+            try:
+                ex.run_phase(target.bump, ranks=[2])
+                assert np.array_equal(target.cells, [0.0, 0.0, 1.0])
+                with pytest.raises(RuntimeSimError, match="out of range"):
+                    ex.run_phase(target.bump, ranks=[3])
+            finally:
+                ex.close()
+
+    def test_spans_appended_in_rank_order(self):
+        tracer = Tracer()
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 2)
+            ex = ProcessExecutor(2, tracer=tracer)
+            try:
+                ex.run_phase(target.bump, name="bump")
+            finally:
+                ex.close()
+        spans = [s for s in tracer.spans if s.name == "bump"]
+        assert [s.rank for s in spans] == [0, 1]
+        assert all(s.duration_s >= 0 for s in spans)
+
+
+class TestErrors:
+    def test_worker_exception_reraised_with_origin(self):
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 3)
+            ex = ProcessExecutor(3)
+            try:
+                with pytest.raises(ValueError) as err:
+                    ex.run_phase(target.boom, name="boom")
+                assert "[rank 1 phase 'boom']" in str(err.value)
+                # the barrier completed: other ranks' writes landed
+                assert target.cells[0] == 1.0
+                assert target.cells[2] == 1.0
+            finally:
+                ex.close()
+
+    def test_worker_death_is_loud_and_cleans_up(self):
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 2)
+            ex = ProcessExecutor(2)
+            with pytest.raises(RuntimeSimError, match="died"):
+                ex.run_phase(target.die, name="die")
+            # the executor shut itself down; further dispatch refuses
+            with pytest.raises(RuntimeSimError):
+                ex.run_phase(target.bump)
+        # segments stayed parent-owned: nothing leaked after close
+        assert leaked_segments(os.getpid()) == []
+
+    def test_validation(self):
+        with pytest.raises(RuntimeSimError):
+            ProcessExecutor(0)
+
+
+class TestLifecycle:
+    def test_close_idempotent(self):
+        ex = ProcessExecutor(2)
+        ex.run_phase(crash_free)
+        ex.close()
+        ex.close()
+        ex.shutdown()
+
+    def test_closed_executor_refuses_start(self):
+        ex = ProcessExecutor(2)
+        ex.close()
+        with pytest.raises(RuntimeSimError, match="closed"):
+            ex.start()
+
+    def test_no_segments_leaked_across_full_cycle(self):
+        before = leaked_segments(os.getpid())
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 2)
+            ex = ProcessExecutor(2)
+            try:
+                for _ in range(3):
+                    ex.run_phase(target.bump)
+            finally:
+                ex.close()
+        assert leaked_segments(os.getpid()) == before
