@@ -17,6 +17,7 @@ import pytest
 from repro.decomp import axis_decompose
 from repro.geometry import CylinderSpec, make_cylinder
 from repro.lbm import DistributedSolver, SolverConfig
+from repro.runtime.procexec import fork_available
 from repro.telemetry.spans import Tracer
 
 
@@ -66,4 +67,41 @@ def test_profiler_enabled_overhead(grid, config):
     assert t_profiled <= t_plain * 1.05 + 5e-4 * steps, (
         f"profiler-enabled step {t_profiled / steps * 1e3:.2f} ms vs "
         f"telemetry-off {t_plain / steps * 1e3:.2f} ms"
+    )
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="needs the POSIX fork start method"
+)
+def test_dormant_telemetry_plane_overhead(grid, monkeypatch):
+    """With no tracer attached, the plane (heartbeats + flight recorder
+    only, no span traffic) must cost <5% on the process-executor step."""
+    partition = axis_decompose(grid, 4)
+    config = SolverConfig(
+        tau=0.8,
+        force=(1e-6, 0.0, 0.0),
+        periodic=(True, False, False),
+        executor="process",
+    )
+    # plane_enabled() is read once at executor build time, so the env
+    # must be set before each solver is constructed
+    monkeypatch.delenv("REPRO_TELEMETRY_PLANE", raising=False)
+    with_plane = DistributedSolver(partition, config)
+    monkeypatch.setenv("REPRO_TELEMETRY_PLANE", "off")
+    without_plane = DistributedSolver(partition, config)
+    try:
+        assert with_plane.plane is not None
+        assert without_plane.plane is None
+
+        steps = 5
+        with_plane.step(2)
+        without_plane.step(2)
+        t_plane = _min_time(lambda: with_plane.step(steps), repeats=7)
+        t_bare = _min_time(lambda: without_plane.step(steps), repeats=7)
+    finally:
+        with_plane.close()
+        without_plane.close()
+    assert t_plane <= t_bare * 1.05 + 5e-4 * steps, (
+        f"dormant-plane step {t_plane / steps * 1e3:.2f} ms vs "
+        f"plane-off {t_bare / steps * 1e3:.2f} ms"
     )

@@ -206,6 +206,30 @@ def _tracer_composition(tracer: Tracer) -> Dict[str, float]:
     return {c: totals[c] / grand for c in CATEGORIES}
 
 
+def _solver_telemetry(tracer: Tracer, executor: str) -> Dict[str, Any]:
+    """Provenance note: where the cell's per-rank spans came from.
+
+    Process-executor cells record whether the cross-process telemetry
+    plane was live and how many worker-origin spans each forked rank
+    contributed, so a store record makes plain whether its composition
+    shares are true per-rank measurements or parent-side proxies.
+    """
+    worker_spans: Dict[str, int] = {}
+    for span in tracer.spans:
+        if span.args.get("origin") == "worker" and span.rank is not None:
+            key = str(span.rank)
+            worker_spans[key] = worker_spans.get(key, 0) + 1
+    doc: Dict[str, Any] = {
+        "per_rank_spans": executor != "process" or bool(worker_spans),
+    }
+    if executor == "process":
+        from ..telemetry.plane import plane_enabled
+
+        doc["plane"] = plane_enabled()
+        doc["worker_spans"] = worker_spans
+    return doc
+
+
 def _run_solver_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     from ..harvey.app import HarveyApp
     from ..harvey.config import HarveyConfig
@@ -242,6 +266,7 @@ def _run_solver_cell(params: Dict[str, Any]) -> Dict[str, Any]:
         "executor": config.executor,
         "backend": config.backend,
         "composition": _tracer_composition(tracer),
+        "telemetry": _solver_telemetry(tracer, config.executor),
     }
 
 

@@ -27,7 +27,8 @@ Commands
 ``report``
     Regenerate the full reproduction report (all tables and figures).
 ``telemetry``
-    Inspect telemetry artefacts (``summarize`` a ``--trace-out`` file).
+    Inspect telemetry artefacts: ``summarize`` a ``--trace-out`` file,
+    or ``postmortem`` a crash bundle written by ``--postmortem-out``.
 ``bench``
     Wall-clock microbenchmarks (``kernels``, ``overlap``) with
     benchmark-history recording.
@@ -154,6 +155,8 @@ def _cmd_harvey(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 sanitize=args.sanitize,
                 backend=args.backend,
+                stall_timeout_s=args.stall_timeout,
+                postmortem_out=args.postmortem_out,
             ),
             tracer=telemetry.tracer if telemetry else None,
         )
@@ -165,6 +168,13 @@ def _cmd_harvey(args: argparse.Namespace) -> int:
     try:
         report = app.run(steps)
         lb = app.load_balance()
+        # the plane writes the bundle itself on worker death / stall /
+        # sanitizer failure; on a clean run, honour the flag with an
+        # end-of-run state dump (process tier only)
+        if args.postmortem_out:
+            written = app.write_postmortem(reason="end-of-run")
+            if written:
+                print(f"  postmortem bundle written to {written}")
     finally:
         app.close()
     print(
@@ -185,6 +195,18 @@ def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
 
     try:
         print(summarize_trace_file(args.trace))
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_telemetry_postmortem(args: argparse.Namespace) -> int:
+    from .core.errors import TelemetryError
+    from .telemetry import load_postmortem, render_postmortem
+
+    try:
+        print(render_postmortem(load_postmortem(args.bundle)))
     except TelemetryError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -879,6 +901,17 @@ def build_parser() -> argparse.ArgumentParser:
         "tracking, phase access logging)",
     )
     p.add_argument(
+        "--stall-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="process-executor heartbeat timeout before a rank is "
+        "diagnosed as stalled (default: 60)",
+    )
+    p.add_argument(
+        "--postmortem-out", default=None, metavar="PATH",
+        help="write the telemetry plane's postmortem JSON bundle here "
+        "(on worker death, stall, or sanitizer failure — and at end "
+        "of a clean run); process executor only",
+    )
+    p.add_argument(
         "--quick", action="store_true",
         help="CI preset: coarse resolution, <=2 ranks, <=5 steps",
     )
@@ -950,6 +983,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("trace", help="path to a --trace-out JSON file")
     ps.set_defaults(func=_cmd_telemetry_summarize)
+    pp = tsub.add_parser(
+        "postmortem",
+        help="render a crash flight-recorder bundle written by "
+        "--postmortem-out (rank states, heartbeats, last events)",
+    )
+    pp.add_argument("bundle", help="path to a postmortem JSON bundle")
+    pp.set_defaults(func=_cmd_telemetry_postmortem)
 
     p = sub.add_parser(
         "bench", help="wall-clock microbenchmarks of the functional kernels"

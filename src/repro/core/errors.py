@@ -31,6 +31,12 @@ class RuntimeSimError(ReproError):
     """Raised by the simulated MPI runtime (bad ranks, mismatched buffers)."""
 
 
+class StallError(RuntimeSimError):
+    """Raised by the telemetry plane's heartbeat watchdog when a worker
+    rank stops publishing progress for longer than the stall timeout —
+    a rank-attributed diagnosis instead of a silent hang."""
+
+
 class ModelError(ReproError):
     """Raised by programming-model backends (bad launch configs, spaces)."""
 

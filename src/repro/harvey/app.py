@@ -92,6 +92,8 @@ class HarveyApp:
             executor=self.config.executor,
             sanitize=self.config.sanitize,
             backend=self.config.backend,
+            stall_timeout_s=self.config.stall_timeout_s,
+            postmortem_out=self.config.postmortem_out,
         )
         return DistributedSolver(self.partition, solver_cfg, tracer=self.tracer)
 
@@ -121,6 +123,26 @@ class HarveyApp:
             max_velocity=float(np.linalg.norm(vel, axis=1).max()),
             comm_bytes=self.solver.comm.log.total_bytes(),
         )
+
+    def write_postmortem(
+        self, path: Optional[str] = None, reason: str = "requested"
+    ) -> Optional[str]:
+        """Dump the telemetry plane's postmortem bundle (process tier).
+
+        Returns the path written, or None when no plane is attached
+        (in-process executors, or ``REPRO_TELEMETRY_PLANE=off``) or no
+        path is configured.
+        """
+        plane = getattr(self.solver, "plane", None)
+        if plane is None:
+            return None
+        states = None
+        executor = self.solver.executor
+        rank_states = getattr(executor, "_rank_states", None)
+        if callable(rank_states):
+            states = rank_states()
+        bundle = plane.postmortem_bundle(reason, rank_states=states)
+        return plane.save_bundle(bundle, path=path)
 
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:

@@ -51,6 +51,13 @@ class HarveyConfig:
         :class:`~repro.lbm.solver.SolverConfig`: ``"numpy"`` or one of
         the compiled tiers (``"compiled"``, ``"compiled-serial"``,
         ``"compiled-parallel"``).
+    stall_timeout_s:
+        Process-executor heartbeat timeout passed through to
+        :class:`~repro.lbm.solver.SolverConfig`.
+    postmortem_out:
+        Optional path for the telemetry plane's postmortem JSON bundle
+        (written on worker death, sanitizer failure, or stall; the CLI
+        also writes it on request at end of run).
     """
 
     workload: str = "aorta"
@@ -64,6 +71,8 @@ class HarveyConfig:
     executor: str = "lockstep"
     sanitize: bool = False
     backend: str = "numpy"
+    stall_timeout_s: float = 60.0
+    postmortem_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workload not in geometry_names():
@@ -89,3 +98,5 @@ class HarveyConfig:
                 "overlap=True requires the fused step-plan engine "
                 "(fused=True)"
             )
+        if self.stall_timeout_s <= 0:
+            raise ConfigError("stall_timeout_s must be positive")

@@ -182,6 +182,7 @@ class DistributedSolver:
         self._procmode = config.executor == "process"
         self._shm = None  # SegmentRegistry, allocated in _build()
         self._rings = None  # RingTransport, wired in _build()
+        self.plane = None  # TelemetryPlane, wired in _build() (procmode)
         self._ring_traffic: List[Tuple[int, int, int]] = []
         self._halo_step_bytes = 0
         self._san = None  # StepSanitizer, attached after _build()
@@ -495,6 +496,22 @@ class DistributedSolver:
             self._halo_step_bytes = sum(
                 nbytes for _, _, nbytes in self._ring_traffic
             )
+            # cross-process telemetry plane: worker-resident tracing,
+            # metric merge, heartbeats, and the crash flight recorder.
+            # Allocated from the same registry (before the lazy fork) so
+            # workers inherit the channels; REPRO_TELEMETRY_PLANE=off
+            # yields the dormant baseline the overhead benchmark times.
+            from ..telemetry.plane import TelemetryPlane, plane_enabled
+
+            if plane_enabled():
+                self.plane = TelemetryPlane(
+                    self._shm,
+                    num_ranks,
+                    tracer=self.tracer,
+                    stall_timeout_s=self.config.stall_timeout_s,
+                    postmortem_out=self.config.postmortem_out,
+                )
+                self.executor.plane = self.plane
 
         # preallocated observables (gather_f / mass are allocation-free)
         self._owned_total = int(

@@ -86,6 +86,16 @@ class SolverConfig:
         breaks bit-for-bit reproducibility against the NumPy kernels;
         disable for the exact-mode equivalence band.  Ignored by the
         NumPy backend.
+    stall_timeout_s:
+        Heartbeat age (seconds) past which the process executor's
+        telemetry plane declares a silent worker rank stalled and
+        raises a rank-attributed :class:`~repro.core.errors.StallError`
+        instead of hanging.  Ignored by in-process executors.
+    postmortem_out:
+        Optional path the telemetry plane writes a postmortem JSON
+        bundle to on worker death, sanitizer failure, or stall
+        (rendered by ``repro telemetry postmortem``).  Ignored by
+        in-process executors.
     """
 
     tau: float = 0.8
@@ -104,8 +114,15 @@ class SolverConfig:
     sanitize: bool = False
     backend: str = "numpy"
     fastmath: bool = True
+    stall_timeout_s: float = 60.0
+    postmortem_out: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.stall_timeout_s <= 0:
+            raise ConfigError(
+                "stall_timeout_s must be positive (seconds before the "
+                "telemetry plane declares a silent worker stalled)"
+            )
         if self.collision not in ("bgk", "trt", "mrt"):
             raise ConfigError(
                 f"unknown collision {self.collision!r}; "

@@ -274,6 +274,7 @@ def run_overlap_bench(
     from ..geometry.cylinder import CylinderSpec, make_cylinder
     from ..lbm.distributed import DistributedSolver
     from ..lbm.solver import SolverConfig
+    from ..telemetry.plane import plane_enabled as _plane_enabled
 
     if steps < 1 or reps < 1:
         raise ConfigError("steps and reps must be positive")
@@ -364,6 +365,12 @@ def run_overlap_bench(
                 "tau": float(tau),
                 "force_x": float(force_x),
                 "executors": sorted(chosen),
+                # process-tier provenance: whether the per-rank telemetry
+                # plane was live in the timed workers (it adds worker-side
+                # instrumentation, so results should record it)
+                "telemetry_plane": (
+                    _plane_enabled() if "process" in chosen else None
+                ),
             }
         ),
     )

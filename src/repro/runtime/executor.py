@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import RuntimeSimError
-from ..telemetry.spans import SpanRecord, Tracer, get_tracer
+from ..telemetry.spans import SpanRecord, get_tracer
 
 __all__ = [
     "AccessConflict",
@@ -286,9 +286,8 @@ class ParallelExecutor:
                     first_exc = exc
                     first_rank = rank
         if traced:
-            depth = (
-                len(tracer._stack) if isinstance(tracer, Tracer) else 0
-            )
+            depth_fn = getattr(tracer, "depth", None)
+            depth = int(depth_fn()) if callable(depth_fn) else 0
             for rank, timing in zip(targets, results):
                 if timing is None:
                     continue

@@ -35,6 +35,16 @@ Per-phase ``ctx`` dicts carry the controlling process's mutable scalars
 (step counter, boundary time) to the workers; the target applies them
 through its ``_apply_phase_context`` hook before the body runs, since
 plain attribute writes in the parent are invisible after the fork.
+
+When a :class:`~repro.telemetry.plane.TelemetryPlane` is attached (the
+distributed solver wires one whenever the plane is enabled), each worker
+runs a plane agent: spans and metric deltas flush into the rank's
+shared-memory telemetry ring before every ack, heartbeats publish at
+phase entry/exit, and the flight recorder keeps the last N events.  The
+parent drains the rings while waiting at the phase barrier (so a full
+ring can never deadlock a worker), watches heartbeats for stalls, and —
+on worker death or a sanitizer failure — drains the *surviving* rings
+first, then attaches a postmortem bundle to the raised error.
 """
 
 from __future__ import annotations
@@ -44,10 +54,16 @@ import os
 import pickle
 import time
 import traceback
+from multiprocessing import connection as _mpconn
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.errors import BackendUnavailableError, RuntimeSimError
-from ..telemetry.spans import SpanRecord, Tracer, get_tracer
+from ..core.errors import (
+    BackendUnavailableError,
+    RuntimeSimError,
+    SanitizeError,
+    StallError,
+)
+from ..telemetry.spans import SpanRecord, get_tracer, set_tracer
 from .executor import PhaseAccessLog
 
 __all__ = ["ProcessExecutor", "fork_available"]
@@ -65,12 +81,28 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _worker_main(rank: int, conn, target: Optional[object]) -> None:
+def _worker_main(
+    rank: int, conn, target: Optional[object], plane: Optional[object]
+) -> None:
     """Worker loop: receive phase commands, run them, ack with timing.
+
+    With a telemetry plane attached the worker owns a
+    :class:`~repro.telemetry.plane.WorkerAgent`: the process-wide tracer
+    (and the target's ``tracer`` attribute, if any) rebind to the
+    agent's worker-resident tracer so phase bodies' sub-spans are
+    captured, and every phase flushes its spans/metric deltas into the
+    rank's ring *before* the ack — the parent drains at the barrier.
 
     Exits through ``os._exit`` so the parent's inherited atexit hooks
     (segment unlink, executor shutdown) never run in a child.
     """
+    agent = None
+    if plane is not None:
+        agent = plane.worker_agent(rank)
+        if agent.tracer is not None:
+            set_tracer(agent.tracer)
+            if target is not None and hasattr(target, "tracer"):
+                target.tracer = agent.tracer
     try:
         while True:
             try:
@@ -79,7 +111,7 @@ def _worker_main(rank: int, conn, target: Optional[object]) -> None:
                 break
             if msg[0] == _CMD_STOP:
                 break
-            _, spec, ctx = msg
+            _, spec, ctx, name = msg
             try:
                 kind, payload = spec
                 if kind == "method":
@@ -90,11 +122,20 @@ def _worker_main(rank: int, conn, target: Optional[object]) -> None:
                     hook = getattr(target, "_apply_phase_context", None)
                     if hook is not None:
                         hook(ctx)
+                if agent is not None:
+                    agent.begin_phase(name or fn.__name__, ctx)
                 t0 = time.perf_counter()
                 fn(rank)
                 duration = time.perf_counter() - t0
+                if agent is not None:
+                    agent.end_phase(name or fn.__name__)
                 conn.send(("ok", t0, duration))
             except BaseException as exc:
+                if agent is not None:
+                    try:
+                        agent.record_error(name or "phase", exc)
+                    except Exception:
+                        pass
                 try:
                     blob: Optional[bytes] = pickle.dumps(exc)
                 except Exception:
@@ -139,6 +180,11 @@ class ProcessExecutor:
         #: conflict detection degrades to the controlling process's view —
         #: worker-side records stay in the workers.
         self.access_log: Optional[PhaseAccessLog] = None
+        #: optional :class:`~repro.telemetry.plane.TelemetryPlane`; set it
+        #: before the first ``run_phase`` (workers fork with it) to get
+        #: worker-resident tracing, metric merge, heartbeats, and the
+        #: flight recorder.
+        self.plane: Optional[Any] = None
         self._mp = multiprocessing.get_context("fork")
         self._creator_pid = os.getpid()
         self._target: Optional[object] = None
@@ -160,7 +206,7 @@ class ProcessExecutor:
             parent_conn, child_conn = self._mp.Pipe()
             proc = self._mp.Process(
                 target=_worker_main,
-                args=(rank, child_conn, target),
+                args=(rank, child_conn, target, self.plane),
                 daemon=True,
                 name=f"repro-rank-{rank}",
             )
@@ -180,6 +226,11 @@ class ProcessExecutor:
         if self._closed or os.getpid() != self._creator_pid:
             return
         self._closed = True
+        if self.plane is not None and self._started:
+            try:  # final drain: nothing a worker flushed is lost
+                self.plane.drain()
+            except Exception:
+                pass
         for proc, conn in self._workers:
             try:
                 conn.send((_CMD_STOP,))
@@ -248,10 +299,11 @@ class ProcessExecutor:
         if self.access_log is not None:
             self.access_log.begin_phase(name or f"phase{self.phases_run}")
         spec = self._spec_for(fn)
+        dispatch_t0 = time.perf_counter()
         for rank in targets:
             _, conn = self._workers[rank]
             try:
-                conn.send((_CMD_PHASE, spec, ctx))
+                conn.send((_CMD_PHASE, spec, ctx, name))
             except (BrokenPipeError, OSError):
                 self.close()
                 raise RuntimeSimError(
@@ -259,18 +311,25 @@ class ProcessExecutor:
                     f"dispatch phase {name or fn.__name__!r}"
                 ) from None
 
+        acks, dead_ranks = self._collect_acks(
+            targets, name, dispatch_t0
+        )
+        plane = self.plane
+        if plane is not None:
+            try:  # frames flushed just before the last ack
+                plane.drain()
+            except Exception:
+                pass
+        if dead_ranks:
+            self._raise_worker_death(dead_ranks[0], name)
+
         first_exc: Optional[BaseException] = None
         first_rank = -1
         timings: List[Optional[Tuple[float, float]]] = []
-        dead: Optional[int] = None
         for rank in targets:
-            proc, conn = self._workers[rank]
-            try:
-                ack = conn.recv()
-            except (EOFError, OSError):
+            ack = acks.get(rank)
+            if ack is None:
                 timings.append(None)
-                if dead is None:
-                    dead = rank
                 continue
             if ack[0] == "ok":
                 timings.append((ack[1], ack[2]))
@@ -288,16 +347,14 @@ class ProcessExecutor:
                     first_exc = RuntimeSimError(
                         f"worker failed:\n{tb.rstrip()}"
                     )
-        if dead is not None:
-            self.close()
-            raise RuntimeSimError(
-                f"rank {dead} worker process died during phase "
-                f"{name or 'phase'!r}; executor shut down and shared "
-                "segments remain owned (and unlinked) by the parent"
-            )
         tracer = self.tracer
-        if name is not None and tracer.enabled:
-            depth = len(tracer._stack) if isinstance(tracer, Tracer) else 0
+        merge_spans = plane is not None and plane.trace_enabled
+        if name is not None and tracer.enabled and not merge_spans:
+            # no plane: fall back to one parent-side synthetic span per
+            # rank from the acked timings (the plane's worker-origin
+            # spans replace these — appending both would double-count)
+            depth_fn = getattr(tracer, "depth", None)
+            depth = int(depth_fn()) if callable(depth_fn) else 0
             for rank, timing in zip(targets, timings):
                 if timing is None:
                     continue
@@ -320,7 +377,145 @@ class ProcessExecutor:
                 ) + first_exc.args[1:]
             else:
                 first_exc.args = (origin,) + tuple(first_exc.args)
+            if plane is not None and isinstance(first_exc, SanitizeError):
+                bundle = plane.postmortem_bundle(
+                    reason=f"sanitizer failure in phase {name or 'phase'!r}",
+                    rank_states=self._rank_states(),
+                    error=str(first_exc),
+                )
+                plane.save_bundle(bundle)
+                first_exc.postmortem = bundle
             raise first_exc
+
+    def _collect_acks(
+        self,
+        targets: Sequence[int],
+        name: Optional[str],
+        dispatch_t0: float,
+    ) -> Tuple[Dict[int, Tuple], List[int]]:
+        """Barrier: gather one ack per target rank.
+
+        While waiting, the attached telemetry plane (if any) is drained —
+        a full ring can therefore never deadlock a worker against the
+        barrier — and its heartbeat watchdog checks the still-pending
+        ranks, so a hung worker surfaces as a rank-attributed
+        :class:`StallError` instead of a silent hang.
+        """
+        pending: Dict[Any, int] = {}
+        for rank in targets:
+            _, conn = self._workers[rank]
+            pending[conn] = rank
+        acks: Dict[int, Tuple] = {}
+        dead_ranks: List[int] = []
+        death_ts: Optional[float] = None
+        plane = self.plane
+        while pending:
+            if plane is None and not dead_ranks:
+                ready = _mpconn.wait(list(pending))
+            else:
+                ready = _mpconn.wait(list(pending), timeout=0.05)
+            for conn in ready:
+                rank = pending.pop(conn)
+                try:
+                    ack = conn.recv()
+                except (EOFError, OSError):
+                    dead_ranks.append(rank)
+                    if death_ts is None:
+                        death_ts = time.perf_counter()
+                    continue
+                acks[rank] = ack
+            if plane is not None:
+                try:
+                    plane.drain()
+                except Exception:
+                    pass
+                if pending and not dead_ranks:
+                    try:
+                        plane.check_stalls(
+                            sorted(pending.values()),
+                            since=dispatch_t0,
+                            alive=lambda r: self._workers[r][0].is_alive(),
+                        )
+                    except StallError as exc:
+                        self._raise_stall(exc, name)
+            if dead_ranks and pending:
+                # survivors may be blocked on the dead rank's halo rings;
+                # give them a short grace window to finish and flush,
+                # then report the death rather than hang at the barrier
+                grace = 5.0
+                if plane is not None:
+                    grace = min(grace, plane.stall_timeout_s)
+                assert death_ts is not None
+                if time.perf_counter() - death_ts > grace:
+                    break
+        dead_ranks.sort()
+        return acks, dead_ranks
+
+    def _rank_states(self) -> Dict[int, Dict[str, Any]]:
+        states: Dict[int, Dict[str, Any]] = {}
+        for rank, (proc, _) in enumerate(self._workers):
+            states[rank] = {
+                "state": "alive" if proc.is_alive() else "dead",
+                "pid": proc.pid,
+                "exitcode": proc.exitcode,
+            }
+        return states
+
+    def _raise_stall(self, exc: StallError, name: Optional[str]) -> None:
+        """Postmortem-decorate and re-raise a heartbeat stall."""
+        plane = self.plane
+        bundle = None
+        if plane is not None:
+            try:
+                plane.drain()
+            except Exception:
+                pass
+            bundle = plane.postmortem_bundle(
+                reason=f"stall during phase {name or 'phase'!r}",
+                rank_states=self._rank_states(),
+                error=str(exc),
+            )
+            plane.save_bundle(bundle)
+        self.close()
+        if bundle is not None:
+            exc.postmortem = bundle
+        raise exc
+
+    def _raise_worker_death(self, dead: int, name: Optional[str]) -> None:
+        """A worker died mid-phase: drain the *surviving* rings first so
+        the postmortem bundle carries every healthy rank's last events,
+        then shut down and raise with the bundle attached."""
+        plane = self.plane
+        bundle = None
+        # reap the dead worker first: its pipe closes (the EOF we saw)
+        # during process exit, a moment before it becomes joinable, so an
+        # immediate is_alive() can still say "alive" with no exitcode
+        try:
+            self._workers[dead][0].join(timeout=1.0)
+        except Exception:
+            pass
+        if plane is not None:
+            try:
+                plane.drain()
+            except Exception:
+                pass
+            bundle = plane.postmortem_bundle(
+                reason=(
+                    f"rank {dead} worker process died during phase "
+                    f"{name or 'phase'!r}"
+                ),
+                rank_states=self._rank_states(),
+            )
+            plane.save_bundle(bundle)
+        self.close()
+        exc = RuntimeSimError(
+            f"rank {dead} worker process died during phase "
+            f"{name or 'phase'!r}; executor shut down and shared "
+            "segments remain owned (and unlinked) by the parent"
+        )
+        if bundle is not None:
+            exc.postmortem = bundle
+        raise exc
 
     def run_step(self, phases: List[PhaseFn]) -> None:
         """Run a full iteration: each phase across all ranks, in order."""

@@ -43,7 +43,9 @@ _SUMMARY_EXPORTS = (
     "categorize",
     "overlap_composition",
     "phase_composition",
+    "rank_imbalance",
     "render_composition",
+    "render_imbalance",
     "render_overlap",
     "summarize_trace_file",
 )
@@ -60,6 +62,18 @@ _PROFILE_EXPORTS = (
     "write_profile_trace",
 )
 
+# plane's exports are lazy too: it sits on repro.runtime.shmem, and the
+# runtime's executors import this package.
+_PLANE_EXPORTS = (
+    "FlightRecorder",
+    "HeartbeatBoard",
+    "TelemetryPlane",
+    "WorkerAgent",
+    "load_postmortem",
+    "plane_enabled",
+    "render_postmortem",
+)
+
 
 def __getattr__(name):
     if name in _SUMMARY_EXPORTS:
@@ -70,6 +84,10 @@ def __getattr__(name):
         from . import profile
 
         return getattr(profile, name)
+    if name in _PLANE_EXPORTS:
+        from . import plane
+
+        return getattr(plane, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )
@@ -102,6 +120,8 @@ __all__ = [
     "render_composition",
     "overlap_composition",
     "render_overlap",
+    "rank_imbalance",
+    "render_imbalance",
     "summarize_trace_file",
     "PROFILE_SCHEMA_VERSION",
     "PROFILE_EVENT_NAME",
@@ -110,4 +130,11 @@ __all__ = [
     "profile_metadata_event",
     "profile_from_events",
     "write_profile_trace",
+    "TelemetryPlane",
+    "WorkerAgent",
+    "HeartbeatBoard",
+    "FlightRecorder",
+    "plane_enabled",
+    "load_postmortem",
+    "render_postmortem",
 ]

@@ -7,6 +7,12 @@ placed on per-rank tracks (``tid = rank + 1``, named via thread-name
 metadata); unranked spans — step markers, app-level run spans — live on
 track 0.
 
+Spans merged from the cross-process telemetry plane carry the worker's
+real ``pid``/``tid`` in their args; those events are emitted under that
+actual pid (with per-pid process-name metadata), so a process-executor
+trace renders as a true multi-process timeline — one track per forked
+rank — instead of folding every rank into the simulated process.
+
 Metrics export as JSON (the registry's :meth:`as_dict` snapshot) or as a
 flat ``name,kind,value`` CSV, chosen by file extension.
 """
@@ -58,7 +64,11 @@ def chrome_trace(tracer, process_name: str = "repro") -> Dict[str, Any]:
         },
     ]
     ranks = sorted(
-        {s.rank for s in tracer.spans if s.rank is not None}
+        {
+            s.rank
+            for s in tracer.spans
+            if s.rank is not None and "pid" not in s.args
+        }
     )
     for r in ranks:
         events.append(
@@ -70,18 +80,56 @@ def chrome_trace(tracer, process_name: str = "repro") -> Dict[str, Any]:
                 "args": {"name": f"rank {r}"},
             }
         )
+    # worker-origin spans (merged by the telemetry plane) carry the real
+    # worker pid/tid: name each worker process once so the trace renders
+    # a true multi-process timeline
+    worker_tracks: Dict[int, Dict[int, Any]] = {}
+    for s in tracer.spans:
+        pid = s.args.get("pid")
+        if pid is None:
+            continue
+        tids = worker_tracks.setdefault(int(pid), {})
+        tid = int(s.args.get("tid", 0))
+        if tid not in tids:
+            tids[tid] = s.rank
+    for pid in sorted(worker_tracks):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{process_name} worker (pid {pid})"},
+            }
+        )
+        for tid, rank in sorted(worker_tracks[pid].items()):
+            label = f"rank {rank}" if rank is not None else f"tid {tid}"
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
     for s in sorted(tracer.spans, key=lambda s: (s.start_s, -s.duration_s)):
         args = dict(s.args)
         if s.rank is not None:
             args["rank"] = s.rank
+        pid = args.get("pid")
         events.append(
             {
                 "name": s.name,
                 "ph": "X",
                 "ts": round(s.start_s * 1e6, 3),
                 "dur": round(s.duration_s * 1e6, 3),
-                "pid": TRACE_PID,
-                "tid": _tid(s.rank),
+                "pid": TRACE_PID if pid is None else int(pid),
+                "tid": (
+                    _tid(s.rank)
+                    if pid is None
+                    else int(args.get("tid", 0))
+                ),
                 "args": args,
             }
         )

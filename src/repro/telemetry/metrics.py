@@ -119,6 +119,30 @@ class Histogram:
         labels = [f"le_{e:g}" for e in self.edges] + ["le_inf"]
         return dict(zip(labels, self.counts))
 
+    def add_counts(
+        self, counts: Sequence[int], count: int, total: float
+    ) -> None:
+        """Bucket-wise merge of another histogram's (delta) counts.
+
+        Used by the cross-process telemetry plane to fold a worker's
+        histogram deltas into the parent's instrument; the edges must
+        already match (enforced by the registry lookup).
+        """
+        if len(counts) != len(self.counts):
+            raise TelemetryError(
+                f"histogram {self.name!r}: cannot merge {len(counts)} "
+                f"bucket(s) into {len(self.counts)}"
+            )
+        if count < 0 or any(c < 0 for c in counts):
+            raise TelemetryError(
+                f"histogram {self.name!r}: merge deltas cannot be negative"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self.counts[i] += int(c)
+            self.count += int(count)
+            self.total += float(total)
+
 
 _Metric = Union[Counter, Gauge, Histogram]
 
@@ -207,6 +231,33 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._metrics.clear()
+
+    def merge_deltas(self, deltas: Sequence[Dict[str, object]]) -> None:
+        """Fold worker-side metric deltas into this registry.
+
+        ``deltas`` is the record list a cross-process telemetry-plane
+        flush carries: counters merge by **sum**, gauges by **last
+        write**, histograms **bucket-wise** (edges must agree with any
+        existing instrument of the same name).
+        """
+        for rec in deltas:
+            kind = rec.get("kind")
+            name = str(rec["name"])
+            if kind == "counter":
+                self.counter(name).inc(rec["delta"])  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(name).set(rec["value"])  # type: ignore[arg-type]
+            elif kind == "histogram":
+                hist = self.histogram(name, edges=rec["edges"])  # type: ignore[arg-type]
+                hist.add_counts(
+                    rec["counts"],  # type: ignore[arg-type]
+                    rec["count"],  # type: ignore[arg-type]
+                    rec["total"],  # type: ignore[arg-type]
+                )
+            else:
+                raise TelemetryError(
+                    f"unknown metric delta kind {kind!r} for {name!r}"
+                )
 
 
 _global_registry = MetricsRegistry()

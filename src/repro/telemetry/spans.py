@@ -135,6 +135,15 @@ class Tracer:
     def open_spans(self) -> int:
         return len(self._stack)
 
+    def depth(self) -> int:
+        """Current nesting depth — where a span opened *now* would sit.
+
+        Public accessor for executors that append externally-timed spans
+        (the process executor's per-rank phase intervals) so they never
+        reach into :attr:`_stack`.
+        """
+        return len(self._stack)
+
     def clear(self) -> None:
         if self._stack:
             raise TelemetryError("cannot clear a tracer with open spans")
@@ -158,6 +167,9 @@ class NullTracer:
 
     @property
     def open_spans(self) -> int:
+        return 0
+
+    def depth(self) -> int:
         return 0
 
     def clear(self) -> None:

@@ -43,6 +43,8 @@ __all__ = [
     "render_composition",
     "overlap_composition",
     "render_overlap",
+    "rank_imbalance",
+    "render_imbalance",
     "summarize_trace_file",
 ]
 
@@ -230,6 +232,72 @@ def render_overlap(
     return render_table(headers, rows, title)
 
 
+def rank_imbalance(
+    events: List[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Per-rank phase busy time and max/mean skew, or None.
+
+    Needs at least two ranks' worth of per-rank phase spans — which a
+    process-executor trace only has once the telemetry plane merges the
+    workers' spans (before PR 10 such traces carried a parent-side proxy
+    at best).  ``imbalance`` is ``max(busy) / mean(busy)``, the same
+    statistic the profiler and the paper's strong-scaling analysis use.
+    """
+    busy: Dict[Any, float] = {}
+    worker_origin: Dict[Any, int] = {}
+    for ev in events:
+        if ev.get("ph") != "X" or categorize(ev["name"]) is None:
+            continue
+        args = ev.get("args", {})
+        rank = args.get("rank")
+        if rank is None:
+            continue
+        busy[rank] = busy.get(rank, 0.0) + float(ev["dur"])
+        if args.get("origin") == "worker":
+            worker_origin[rank] = worker_origin.get(rank, 0) + 1
+    if len(busy) < 2:
+        return None
+    values = list(busy.values())
+    mean = sum(values) / len(values)
+    peak = max(values)
+    return {
+        "per_rank_us": busy,
+        "worker_spans": worker_origin,
+        "mean_us": mean,
+        "max_us": peak,
+        "imbalance": peak / mean if mean > 0 else 1.0,
+    }
+
+
+def render_imbalance(
+    events: List[Dict[str, Any]],
+    title: str = "per-rank load imbalance (phase busy time)",
+) -> Optional[str]:
+    """Per-rank busy-time table with the max/mean skew, or None."""
+    stats = rank_imbalance(events)
+    if stats is None:
+        return None
+    headers = ["Rank", "Busy ms", "Of max", "Worker spans"]
+    peak = stats["max_us"]
+    rows = []
+    for rank in sorted(stats["per_rank_us"]):
+        busy = stats["per_rank_us"][rank]
+        rows.append(
+            [
+                str(rank),
+                f"{busy / 1e3:.2f}",
+                f"{100 * busy / peak:.1f}%" if peak > 0 else "-",
+                str(stats["worker_spans"].get(rank, 0)),
+            ]
+        )
+    table = render_table(
+        headers,
+        rows,
+        f"{title} — max/mean skew {stats['imbalance']:.3f}",
+    )
+    return table
+
+
 def summarize_trace_file(path) -> str:
     """Load a ``--trace-out`` file and render its composition table(s).
 
@@ -243,6 +311,9 @@ def summarize_trace_file(path) -> str:
     overlap = render_overlap(events)
     if overlap is not None:
         out = f"{out}\n\n{overlap}"
+    imbalance = render_imbalance(events)
+    if imbalance is not None:
+        out = f"{out}\n\n{imbalance}"
     # traces written by `repro profile run` embed the full profile as a
     # metadata event; re-render its efficiency tables from the file alone
     # (lazy import: profile joins the solver/perfmodel stack)

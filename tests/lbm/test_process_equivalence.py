@@ -10,17 +10,19 @@ segments guarantee on clean close.
 """
 
 import os
+import types
 
 import numpy as np
 import pytest
 
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, RuntimeSimError
 from repro.decomp import grid_decompose
 from repro.geometry.cylinder import CylinderSpec, make_cylinder
 from repro.lbm.distributed import DistributedSolver
 from repro.lbm.solver import SolverConfig
 from repro.runtime.procexec import fork_available
 from repro.runtime.shmem import leaked_segments
+from repro.telemetry.spans import Tracer
 
 pytestmark = pytest.mark.skipif(
     not fork_available(), reason="needs the POSIX fork start method"
@@ -105,6 +107,92 @@ class TestProcessEquivalence:
             assert solver.halo_bytes_per_step() > 0
         finally:
             solver.close()
+
+
+class TestTelemetryPlaneIntegration:
+    """Solver-level wiring of the cross-process telemetry plane."""
+
+    def test_worker_origin_spans_per_rank(self, grid, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY_PLANE", raising=False)
+        part = grid_decompose(grid, 2)
+        tracer = Tracer()
+        solver = DistributedSolver(
+            part, config(executor="process"), tracer=tracer
+        )
+        try:
+            assert solver.plane is not None
+            solver.step(2)
+        finally:
+            solver.close()
+        worker = [
+            s for s in tracer.spans if s.args.get("origin") == "worker"
+        ]
+        # barrier schedule: 5 phases x 2 steps x 2 ranks
+        assert len(worker) == 20
+        for rank in (0, 1):
+            names = {s.name for s in worker if s.rank == rank}
+            assert names == {"collide", "exchange", "stream", "boundary"}
+        # merged spans replace the synthetic per-rank phase spans
+        assert not any(
+            s.rank is not None and "origin" not in s.args
+            for s in tracer.spans
+            if s.name in ("collide", "stream", "boundary")
+        )
+
+    def test_plane_env_off_disables(self, grid, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_PLANE", "off")
+        part = grid_decompose(grid, 2)
+        solver = DistributedSolver(part, config(executor="process"))
+        try:
+            assert solver.plane is None
+            solver.step(1)  # still runs fine without the plane
+        finally:
+            solver.close()
+
+    def test_worker_death_mid_step_drains_survivors(
+        self, grid, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv("REPRO_TELEMETRY_PLANE", raising=False)
+        part = grid_decompose(grid, 2)
+        tracer = Tracer()
+        pm_path = tmp_path / "pm.json"
+        solver = DistributedSolver(
+            part,
+            config(executor="process", postmortem_out=str(pm_path)),
+            tracer=tracer,
+        )
+        # rank 0 dies inside the second step's stream phase; the override
+        # is an instance attribute set before the first step, so forked
+        # workers inherit it and the by-name dispatch finds it
+        original = type(solver)._phase_stream
+
+        def _phase_stream(self, rank):
+            if rank == 0 and self.time >= 1:
+                os._exit(23)
+            original(self, rank)
+
+        solver._phase_stream = types.MethodType(_phase_stream, solver)
+        try:
+            with pytest.raises(RuntimeSimError, match="died") as err:
+                solver.step(3)
+        finally:
+            solver.close()
+        bundle = err.value.postmortem
+        assert bundle["ranks"][0]["state"] == "dead"
+        assert bundle["ranks"][0]["exitcode"] == 23
+        # the survivor's ring was drained before the raise: its flight
+        # tail reaches the dying step and its spans made the tracer
+        surviving_events = bundle["ranks"][1]["flight"]["events"]
+        assert surviving_events
+        assert any(e.get("step") == 1 for e in surviving_events)
+        rank1_spans = [
+            s for s in tracer.spans
+            if s.rank == 1 and s.args.get("origin") == "worker"
+        ]
+        assert any(s.name == "collide" for s in rank1_spans)
+        # the bundle also landed at the configured postmortem path
+        assert pm_path.exists()
+        assert leaked_segments(os.getpid()) == []
 
 
 class TestLifecycleAndValidation:

@@ -1,13 +1,16 @@
 """Process executor: dispatch, barriers, errors, and cleanup."""
 
 import os
+import time
 
 import numpy as np
 import pytest
 
-from repro.core.errors import RuntimeSimError
+from repro.core.errors import RuntimeSimError, StallError
 from repro.runtime.procexec import ProcessExecutor, fork_available
 from repro.runtime.shmem import SegmentRegistry, leaked_segments
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+from repro.telemetry.plane import TelemetryPlane
 from repro.telemetry.spans import Tracer
 
 pytestmark = pytest.mark.skipif(
@@ -145,6 +148,108 @@ class TestErrors:
     def test_validation(self):
         with pytest.raises(RuntimeSimError):
             ProcessExecutor(0)
+
+
+class PlaneProbe:
+    """Target whose phase mutates the worker's (inherited) registry."""
+
+    def __init__(self, registry: SegmentRegistry, num_ranks: int) -> None:
+        self.cells = registry.ndarray("probe", (num_ranks,))
+
+    def work(self, rank: int) -> None:
+        get_registry().counter("plane.probe.work").inc()
+        self.cells[rank] += 1.0
+
+    def nap(self, rank: int) -> None:
+        if rank == 0:
+            time.sleep(1.2)
+
+
+class TestTelemetryPlane:
+    """The executor with a cross-process telemetry plane attached."""
+
+    def _executor(self, reg, num_ranks, tracer=None, **plane_kwargs):
+        plane = TelemetryPlane(reg, num_ranks, tracer=tracer, **plane_kwargs)
+        ex = ProcessExecutor(num_ranks, tracer=tracer)
+        ex.plane = plane
+        return ex, plane
+
+    def test_worker_spans_replace_synthetic_ones(self):
+        tracer = Tracer()
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 2)
+            ex, plane = self._executor(reg, 2, tracer=tracer)
+            try:
+                ex.run_phase(target.bump, name="bump")
+            finally:
+                ex.close()
+        spans = [s for s in tracer.spans if s.name == "bump"]
+        # one worker-origin span per rank, no parent-side synthetics
+        assert len(spans) == 2
+        assert sorted(s.rank for s in spans) == [0, 1]
+        parent_pid = os.getpid()
+        for s in spans:
+            assert s.args["origin"] == "worker"
+            assert s.args["pid"] != parent_pid
+            assert s.args["tid"] > 0
+        assert len({s.args["pid"] for s in spans}) == 2
+        assert plane.merged_spans == 2
+
+    def test_worker_counters_merge_into_parent_registry(self):
+        parent_reg = MetricsRegistry()
+        with SegmentRegistry() as reg:
+            target = PlaneProbe(reg, 2)
+            ex, plane = self._executor(reg, 2, metrics=parent_reg)
+            try:
+                ex.run_phase(target.work, name="work")
+                ex.run_phase(target.work, name="work")
+            finally:
+                ex.close()
+        # each rank's two increments crossed as deltas and summed
+        assert parent_reg.counter("plane.probe.work").value == 4
+        assert plane.merged_metrics >= 2
+
+    def test_worker_death_bundle_includes_survivors(self):
+        tracer = Tracer()
+        with SegmentRegistry() as reg:
+            target = Counter(reg, 2)
+            ex, plane = self._executor(reg, 2, tracer=tracer)
+            with pytest.raises(RuntimeSimError, match="died") as err:
+                ex.run_phase(target.die, name="die")
+            bundle = err.value.postmortem
+            assert bundle["kind"] == "repro.postmortem"
+            assert bundle["ranks"][0]["state"] == "dead"
+            assert bundle["ranks"][0]["exitcode"] == 13
+            # captured before shutdown: the survivor was still alive
+            assert bundle["ranks"][1]["state"] == "alive"
+            # the dead rank got as far as entering the phase
+            dead_events = bundle["ranks"][0]["flight"]["events"]
+            assert dead_events[-1]["ev"] == "phase_begin"
+            assert dead_events[-1]["name"] == "die"
+            # the surviving rank's ring was drained before the raise:
+            # its span reached the tracer and its flight tail completed
+            surviving = [
+                s for s in tracer.spans
+                if s.name == "die" and s.rank == 1
+            ]
+            assert len(surviving) == 1
+            assert surviving[0].args["origin"] == "worker"
+            assert bundle["ranks"][1]["flight"]["events"][-1]["ev"] == (
+                "phase_end"
+            )
+        assert leaked_segments(os.getpid()) == []
+
+    def test_stalled_worker_diagnosed_not_hung(self):
+        with SegmentRegistry() as reg:
+            target = PlaneProbe(reg, 2)
+            ex, plane = self._executor(reg, 2, stall_timeout_s=0.25)
+            with pytest.raises(StallError, match="rank 0 stalled") as err:
+                ex.run_phase(target.nap, name="nap")
+            assert err.value.postmortem["reason"].startswith("stall")
+            # the watchdog shut the executor down
+            with pytest.raises(RuntimeSimError, match="closed"):
+                ex.run_phase(target.work)
+        assert leaked_segments(os.getpid()) == []
 
 
 class TestLifecycle:

@@ -14,6 +14,7 @@ from repro.telemetry import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.telemetry.spans import SpanRecord
 
 
 def make_tracer() -> Tracer:
@@ -76,6 +77,87 @@ class TestChromeTrace:
             load_chrome_trace(path)
         with pytest.raises(TelemetryError):
             load_chrome_trace(tmp_path / "missing.json")
+
+
+def make_worker_tracer() -> Tracer:
+    """A tracer holding plane-merged worker spans plus a control span."""
+    tracer = Tracer(clock=iter([0.0, 0.010]).__next__)
+    with tracer.span("step", step=0):
+        pass
+    for rank, pid in ((0, 4001), (1, 4002)):
+        tracer.spans.append(
+            SpanRecord(
+                name="collide",
+                start_s=0.001 + rank * 0.001,
+                duration_s=0.002,
+                depth=1,
+                rank=rank,
+                args={
+                    "origin": "worker",
+                    "pid": pid,
+                    "tid": 7000 + pid,
+                    "rank": rank,
+                },
+            )
+        )
+    return tracer
+
+
+class TestWorkerSpanExport:
+    """Plane-merged worker spans render as real per-process tracks."""
+
+    def test_worker_pid_tid_carried_onto_events(self):
+        doc = chrome_trace(make_worker_tracer())
+        collides = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "collide"
+        ]
+        assert len(collides) == 2
+        by_rank = {e["args"]["rank"]: e for e in collides}
+        assert by_rank[0]["pid"] == 4001
+        assert by_rank[0]["tid"] == 7000 + 4001
+        assert by_rank[1]["pid"] == 4002
+        assert by_rank[1]["tid"] == 7000 + 4002
+        # control spans stay on the simulated process
+        step = next(
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "step"
+        )
+        assert step["pid"] == 0
+
+    def test_per_pid_process_metadata(self):
+        doc = chrome_trace(make_worker_tracer(), process_name="repro")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        proc_names = {
+            e["pid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert proc_names[4001] == "repro worker (pid 4001)"
+        assert proc_names[4002] == "repro worker (pid 4002)"
+        # worker threads are labelled by rank under their own pid
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert thread_names[(4001, 7000 + 4001)] == "rank 0"
+        assert thread_names[(4002, 7000 + 4002)] == "rank 1"
+
+    def test_round_trip_preserves_worker_identity(self, tmp_path):
+        path = write_chrome_trace(
+            make_worker_tracer(), tmp_path / "worker.json"
+        )
+        loaded = load_chrome_trace(path)
+        collides = [
+            e for e in loaded if e["ph"] == "X" and e["name"] == "collide"
+        ]
+        assert {e["pid"] for e in collides} == {4001, 4002}
+        for e in collides:
+            assert e["args"]["origin"] == "worker"
+            assert e["args"]["pid"] == e["pid"]
 
 
 def overlap_trace_events(num_ranks=2, steps=3):

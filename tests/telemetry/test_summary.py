@@ -1,0 +1,63 @@
+"""Trace summaries: the per-rank imbalance table on synthetic events."""
+
+from repro.telemetry.summary import rank_imbalance, render_imbalance
+
+
+def phase_event(name, rank, dur_us, origin=None):
+    args = {"rank": rank}
+    if origin is not None:
+        args["origin"] = origin
+    return {"name": name, "ph": "X", "ts": 0.0, "dur": dur_us, "args": args}
+
+
+def two_rank_events():
+    # rank 0 busy 3000 us, rank 1 busy 1000 us -> mean 2000, skew 1.5
+    return [
+        phase_event("collide", 0, 2000.0, origin="worker"),
+        phase_event("stream", 0, 1000.0, origin="worker"),
+        phase_event("collide", 1, 600.0, origin="worker"),
+        phase_event("stream", 1, 400.0),
+        # non-phase and unranked events are ignored
+        {"name": "step", "ph": "X", "ts": 0.0, "dur": 9999.0, "args": {}},
+        {"name": "thread_name", "ph": "M", "args": {"name": "rank 0"}},
+    ]
+
+
+class TestRankImbalance:
+    def test_busy_time_and_skew(self):
+        stats = rank_imbalance(two_rank_events())
+        assert stats["per_rank_us"] == {0: 3000.0, 1: 1000.0}
+        assert stats["mean_us"] == 2000.0
+        assert stats["max_us"] == 3000.0
+        assert stats["imbalance"] == 1.5
+
+    def test_worker_origin_spans_counted_per_rank(self):
+        stats = rank_imbalance(two_rank_events())
+        # rank 1's "stream" lacks the worker origin tag
+        assert stats["worker_spans"] == {0: 2, 1: 1}
+
+    def test_needs_two_ranks(self):
+        single = [phase_event("collide", 0, 100.0)]
+        assert rank_imbalance(single) is None
+        assert rank_imbalance([]) is None
+        # unranked phase spans alone don't make a table either
+        unranked = [
+            {"name": "collide", "ph": "X", "ts": 0, "dur": 5.0, "args": {}}
+        ]
+        assert rank_imbalance(unranked) is None
+
+
+class TestRenderImbalance:
+    def test_table_rows_and_skew_line(self):
+        table = render_imbalance(two_rank_events())
+        assert "max/mean skew 1.500" in table
+        lines = table.splitlines()
+        rank_rows = [ln for ln in lines if ln.lstrip().startswith(("0", "1"))]
+        assert "3.00" in rank_rows[0] and "100.0%" in rank_rows[0]
+        assert "1.00" in rank_rows[1] and "33.3%" in rank_rows[1]
+        # worker-span counts land in the last column
+        assert rank_rows[0].rstrip().endswith("2")
+        assert rank_rows[1].rstrip().endswith("1")
+
+    def test_returns_none_without_enough_ranks(self):
+        assert render_imbalance([]) is None
